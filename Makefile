@@ -1,0 +1,31 @@
+# Paldia reproduction — common targets.
+
+GO ?= go
+
+.PHONY: build test vet bench experiments figures fuzz clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# One benchmark per paper figure/table (+ ablations), reduced scale.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Full-scale regeneration of the evaluation (writes results + SVG figures).
+experiments:
+	$(GO) run ./cmd/paldia-experiments -reps 3 -scale 1 -svg figures | tee results_full.txt
+
+figures:
+	$(GO) run ./cmd/paldia-experiments -run fig3,fig6,fig9,fig10 -reps 1 -scale 0.2 -svg figures >/dev/null
+
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzLoad -fuzztime 30s
+
+clean:
+	rm -rf figures

@@ -1,0 +1,247 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// one benchmark per experiment, at reduced scale so a full -bench=. pass
+// stays in the minutes. Each benchmark reports, beyond wall time, the
+// headline quantity of its figure (typically Paldia's SLO compliance) as a
+// custom metric. Run the full-scale evaluation with cmd/paldia-experiments.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOptions keeps each iteration to a few seconds: one repetition and
+// ~3-minute traces.
+func benchOptions(seed uint64) experiments.Options {
+	return experiments.Options{Seed: seed, Reps: 1, Scale: 0.12}
+}
+
+// reportPaldiaCompliance extracts Paldia's compliance from a table whose
+// schemeCol names the scheme and pctCol carries compliance, and reports it.
+func reportPaldiaCompliance(b *testing.B, t *experiments.Table, schemeCol, pctCol int) {
+	b.Helper()
+	if row := t.FindRow(schemeCol, "Paldia"); row >= 0 {
+		if v := experiments.ParsePct(t.Cell(row, pctCol)); v >= 0 {
+			b.ReportMetric(v*100, "paldia-slo-%")
+		}
+	}
+}
+
+func BenchmarkFig1Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig1(benchOptions(uint64(i) + 1))
+		// Offline Hybrid is the motivation figure's headline.
+		if row := t.FindRow(0, "Offline Hybrid"); row >= 0 {
+			if v := experiments.ParsePct(t.Cell(row, 3)); v >= 0 {
+				b.ReportMetric(v*100, "hybrid-slo-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2Hardware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table2()
+		b.ReportMetric(float64(len(t.Rows)), "nodes")
+	}
+}
+
+func BenchmarkFig3SLOCompliance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig3(benchOptions(uint64(i) + 1))
+		// Average Paldia compliance across the 12 vision models (last column).
+		sum, n := 0.0, 0
+		for r := range t.Rows {
+			if v := experiments.ParsePct(t.Cell(r, len(t.Columns)-1)); v >= 0 {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n)*100, "paldia-slo-%")
+		}
+	}
+}
+
+func BenchmarkFig4TailBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig4(benchOptions(uint64(i) + 1))
+		reportPaldiaCompliance(b, t, 1, 7)
+	}
+}
+
+func BenchmarkFig5Cost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig5(benchOptions(uint64(i) + 1))
+		reportPaldiaCompliance(b, t, 1, 4)
+	}
+}
+
+func BenchmarkFig6LatencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig6(benchOptions(uint64(i) + 1))
+		reportPaldiaCompliance(b, t, 0, 6)
+	}
+}
+
+func BenchmarkFig7GoodputAndPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig7(benchOptions(uint64(i) + 1))
+		if row := t.FindRow(0, "Paldia"); row >= 0 {
+			var ratio float64
+			if _, err := fmt.Sscan(t.Cell(row, 3), &ratio); err == nil {
+				b.ReportMetric(ratio, "paldia-goodput-ratio")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8(benchOptions(uint64(i) + 1))
+		if row := t.FindRow(0, "Paldia"); row >= 0 {
+			if v := experiments.ParsePct(t.Cell(row, 2)); v >= 0 {
+				b.ReportMetric(v*100, "paldia-gpu-util-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9LLMSLO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig9(benchOptions(uint64(i) + 1))
+		sum, n := 0.0, 0
+		for r := range t.Rows {
+			if v := experiments.ParsePct(t.Cell(r, len(t.Columns)-1)); v >= 0 {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n)*100, "paldia-slo-%")
+		}
+	}
+}
+
+func BenchmarkFig10LLMCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig10(benchOptions(uint64(i) + 1))
+		b.ReportMetric(float64(len(t.Rows)), "models")
+	}
+}
+
+func BenchmarkFig11Oracle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig11(benchOptions(uint64(i) + 1))
+		reportPaldiaCompliance(b, t, 1, 2)
+	}
+}
+
+func BenchmarkFig12RealWorldTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig12(benchOptions(uint64(i) + 1))
+		reportPaldiaCompliance(b, t, 2, 3)
+	}
+}
+
+func BenchmarkFig13AdverseScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig13(benchOptions(uint64(i) + 1))
+		reportPaldiaCompliance(b, t, 1, 2)
+	}
+}
+
+func BenchmarkTable3MixedWorkloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table3(benchOptions(uint64(i) + 1))
+		reportPaldiaCompliance(b, t, 0, 1)
+	}
+}
+
+func BenchmarkColdStartReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.ColdStarts(benchOptions(uint64(i) + 1))
+		b.ReportMetric(float64(len(t.Rows)), "policies")
+	}
+}
+
+func BenchmarkCPUvsGPUCostClaim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.CPUvsGPUCost()
+		b.ReportMetric(float64(len(t.Rows)), "options")
+	}
+}
+
+func BenchmarkModelError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.ModelError(benchOptions(uint64(i) + 1))
+		if v := experiments.ParsePct(t.Cell(1, 1)); v >= 0 { // median row
+			b.ReportMetric(v*100, "median-err-%")
+		}
+	}
+}
+
+func BenchmarkMultiTenant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.MultiTenant(benchOptions(uint64(i) + 1))
+		reportPaldiaCompliance(b, t, 0, 1)
+	}
+}
+
+func BenchmarkAblationPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationPrediction(benchOptions(uint64(i) + 1))
+	}
+}
+
+func BenchmarkAblationHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationHybrid(benchOptions(uint64(i) + 1))
+		if row := t.FindRow(0, "hybrid (Eq. 1 split)"); row >= 0 {
+			if v := experiments.ParsePct(t.Cell(row, 1)); v >= 0 {
+				b.ReportMetric(v*100, "hybrid-slo-%")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationWaitLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationWaitLimit(benchOptions(uint64(i) + 1))
+	}
+}
+
+func BenchmarkAblationKeepAlive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationKeepAlive(benchOptions(uint64(i) + 1))
+	}
+}
+
+func BenchmarkAblationDispatchWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationDispatchWindow(benchOptions(uint64(i) + 1))
+	}
+}
+
+func BenchmarkScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.ScaleOut(benchOptions(uint64(i) + 1))
+		if v := experiments.ParsePct(t.Cell(1, 1)); v >= 0 {
+			b.ReportMetric(v*100, "scaleout-slo-%")
+		}
+	}
+}
+
+func BenchmarkAblationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationBatching(benchOptions(uint64(i) + 1))
+	}
+}
+
+func BenchmarkAblationSLO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationSLO(benchOptions(uint64(i) + 1))
+	}
+}

@@ -1,0 +1,96 @@
+// Command paldia-analyze post-processes a per-request CSV dump written by
+// `paldia-sim -csv`: SLO compliance, percentiles, the P99 component
+// breakdown, a terminal CDF, and optionally an SVG of the CDF.
+//
+//	paldia-sim -model "VGG 19" -scheme molecule-cost -csv run.csv
+//	paldia-analyze run.csv
+//	paldia-analyze -slo 150ms -svg cdf.svg run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	var (
+		slo    = flag.Duration("slo", 200*time.Millisecond, "SLO used to (re)judge requests")
+		svgOut = flag.String("svg", "", "write the latency CDF as an SVG to this path")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: paldia-analyze [-slo D] [-svg out.svg] records.csv")
+		os.Exit(1)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	col, err := metrics.ReadCSV(f, *slo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if col.Count() == 0 {
+		fmt.Fprintln(os.Stderr, "no records")
+		os.Exit(1)
+	}
+
+	fmt.Printf("records         %d\n", col.Count())
+	fmt.Printf("SLO compliance  %.2f%% (SLO %v, %d violations)\n",
+		col.SLOCompliance()*100, *slo, col.Violations())
+	fmt.Printf("latency         P50 %v  P80 %v  P95 %v  P99 %v  mean %v\n",
+		col.Percentile(50).Round(time.Microsecond),
+		col.Percentile(80).Round(time.Microsecond),
+		col.Percentile(95).Round(time.Microsecond),
+		col.Percentile(99).Round(time.Microsecond),
+		col.Mean().Round(time.Microsecond))
+	b := col.TailBreakdown(99, 99.9)
+	fmt.Printf("P99 breakdown   min %v | batch %v | queue %v | interf %v | cold %v\n\n",
+		b.MinExec.Round(time.Microsecond), b.BatchWait.Round(time.Microsecond),
+		b.QueueDelay.Round(time.Microsecond), b.Interference.Round(time.Microsecond),
+		b.ColdStart.Round(time.Microsecond))
+
+	var vals []float64
+	for _, p := range col.CDF(60) {
+		v := p.Latency.Seconds() * 1000
+		if v > 2*slo.Seconds()*1000 {
+			v = 2 * slo.Seconds() * 1000
+		}
+		vals = append(vals, v)
+	}
+	fmt.Print(plot.CDF(fmt.Sprintf("latency CDF (ms, clipped at 2xSLO=%v)", 2**slo),
+		[]string{"latency"}, [][]float64{vals}, 56, 12))
+
+	if *svgOut != "" {
+		pts := make([][2]float64, len(vals))
+		for i, v := range vals {
+			pts[i] = [2]float64{v, float64(i+1) / float64(len(vals))}
+		}
+		fig := &svgplot.Lines{
+			Title:  "End-to-end latency CDF",
+			XLabel: "latency (ms)", YLabel: "fraction", YMax: 1,
+			Series: []svgplot.LineSeries{{Name: "latency", Points: pts}},
+		}
+		out, err := os.Create(*svgOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := fig.Render(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgOut)
+	}
+}

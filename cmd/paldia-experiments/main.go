@@ -1,0 +1,91 @@
+// Command paldia-experiments regenerates the paper's evaluation: every
+// figure and table of Section VI, as text tables (or markdown with -md).
+//
+//	paldia-experiments                  # run everything at default scale
+//	paldia-experiments -run fig3,fig4   # selected experiments
+//	paldia-experiments -reps 5 -scale 1 # the paper's repetition count
+//	paldia-experiments -scale 0.2       # quick pass (shorter traces)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runArg = flag.String("run", "all", "comma-separated experiment ids, or 'all' ("+
+			strings.Join(experiments.IDs(), ", ")+")")
+		reps   = flag.Int("reps", 3, "repetitions per data point (paper: 5)")
+		scale  = flag.Float64("scale", 1, "trace duration scale (1 = paper scale)")
+		seed   = flag.Uint64("seed", 42, "root random seed")
+		md     = flag.Bool("md", false, "emit markdown instead of aligned text")
+		svgDir = flag.String("svg", "", "also write each experiment's figures as SVG files into this directory")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Reps: *reps, Scale: *scale}
+	reg := experiments.Registry()
+
+	var ids []string
+	if *runArg == "all" {
+		ids = experiments.Order()
+	} else {
+		for _, id := range strings.Split(*runArg, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := reg[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n",
+					id, strings.Join(experiments.IDs(), ", "))
+				os.Exit(1)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		t := reg[id](opts)
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+		if *svgDir != "" {
+			if err := writeSVGs(*svgDir, t); err != nil {
+				fmt.Fprintf(os.Stderr, "svg: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeSVGs(dir string, t *experiments.Table) error {
+	if len(t.SVGs) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, fig := range t.SVGs {
+		f, err := os.Create(filepath.Join(dir, fig.Name+".svg"))
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(dir, fig.Name+".svg"))
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Command paldia-sim runs one serving simulation — a scheme serving a model
+// under a trace on the simulated heterogeneous cluster — and prints the full
+// metric panel (SLO compliance, latency percentiles, tail breakdown, cost,
+// power, utilization, cold starts).
+//
+// Examples:
+//
+//	paldia-sim -model "ResNet 50" -scheme paldia
+//	paldia-sim -model "VGG 19" -scheme molecule-cost -trace azure -duration 5m
+//	paldia-sim -model BERT -scheme all -trace azure -peak 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "ResNet 50", "workload model name (see -list)")
+		schemeArg = flag.String("scheme", "paldia", "scheme: paldia, oracle, infless-cost, infless-perf, molecule-cost, molecule-perf, or all")
+		traceName = flag.String("trace", "azure", "trace: azure, wikipedia, twitter, poisson, stable, or file:PATH (paldia-trace -dump format)")
+		peak      = flag.Float64("peak", 0, "peak rps (0 = paper default for the model)")
+		duration  = flag.Duration("duration", 0, "trace duration (0 = trace default)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		slo       = flag.Duration("slo", core.DefaultSLO, "per-request SLO")
+		list      = flag.Bool("list", false, "list models and exit")
+		timeline  = flag.Bool("timeline", false, "print per-30s violation counts")
+		csvPath   = flag.String("csv", "", "write per-request records to this CSV file (single-scheme runs)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, m := range model.Catalog() {
+			fmt.Printf("%-20s %-9s maxBatch=%-4d peak=%.0frps\n",
+				m.Name, m.Domain, m.MaxBatch, m.DefaultPeakRPS())
+		}
+		return
+	}
+
+	m, ok := model.ByName(*modelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q (try -list)\n", *modelName)
+		os.Exit(1)
+	}
+	if *peak == 0 {
+		*peak = m.DefaultPeakRPS()
+	}
+
+	rng := sim.NewRNG(*seed)
+	tr := buildTrace(rng, *traceName, *peak, *duration)
+	fmt.Printf("trace %s: %d requests, mean %.1f rps, peak %.0f rps (1s windows)\n\n",
+		tr.Name, tr.Count(), tr.MeanRPS(), tr.PeakRPS(time.Second))
+
+	for _, scheme := range pickSchemes(*schemeArg) {
+		res := core.Run(core.Config{
+			Model:  m,
+			Trace:  tr,
+			Scheme: scheme,
+			SLO:    *slo,
+			Seed:   *seed,
+		})
+		printResult(res)
+		if *timeline {
+			printTimeline(res, tr.Duration)
+		}
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, res); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", res.Requests, *csvPath)
+		}
+	}
+}
+
+func writeCSV(path string, res core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.Collector.WriteCSV(f)
+}
+
+func printTimeline(r core.Result, dur time.Duration) {
+	const bucket = 30 * time.Second
+	n := int(dur/bucket) + 1
+	viol := make([]int, n)
+	tot := make([]int, n)
+	for _, rec := range r.Collector.Records() {
+		i := int(rec.Arrival / bucket)
+		if i >= n {
+			i = n - 1
+		}
+		tot[i]++
+		if rec.Failed || rec.Latency > r.Collector.SLO {
+			viol[i]++
+		}
+	}
+	fmt.Println("  violations per 30s window (violations/total):")
+	for i := range viol {
+		if viol[i] > 0 {
+			fmt.Printf("    t=%4ds  %6d/%-6d\n", i*30, viol[i], tot[i])
+		}
+	}
+	fmt.Println("  hardware timeline:")
+	for i, ev := range r.SwitchHistory {
+		end := dur
+		if i+1 < len(r.SwitchHistory) {
+			end = r.SwitchHistory[i+1].At
+		}
+		fmt.Printf("    %8v  %-12s (%v)\n", ev.At.Round(time.Second), ev.Spec,
+			(end - ev.At).Round(time.Second))
+	}
+	fmt.Println()
+}
+
+func buildTrace(rng *sim.RNG, name string, peak float64, dur time.Duration) *trace.Trace {
+	if path, ok := strings.CutPrefix(name, "file:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err := trace.Load(f, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		return tr
+	}
+	switch name {
+	case "azure":
+		if dur == 0 {
+			dur = trace.AzureDuration
+		}
+		return trace.Azure(rng, peak, dur)
+	case "wikipedia":
+		return trace.Wikipedia(rng, peak, 5, trace.WikipediaCompression)
+	case "twitter":
+		if dur == 0 {
+			dur = trace.TwitterDuration
+		}
+		return trace.Twitter(rng, peak/5, dur)
+	case "poisson":
+		if dur == 0 {
+			dur = 10 * time.Minute
+		}
+		return trace.Poisson(rng, peak, dur)
+	case "stable":
+		if dur == 0 {
+			dur = 10 * time.Minute
+		}
+		return trace.Stable(rng, peak, dur)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown trace %q\n", name)
+		os.Exit(1)
+		return nil
+	}
+}
+
+func pickSchemes(arg string) []core.Scheme {
+	switch strings.ToLower(arg) {
+	case "paldia":
+		return []core.Scheme{core.NewPaldia()}
+	case "oracle":
+		return []core.Scheme{core.NewOracle()}
+	case "infless-cost":
+		return []core.Scheme{core.NewINFlessLlamaCost()}
+	case "infless-perf":
+		return []core.Scheme{core.NewINFlessLlamaPerf()}
+	case "molecule-cost":
+		return []core.Scheme{core.NewMoleculeCost()}
+	case "molecule-perf":
+		return []core.Scheme{core.NewMoleculePerf()}
+	case "all":
+		return append(core.StandardSchemes(), core.NewOracle())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", arg)
+		os.Exit(1)
+		return nil
+	}
+}
+
+func printResult(r core.Result) {
+	fmt.Printf("=== %s — %s ===\n", r.Scheme, r.Model)
+	fmt.Printf("  requests        %d (failed %d)\n", r.Requests, r.FailedRequests)
+	fmt.Printf("  SLO compliance  %.2f%%\n", r.SLOCompliance*100)
+	fmt.Printf("  latency         P50 %v   P99 %v   mean %v\n", r.P50, r.P99, r.MeanLatency)
+	b := r.Collector.TailBreakdown(99, 99.9)
+	fmt.Printf("  P99 breakdown   min %v | batch %v | queue %v | interf %v | cold %v\n",
+		b.MinExec, b.BatchWait, b.QueueDelay, b.Interference, b.ColdStart)
+	fmt.Printf("  cost            $%.4f (cpu $%.4f, gpu $%.4f)\n", r.Cost, r.CPUCost, r.GPUCost)
+	fmt.Printf("  power           %.0f W avg, %.1f Wh\n", r.AvgPowerW, r.EnergyWh)
+	fmt.Printf("  utilization     cpu %.0f%%  gpu %.0f%%\n", r.UtilCPU*100, r.UtilGPU*100)
+	fmt.Printf("  containers      boots %d (sync cold %d), hw switches %d\n",
+		r.Boots, r.SyncColdStarts, r.Switches)
+	names := make([]string, 0, len(r.HeldBySpec))
+	for name := range r.HeldBySpec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("  residency      ")
+	for _, name := range names {
+		fmt.Printf(" %s:%.0fs", name, r.HeldBySpec[name].Seconds())
+	}
+	fmt.Printf("\n\n")
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Paldia: Enabling
+// SLO-Compliant and Cost-Effective Serverless Computing on Heterogeneous
+// Hardware" (IPDPS 2024).
+//
+// The public API lives in the paldia subpackage; the simulated substrate and
+// the scheduling policies live under internal/. The benchmarks in
+// bench_test.go regenerate every figure and table of the paper's evaluation
+// at reduced scale; cmd/paldia-experiments regenerates them at full scale.
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

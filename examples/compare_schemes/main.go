@@ -1,0 +1,50 @@
+// Compare schemes: a platform operator deciding between serving policies
+// runs the paper's five schemes (plus the clairvoyant Oracle bound) on the
+// same workload and trace, and reads off the compliance/cost frontier — the
+// reproduction of the paper's central comparison, on any model you pick.
+//
+//	go run ./examples/compare_schemes            # ResNet 50
+//	go run ./examples/compare_schemes "VGG 19"
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/paldia"
+)
+
+func main() {
+	name := "ResNet 50"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	m, ok := paldia.Model(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", name)
+		os.Exit(1)
+	}
+
+	tr := paldia.AzureTrace(42, m.DefaultPeakRPS(), 25*time.Minute)
+	schemes := append(paldia.StandardSchemes(), paldia.NewOracle())
+
+	fmt.Printf("%-22s %14s %12s %10s %9s\n", "scheme", "SLO compliance", "P99", "cost", "switches")
+	var basePerf, baseCost float64
+	for _, s := range schemes {
+		res := paldia.Run(paldia.Config{Model: m, Trace: tr, Scheme: s})
+		fmt.Printf("%-22s %13.2f%% %12v %10.4f %9d\n",
+			res.Scheme, res.SLOCompliance*100, res.P99.Round(time.Millisecond),
+			res.Cost, res.Switches)
+		switch res.Scheme {
+		case "INFless/Llama (P)":
+			basePerf = res.Cost
+		case "Paldia":
+			baseCost = res.Cost
+		}
+	}
+	if basePerf > 0 && baseCost > 0 {
+		fmt.Printf("\nPaldia costs %.0f%% less than the always-V100 (P) schemes.\n",
+			(1-baseCost/basePerf)*100)
+	}
+}

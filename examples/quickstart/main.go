@@ -1,0 +1,40 @@
+// Quickstart: serve ResNet 50 under the Azure serverless trace with the
+// Paldia scheduler and print the headline metrics — SLO compliance, tail
+// latency, dollar cost, and which hardware the scheduler actually used.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/paldia"
+)
+
+func main() {
+	// A 25-minute bursty trace peaking at ResNet 50's paper rate (450 rps).
+	m := paldia.MustModel("ResNet 50")
+	tr := paldia.AzureTrace(42, m.DefaultPeakRPS(), 25*time.Minute)
+	fmt.Printf("trace: %d requests, mean %.0f rps, peak %.0f rps\n\n",
+		tr.Count(), tr.MeanRPS(), tr.PeakRPS(time.Second))
+
+	res := paldia.Run(paldia.Config{
+		Model:  m,
+		Trace:  tr,
+		Scheme: paldia.NewPaldia(),
+	})
+
+	fmt.Printf("scheme          %s\n", res.Scheme)
+	fmt.Printf("SLO compliance  %.2f%% (SLO %v)\n", res.SLOCompliance*100, paldia.DefaultSLO)
+	fmt.Printf("latency         P50 %v  P99 %v\n", res.P50, res.P99)
+	fmt.Printf("cost            $%.4f (CPU $%.4f + GPU $%.4f)\n", res.Cost, res.CPUCost, res.GPUCost)
+	fmt.Printf("hardware used:\n")
+	names := make([]string, 0, len(res.HeldBySpec))
+	for name := range res.HeldBySpec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-12s %6.0fs\n", name, res.HeldBySpec[name].Seconds())
+	}
+}

@@ -1,0 +1,97 @@
+// Package autoscale implements the paper's three autoscaling policies
+// (Section IV-C):
+//
+//   - Reactive scale-up: one container per batch of requests that will be
+//     spatially shared, n_c = ceil(n_spatial / batch_size), so every
+//     spatial batch can launch in parallel via MPS; time-shared batches
+//     reuse a warm container.
+//
+//   - Predictive scale-up: every ~10 s, a lightweight pluggable model
+//     (EWMA) forecasts the next window's request load and containers are
+//     pre-warmed ahead of need, hiding cold starts that reactive scale-up
+//     alone would expose.
+//
+//   - Delayed termination: implemented by the container pool's keep-alive
+//     window (see internal/container); surplus containers survive ~10
+//     minutes of idleness before termination.
+package autoscale
+
+import (
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/sim"
+)
+
+// DefaultPredictInterval is the paper's ~10 s predictive scale-up cadence.
+const DefaultPredictInterval = 10 * time.Second
+
+// ReactiveContainers returns n_c = ceil(nSpatial / batchSize), the
+// container count required so every spatially shared batch gets its own
+// container. It is at least 1 whenever there is any work (the time-sharing
+// lane always needs one warm container).
+func ReactiveContainers(nSpatial, batchSize int) int {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	n := (nSpatial + batchSize - 1) / batchSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PredictiveContainers converts a predicted request rate into a container
+// requirement: the containers needed to spatially serve one dispatch
+// window's worth of predicted requests.
+func PredictiveContainers(predictedRPS float64, window time.Duration, batchSize int) int {
+	reqs := int(predictedRPS * window.Seconds())
+	return ReactiveContainers(reqs, batchSize)
+}
+
+// Controller drives predictive scale-up for one pool.
+type Controller struct {
+	eng *sim.Engine
+	// Pool is the container pool to pre-warm.
+	Pool *container.Pool
+	// PredictRPS forecasts the request rate at the given instant.
+	PredictRPS func(now time.Duration) float64
+	// BatchSize supplies the current batch size (it changes with hardware).
+	BatchSize func() int
+	// Window is the dispatch window predictions are converted against.
+	Window time.Duration
+	// Interval is the prediction cadence (default ~10 s).
+	Interval time.Duration
+
+	stopped bool
+}
+
+// NewController wires a predictive scale-up loop; call Start to begin
+// ticking.
+func NewController(eng *sim.Engine, pool *container.Pool, predict func(time.Duration) float64,
+	batchSize func() int, window time.Duration) *Controller {
+	return &Controller{
+		eng: eng, Pool: pool, PredictRPS: predict, BatchSize: batchSize,
+		Window: window, Interval: DefaultPredictInterval,
+	}
+}
+
+// Start begins periodic predictive scale-up.
+func (c *Controller) Start() {
+	c.stopped = false
+	c.tick()
+}
+
+// Stop halts the loop after the current tick.
+func (c *Controller) Stop() { c.stopped = true }
+
+func (c *Controller) tick() {
+	if c.stopped {
+		return
+	}
+	need := PredictiveContainers(c.PredictRPS(c.eng.Now()), c.Window, c.BatchSize())
+	if need > c.Pool.Total() {
+		c.Pool.Ensure(need)
+	}
+	c.eng.Schedule(c.Interval, func() { c.tick() })
+}

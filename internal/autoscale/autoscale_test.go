@@ -1,0 +1,89 @@
+package autoscale
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/sim"
+)
+
+func TestReactiveContainers(t *testing.T) {
+	cases := []struct{ n, bs, want int }{
+		{0, 64, 1}, // time sharing still needs one container
+		{1, 64, 1},
+		{64, 64, 1},
+		{65, 64, 2},
+		{128, 64, 2},
+		{300, 64, 5},
+		{10, 0, 10}, // degenerate batch size treated as 1
+	}
+	for _, c := range cases {
+		if got := ReactiveContainers(c.n, c.bs); got != c.want {
+			t.Errorf("ReactiveContainers(%d, %d) = %d, want %d", c.n, c.bs, got, c.want)
+		}
+	}
+}
+
+// Property: reactive containers suffice — n_c * batchSize >= nSpatial.
+func TestReactiveCoversLoadProperty(t *testing.T) {
+	f := func(nRaw, bsRaw uint16) bool {
+		n, bs := int(nRaw%5000), int(bsRaw%128)+1
+		nc := ReactiveContainers(n, bs)
+		return nc*bs >= n && nc >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictiveContainers(t *testing.T) {
+	// 400 rps over a 100ms window = 40 requests, batch 16 -> 3 containers.
+	if got := PredictiveContainers(400, 100*time.Millisecond, 16); got != 3 {
+		t.Fatalf("got %d, want 3", got)
+	}
+	if got := PredictiveContainers(0, time.Second, 16); got != 1 {
+		t.Fatalf("zero rate got %d, want 1 (always keep one)", got)
+	}
+}
+
+func TestControllerPrewarmsAheadOfLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := container.NewPool(eng, container.GPUColdStart, container.DefaultKeepAlive)
+	rate := 0.0
+	ctl := NewController(eng, pool,
+		func(time.Duration) float64 { return rate },
+		func() int { return 64 },
+		100*time.Millisecond)
+	ctl.Start()
+	eng.Run(25 * time.Second)
+	base := pool.Total()
+	if base != 1 {
+		t.Fatalf("baseline pool = %d, want 1", base)
+	}
+	// Predicted surge: 3200 rps * 0.1s / 64 = 5 containers.
+	rate = 3200
+	eng.Run(40 * time.Second)
+	if pool.Total() != 5 {
+		t.Fatalf("pool after predicted surge = %d, want 5", pool.Total())
+	}
+	if pool.SyncColdStarts() != 0 {
+		t.Fatal("predictive scale-up charged synchronous cold starts")
+	}
+	ctl.Stop()
+	fired := eng.Fired()
+	eng.Run(41 * time.Second)
+	eng.RunAll() // must terminate: controller stopped, no self-rescheduling
+	_ = fired
+}
+
+func TestControllerStop(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := container.NewPool(eng, container.CPUColdStart, 0)
+	ctl := NewController(eng, pool, func(time.Duration) float64 { return 0 },
+		func() int { return 8 }, time.Second)
+	ctl.Start()
+	ctl.Stop()
+	eng.RunAll() // would never return if ticking continued forever
+}

@@ -1,0 +1,94 @@
+// Package batch implements request batching (Section IV-B): requests are
+// accumulated per model and dispatched as batches for throughput, with
+// flexible (non-uniform) batch sizes so the hybrid time/spatial scheduler
+// can queue or co-locate exactly the number of requests it wants — something
+// uniform batching would hinder.
+package batch
+
+import "time"
+
+// Request is one inference request flowing through the framework.
+type Request struct {
+	// ID is unique within a run.
+	ID uint64
+	// Arrival is the request's arrival instant at the gateway.
+	Arrival time.Duration
+}
+
+// Batcher accumulates pending requests for one model.
+type Batcher struct {
+	pending []Request
+	nextID  uint64
+	total   uint64
+}
+
+// Add enqueues a request arriving at the given instant and returns it.
+func (b *Batcher) Add(arrival time.Duration) Request {
+	r := Request{ID: b.nextID, Arrival: arrival}
+	b.nextID++
+	b.total++
+	b.pending = append(b.pending, r)
+	return r
+}
+
+// Pending returns the number of requests waiting for dispatch.
+func (b *Batcher) Pending() int { return len(b.pending) }
+
+// Total returns the number of requests ever enqueued.
+func (b *Batcher) Total() uint64 { return b.total }
+
+// OldestArrival returns the arrival time of the oldest pending request; the
+// boolean is false when nothing is pending.
+func (b *Batcher) OldestArrival() (time.Duration, bool) {
+	if len(b.pending) == 0 {
+		return 0, false
+	}
+	return b.pending[0].Arrival, true
+}
+
+// TakeAll removes and returns every pending request in arrival order.
+func (b *Batcher) TakeAll() []Request {
+	out := b.pending
+	b.pending = nil
+	return out
+}
+
+// TakeUpTo removes and returns up to n of the oldest pending requests.
+func (b *Batcher) TakeUpTo(n int) []Request {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(b.pending) {
+		n = len(b.pending)
+	}
+	out := make([]Request, n)
+	copy(out, b.pending[:n])
+	rest := b.pending[n:]
+	b.pending = append(b.pending[:0], rest...)
+	return out
+}
+
+// Split partitions requests into batches of at most batchSize, sized as
+// evenly as possible (flexible batch sizes). It returns nil for no requests.
+func Split(reqs []Request, batchSize int) [][]Request {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	k := (len(reqs) + batchSize - 1) / batchSize
+	base := len(reqs) / k
+	rem := len(reqs) % k
+	out := make([][]Request, 0, k)
+	i := 0
+	for j := 0; j < k; j++ {
+		size := base
+		if j < rem {
+			size++
+		}
+		out = append(out, reqs[i:i+size])
+		i += size
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package batch
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAddTakeAll(t *testing.T) {
+	var b Batcher
+	for i := 0; i < 5; i++ {
+		b.Add(time.Duration(i) * time.Millisecond)
+	}
+	if b.Pending() != 5 || b.Total() != 5 {
+		t.Fatalf("pending=%d total=%d", b.Pending(), b.Total())
+	}
+	reqs := b.TakeAll()
+	if len(reqs) != 5 || b.Pending() != 0 {
+		t.Fatal("TakeAll did not drain")
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			t.Fatal("not in arrival order")
+		}
+		if reqs[i].ID == reqs[i-1].ID {
+			t.Fatal("duplicate IDs")
+		}
+	}
+}
+
+func TestOldestArrival(t *testing.T) {
+	var b Batcher
+	if _, ok := b.OldestArrival(); ok {
+		t.Fatal("empty batcher reported an oldest arrival")
+	}
+	b.Add(7 * time.Millisecond)
+	b.Add(9 * time.Millisecond)
+	got, ok := b.OldestArrival()
+	if !ok || got != 7*time.Millisecond {
+		t.Fatalf("oldest = %v/%v", got, ok)
+	}
+}
+
+func TestTakeUpTo(t *testing.T) {
+	var b Batcher
+	for i := 0; i < 10; i++ {
+		b.Add(time.Duration(i) * time.Millisecond)
+	}
+	first := b.TakeUpTo(3)
+	if len(first) != 3 || first[0].Arrival != 0 {
+		t.Fatalf("TakeUpTo(3) = %v", first)
+	}
+	if b.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", b.Pending())
+	}
+	rest := b.TakeUpTo(100)
+	if len(rest) != 7 || rest[0].Arrival != 3*time.Millisecond {
+		t.Fatal("remaining requests wrong")
+	}
+	if got := b.TakeUpTo(0); got != nil {
+		t.Fatal("TakeUpTo(0) should be nil")
+	}
+}
+
+func TestSplitEven(t *testing.T) {
+	var b Batcher
+	for i := 0; i < 100; i++ {
+		b.Add(0)
+	}
+	batches := Split(b.TakeAll(), 64)
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2", len(batches))
+	}
+	if len(batches[0]) != 50 || len(batches[1]) != 50 {
+		t.Fatalf("batch sizes %d/%d, want 50/50 (flexible even split)",
+			len(batches[0]), len(batches[1]))
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	if Split(nil, 64) != nil {
+		t.Fatal("Split(nil) should be nil")
+	}
+	var b Batcher
+	b.Add(0)
+	one := Split(b.TakeAll(), 0) // degenerate batch size
+	if len(one) != 1 || len(one[0]) != 1 {
+		t.Fatal("degenerate batch size mishandled")
+	}
+}
+
+// Property: Split conserves requests, respects the size cap, and sizes
+// differ by at most one.
+func TestSplitProperty(t *testing.T) {
+	f := func(nRaw, bsRaw uint16) bool {
+		n, bs := int(nRaw%3000), int(bsRaw%128)+1
+		var b Batcher
+		for i := 0; i < n; i++ {
+			b.Add(time.Duration(i))
+		}
+		batches := Split(b.TakeAll(), bs)
+		total, minSz, maxSz := 0, 1<<30, 0
+		for _, batch := range batches {
+			total += len(batch)
+			if len(batch) > bs || len(batch) == 0 {
+				return false
+			}
+			if len(batch) < minSz {
+				minSz = len(batch)
+			}
+			if len(batch) > maxSz {
+				maxSz = len(batch)
+			}
+		}
+		if total != n {
+			return false
+		}
+		return n == 0 || maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

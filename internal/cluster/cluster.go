@@ -1,0 +1,204 @@
+// Package cluster manages the simulated worker-node fleet: procuring VMs
+// (with launch latency, in the background, as Algorithm 1's reconfigure_HW
+// does), releasing them, injecting node failures, and keeping the books the
+// paper's evaluation needs — per-node-type dollar cost weighted by time held,
+// energy under a linear idle-to-peak power model, and device utilization.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+)
+
+// Node is one acquired worker VM.
+type Node struct {
+	// ID is unique within the cluster, in acquisition order.
+	ID int
+	// Spec is the node type.
+	Spec hardware.Spec
+	// Device is the node's simulated compute device.
+	Device *device.Device
+
+	acquiredAt time.Duration
+	releasedAt time.Duration
+	released   bool
+}
+
+// HeldFor returns how long the node has been (or was) held.
+func (n *Node) HeldFor(now time.Duration) time.Duration {
+	end := now
+	if n.released {
+		end = n.releasedAt
+	}
+	return end - n.acquiredAt
+}
+
+// Released reports whether the node has been relinquished.
+func (n *Node) Released() bool { return n.released }
+
+// Cluster tracks every node ever acquired in one simulation run.
+type Cluster struct {
+	eng    *sim.Engine
+	nodes  []*Node
+	nextID int
+}
+
+// New returns an empty cluster bound to the engine.
+func New(eng *sim.Engine) *Cluster {
+	return &Cluster{eng: eng}
+}
+
+// Acquire procures a node immediately (no VM launch delay) — for nodes held
+// from t=0 and for tests. maxResident caps spatial co-location on the
+// device (0 = unlimited).
+func (c *Cluster) Acquire(spec hardware.Spec, maxResident int) *Node {
+	n := &Node{
+		ID:         c.nextID,
+		Spec:       spec,
+		Device:     device.New(c.eng, spec, maxResident),
+		acquiredAt: c.eng.Now(),
+	}
+	c.nextID++
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// AcquireAsync launches a VM of the given type; ready is invoked with the
+// node once the spec's ProcureDelay elapses. Billing starts at launch (the
+// provider pays for the VM from the moment it is requested). This is the
+// background acquisition path of Algorithm 1: the caller keeps serving on
+// its current node until ready fires.
+func (c *Cluster) AcquireAsync(spec hardware.Spec, maxResident int, ready func(*Node)) {
+	n := &Node{
+		ID:         c.nextID,
+		Spec:       spec,
+		acquiredAt: c.eng.Now(),
+	}
+	c.nextID++
+	c.nodes = append(c.nodes, n)
+	c.eng.Schedule(spec.ProcureDelay, func() {
+		n.Device = device.New(c.eng, spec, maxResident)
+		ready(n)
+	})
+}
+
+// Release relinquishes a node; it stops accruing cost. Releasing twice is a
+// no-op.
+func (c *Cluster) Release(n *Node) {
+	if n.released {
+		return
+	}
+	n.released = true
+	n.releasedAt = c.eng.Now()
+}
+
+// Fail makes the node unavailable (failing all in-flight work) for the given
+// duration, then recovers it — the paper's induced node-failure scenario.
+func (c *Cluster) Fail(n *Node, dur time.Duration) {
+	if n.Device == nil {
+		return
+	}
+	n.Device.Fail()
+	c.eng.Schedule(dur, func() { n.Device.Recover() })
+}
+
+// Nodes returns every node ever acquired, in acquisition order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// ActiveNodes returns the currently held nodes.
+func (c *Cluster) ActiveNodes() []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if !n.released {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalCost returns the dollars spent on all nodes up to now: the paper's
+// "total weighted cost ... according to the time spent using each type of
+// compute node".
+func (c *Cluster) TotalCost() float64 {
+	now := c.eng.Now()
+	total := 0.0
+	for _, n := range c.nodes {
+		total += n.Spec.CostPerSecond() * n.HeldFor(now).Seconds()
+	}
+	return total
+}
+
+// CostByKind splits TotalCost between CPU and GPU nodes.
+func (c *Cluster) CostByKind() (cpu, gpu float64) {
+	now := c.eng.Now()
+	for _, n := range c.nodes {
+		cost := n.Spec.CostPerSecond() * n.HeldFor(now).Seconds()
+		if n.Spec.IsGPU() {
+			gpu += cost
+		} else {
+			cpu += cost
+		}
+	}
+	return cpu, gpu
+}
+
+// EnergyWh returns the total energy consumed in watt-hours: each node draws
+// idle power while held plus (peak-idle) scaled by device busy time. Nodes
+// still in VM launch (no device yet) draw idle power.
+func (c *Cluster) EnergyWh() float64 {
+	now := c.eng.Now()
+	joulesPerWh := 3600.0
+	total := 0.0
+	for _, n := range c.nodes {
+		held := n.HeldFor(now).Seconds()
+		total += n.Spec.IdlePowerW * held / joulesPerWh
+		if n.Device != nil {
+			busy := n.Device.BusyTime().Seconds()
+			total += (n.Spec.PeakPowerW - n.Spec.IdlePowerW) * busy / joulesPerWh
+		}
+	}
+	return total
+}
+
+// AvgPowerW returns mean power draw over the run so far (total energy over
+// wall time) — the paper's Fig. 7b metric before normalization.
+func (c *Cluster) AvgPowerW() float64 {
+	now := c.eng.Now().Seconds()
+	if now <= 0 {
+		return 0
+	}
+	return c.EnergyWh() * 3600 / now
+}
+
+// HeldBySpec returns, per node-type name, the total time nodes of that type
+// were held — the residency breakdown behind the weighted cost.
+func (c *Cluster) HeldBySpec() map[string]time.Duration {
+	now := c.eng.Now()
+	out := make(map[string]time.Duration)
+	for _, n := range c.nodes {
+		out[n.Spec.Name] += n.HeldFor(now)
+	}
+	return out
+}
+
+// Utilization returns the busy-time fraction of held time, aggregated over
+// all nodes of the given kind that ever got a device. It returns 0 when no
+// such node exists (the paper marks these comparisons "not applicable").
+func (c *Cluster) Utilization(kind hardware.Kind) float64 {
+	now := c.eng.Now()
+	var busy, held time.Duration
+	for _, n := range c.nodes {
+		if n.Spec.Kind != kind || n.Device == nil {
+			continue
+		}
+		busy += n.Device.BusyTime()
+		held += n.HeldFor(now)
+	}
+	if held <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(held)
+}

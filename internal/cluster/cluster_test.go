@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/hardware"
+	"repro/internal/sim"
+)
+
+func specOf(t *testing.T, name string) hardware.Spec {
+	t.Helper()
+	hw, ok := hardware.ByName(name)
+	if !ok {
+		t.Fatalf("hardware %q missing", name)
+	}
+	return hw
+}
+
+func TestAcquireReleaseCost(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	v100 := specOf(t, "V100") // $3.06/h
+	n := c.Acquire(v100, 0)
+	eng.Schedule(time.Hour, func() { c.Release(n) })
+	eng.Run(2 * time.Hour)
+	got := c.TotalCost()
+	if math.Abs(got-3.06) > 1e-6 {
+		t.Fatalf("cost = $%.4f, want $3.06 (held 1h of 2h)", got)
+	}
+	if !n.Released() {
+		t.Fatal("node not marked released")
+	}
+	// Double release is a no-op.
+	c.Release(n)
+	if math.Abs(c.TotalCost()-3.06) > 1e-6 {
+		t.Fatal("double release changed cost")
+	}
+}
+
+func TestCostAccruesWhileHeld(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	c.Acquire(specOf(t, "m4.xlarge"), 0) // $0.2/h, never released
+	eng.Run(30 * time.Minute)
+	if got := c.TotalCost(); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("cost = $%.4f, want $0.10", got)
+	}
+}
+
+func TestAcquireAsyncDelaysReadiness(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	m60 := specOf(t, "M60")
+	var readyAt time.Duration = -1
+	var node *Node
+	c.AcquireAsync(m60, 0, func(n *Node) {
+		readyAt = eng.Now()
+		node = n
+	})
+	eng.RunAll()
+	if readyAt != m60.ProcureDelay {
+		t.Fatalf("ready at %v, want %v", readyAt, m60.ProcureDelay)
+	}
+	if node.Device == nil {
+		t.Fatal("ready node has no device")
+	}
+	// Billing starts at launch, not readiness.
+	eng2 := sim.NewEngine()
+	c2 := New(eng2)
+	c2.AcquireAsync(m60, 0, func(n *Node) { c2.Release(n) })
+	eng2.RunAll()
+	wantCost := m60.CostPerSecond() * m60.ProcureDelay.Seconds()
+	if got := c2.TotalCost(); math.Abs(got-wantCost) > 1e-9 {
+		t.Fatalf("launch-period cost = %v, want %v", got, wantCost)
+	}
+}
+
+func TestCostByKind(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	c.Acquire(specOf(t, "m4.xlarge"), 0)
+	c.Acquire(specOf(t, "V100"), 0)
+	eng.Run(time.Hour)
+	cpu, gpu := c.CostByKind()
+	if math.Abs(cpu-0.2) > 1e-9 || math.Abs(gpu-3.06) > 1e-9 {
+		t.Fatalf("cost by kind = (%.2f, %.2f), want (0.20, 3.06)", cpu, gpu)
+	}
+}
+
+func TestEnergyAndPower(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	m60 := specOf(t, "M60")
+	n := c.Acquire(m60, 0)
+	// Busy for 30 of 60 minutes.
+	n.Device.Submit(&device.Job{Batch: 1, Solo: 30 * time.Minute, FBR: 0.5,
+		Mode: device.Spatial, Done: func(*device.Job) {}})
+	eng.Run(time.Hour)
+	wantWh := m60.IdlePowerW + (m60.PeakPowerW-m60.IdlePowerW)*0.5
+	if got := c.EnergyWh(); math.Abs(got-wantWh) > 0.5 {
+		t.Fatalf("energy = %.1f Wh, want %.1f", got, wantWh)
+	}
+	if got := c.AvgPowerW(); math.Abs(got-wantWh) > 0.5 { // 1 hour: Wh == W
+		t.Fatalf("avg power = %.1f W, want %.1f", got, wantWh)
+	}
+}
+
+func TestUtilizationByKind(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	g := c.Acquire(specOf(t, "M60"), 0)
+	c.Acquire(specOf(t, "m4.xlarge"), 0) // idle CPU node
+	g.Device.Submit(&device.Job{Batch: 1, Solo: 15 * time.Minute, FBR: 0.5,
+		Mode: device.Spatial, Done: func(*device.Job) {}})
+	eng.Run(time.Hour)
+	if got := c.Utilization(hardware.GPU); math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("GPU utilization = %.3f, want 0.25", got)
+	}
+	if got := c.Utilization(hardware.CPU); got != 0 {
+		t.Fatalf("idle CPU utilization = %.3f, want 0", got)
+	}
+}
+
+func TestUtilizationNoNodes(t *testing.T) {
+	c := New(sim.NewEngine())
+	if c.Utilization(hardware.GPU) != 0 {
+		t.Fatal("utilization without nodes should be 0")
+	}
+}
+
+func TestFailRecoversAfterDuration(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	n := c.Acquire(specOf(t, "M60"), 0)
+	var failedJob, okJob *device.Job
+	n.Device.Submit(&device.Job{Batch: 1, Solo: time.Second, FBR: 0.5,
+		Mode: device.Spatial, Done: func(j *device.Job) { failedJob = j }})
+	eng.Schedule(100*time.Millisecond, func() { c.Fail(n, time.Minute) })
+	eng.Schedule(2*time.Minute, func() {
+		n.Device.Submit(&device.Job{Batch: 1, Solo: time.Second, FBR: 0.5,
+			Mode: device.Spatial, Done: func(j *device.Job) { okJob = j }})
+	})
+	eng.RunAll()
+	if failedJob == nil || !failedJob.Failed {
+		t.Fatal("in-flight job did not fail")
+	}
+	if okJob == nil || okJob.Failed {
+		t.Fatal("device did not recover after the failure window")
+	}
+}
+
+func TestActiveNodes(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	a := c.Acquire(specOf(t, "M60"), 0)
+	b := c.Acquire(specOf(t, "K80"), 0)
+	c.Release(a)
+	active := c.ActiveNodes()
+	if len(active) != 1 || active[0] != b {
+		t.Fatalf("active nodes = %v", active)
+	}
+	if len(c.Nodes()) != 2 {
+		t.Fatal("Nodes() must keep history")
+	}
+}
+
+func TestNodeIDsUnique(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		n := c.Acquire(specOf(t, "M60"), 0)
+		if seen[n.ID] {
+			t.Fatal("duplicate node ID")
+		}
+		seen[n.ID] = true
+	}
+	c.AcquireAsync(specOf(t, "K80"), 0, func(n *Node) {
+		if seen[n.ID] {
+			t.Fatal("async node reused an ID")
+		}
+	})
+	eng.RunAll()
+}

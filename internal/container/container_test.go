@@ -1,0 +1,247 @@
+package container
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestAcquireColdThenWarm(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, GPUColdStart, DefaultKeepAlive)
+	if d := p.Acquire(); d != GPUColdStart {
+		t.Fatalf("first acquire delay = %v, want cold start %v", d, GPUColdStart)
+	}
+	p.Release()
+	if d := p.Acquire(); d != 0 {
+		t.Fatalf("warm acquire delay = %v, want 0", d)
+	}
+	if p.SyncColdStarts() != 1 || p.Reuses() != 1 || p.Boots() != 1 {
+		t.Fatalf("counters: colds=%d reuses=%d boots=%d", p.SyncColdStarts(), p.Reuses(), p.Boots())
+	}
+}
+
+func TestEnsurePrewarmsInBackground(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, GPUColdStart, DefaultKeepAlive)
+	p.Ensure(3)
+	if p.Total() != 3 {
+		t.Fatalf("total after Ensure = %d, want 3", p.Total())
+	}
+	if p.Idle() != 0 {
+		t.Fatalf("idle before boot completes = %d, want 0", p.Idle())
+	}
+	eng.Run(GPUColdStart)
+	if p.Idle() != 3 {
+		t.Fatalf("idle after boot = %d, want 3", p.Idle())
+	}
+	if p.SyncColdStarts() != 0 {
+		t.Fatal("pre-warm charged a synchronous cold start")
+	}
+	if p.Boots() != 3 {
+		t.Fatalf("boots = %d, want 3", p.Boots())
+	}
+	// Ensure is idempotent at or below current total.
+	p.Ensure(2)
+	if p.Total() != 3 {
+		t.Fatal("Ensure shrank the pool")
+	}
+}
+
+func TestKeepAliveReapsIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, CPUColdStart, time.Minute)
+	p.Ensure(2)
+	eng.Run(CPUColdStart)
+	if p.Idle() != 2 {
+		t.Fatal("setup failed")
+	}
+	eng.Run(CPUColdStart + 30*time.Second)
+	if p.Idle() != 2 {
+		t.Fatal("reaped before keep-alive expired")
+	}
+	eng.Run(CPUColdStart + 2*time.Minute)
+	if p.Idle() != 0 {
+		t.Fatalf("idle = %d after keep-alive, want 0", p.Idle())
+	}
+	if p.Terminated() != 2 {
+		t.Fatalf("terminated = %d, want 2", p.Terminated())
+	}
+}
+
+func TestReuseResetsIdleClock(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, CPUColdStart, time.Minute)
+	p.Acquire()
+	p.Release()
+	// Keep using the container every 30s; it must survive well past its
+	// original keep-alive horizon.
+	for i := 0; i < 5; i++ {
+		eng.Run(eng.Now() + 30*time.Second)
+		if d := p.Acquire(); d != 0 {
+			t.Fatalf("round %d: warm container was reaped while active", i)
+		}
+		p.Release()
+	}
+	if p.Terminated() != 0 {
+		t.Fatal("active container terminated")
+	}
+}
+
+func TestZeroKeepAliveTerminatesImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, CPUColdStart, 0)
+	p.Acquire()
+	p.Release()
+	if p.Idle() != 0 {
+		t.Fatal("keepAlive=0 left an idle container")
+	}
+	if d := p.Acquire(); d != CPUColdStart {
+		t.Fatalf("second acquire delay = %v, want a fresh cold start", d)
+	}
+	if p.Boots() != 2 {
+		t.Fatalf("boots = %d, want 2 — every use is a cold start", p.Boots())
+	}
+}
+
+func TestKeepAliveCutsColdStarts(t *testing.T) {
+	// The mechanism behind the paper's 98%-fewer-cold-starts claim: bursty
+	// traffic with gaps shorter than the keep-alive window reuses
+	// containers, while keepAlive=0 boots one per burst.
+	run := func(keepAlive time.Duration) uint64 {
+		eng := sim.NewEngine()
+		p := NewPool(eng, CPUColdStart, keepAlive)
+		for burst := 0; burst < 50; burst++ {
+			eng.Schedule(time.Duration(burst)*30*time.Second, func() {
+				d := p.Acquire()
+				eng.Schedule(d+100*time.Millisecond, func() { p.Release() })
+			})
+		}
+		eng.RunAll()
+		return p.Boots()
+	}
+	with := run(DefaultKeepAlive)
+	without := run(0)
+	if with != 1 {
+		t.Fatalf("boots with keep-alive = %d, want 1", with)
+	}
+	if without != 50 {
+		t.Fatalf("boots without keep-alive = %d, want 50", without)
+	}
+	reduction := 1 - float64(with)/float64(without)
+	if reduction < 0.9 {
+		t.Fatalf("cold-start reduction = %.0f%%, want ~98%%", reduction*100)
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPool(sim.NewEngine(), CPUColdStart, 0).Release()
+}
+
+func TestBusyAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, CPUColdStart, DefaultKeepAlive)
+	p.Acquire()
+	p.Acquire()
+	if p.Busy() != 2 {
+		t.Fatalf("busy = %d, want 2", p.Busy())
+	}
+	p.Release()
+	if p.Busy() != 1 || p.Idle() != 1 {
+		t.Fatalf("busy=%d idle=%d, want 1/1", p.Busy(), p.Idle())
+	}
+}
+
+func TestAcquireOrWaitImmediateWhenIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, GPUColdStart, DefaultKeepAlive)
+	p.AddWarm(1)
+	fired := false
+	p.AcquireOrWait(func() { fired = true })
+	if !fired {
+		t.Fatal("warm container should serve the claim synchronously")
+	}
+	if p.Busy() != 1 || p.Idle() != 0 {
+		t.Fatalf("busy=%d idle=%d", p.Busy(), p.Idle())
+	}
+}
+
+func TestAcquireOrWaitWaitsForBusyContainer(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, GPUColdStart, DefaultKeepAlive)
+	p.AddWarm(1)
+	p.AcquireOrWait(func() {}) // takes the only container
+	var servedAt time.Duration = -1
+	p.AcquireOrWait(func() { servedAt = eng.Now() })
+	if servedAt != -1 {
+		t.Fatal("claim served while the only container is busy")
+	}
+	if p.Waiting() != 1 {
+		t.Fatalf("waiting = %d, want 1", p.Waiting())
+	}
+	eng.Schedule(70*time.Millisecond, func() { p.Release() })
+	eng.RunAll()
+	if servedAt != 70*time.Millisecond {
+		t.Fatalf("claim served at %v, want on release at 70ms", servedAt)
+	}
+	if p.SyncColdStarts() != 0 {
+		t.Fatal("waiting for a busy container must not count as a cold start")
+	}
+}
+
+func TestAcquireOrWaitBootsWhenPoolMustGrow(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, GPUColdStart, DefaultKeepAlive)
+	p.AddWarm(1)
+	p.AcquireOrWait(func() {}) // busy
+	p.AcquireOrWait(func() {}) // waits on the busy one
+	var bootServed time.Duration = -1
+	p.AcquireOrWait(func() { bootServed = eng.Now() }) // nothing to wait on: boot
+	if p.SyncColdStarts() != 1 {
+		t.Fatalf("sync colds = %d, want 1", p.SyncColdStarts())
+	}
+	eng.RunAll()
+	if bootServed != GPUColdStart {
+		t.Fatalf("dedicated boot served at %v, want %v", bootServed, GPUColdStart)
+	}
+}
+
+func TestAcquireOrWaitFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, GPUColdStart, DefaultKeepAlive)
+	p.AddWarm(2)
+	p.AcquireOrWait(func() {})
+	p.AcquireOrWait(func() {})
+	var order []int
+	p.AcquireOrWait(func() { order = append(order, 1) })
+	p.AcquireOrWait(func() { order = append(order, 2) })
+	p.Release()
+	p.Release()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("waiters served out of order: %v", order)
+	}
+}
+
+func TestPrewarmServesWaiters(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPool(eng, GPUColdStart, DefaultKeepAlive)
+	p.Ensure(1) // starting
+	served := false
+	p.AcquireOrWait(func() { served = true }) // waits on the starting one
+	if served {
+		t.Fatal("served before boot completed")
+	}
+	eng.RunAll()
+	if !served {
+		t.Fatal("pre-warm completion did not serve the waiter")
+	}
+	if p.SyncColdStarts() != 0 {
+		t.Fatal("waiter on a pre-warm is not a sync cold start")
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BenchmarkSimulatedRequestsPerSecond measures raw simulator throughput:
+// simulated requests processed per wall-clock second for a full Paldia run.
+func BenchmarkSimulatedRequestsPerSecond(b *testing.B) {
+	m := model.MustByName("ResNet 50")
+	tr := trace.Azure(sim.NewRNG(1), 450, 5*time.Minute)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res := Run(Config{Model: m, Trace: tr, Scheme: NewPaldia()})
+		total += res.Requests
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-req/s")
+}
+
+// BenchmarkBestYProbe measures the y-probing hot path the monitor loop runs
+// for every GPU candidate (the paper reports <3ms for its probe).
+func BenchmarkBestYProbe(b *testing.B) {
+	st := mkState("ResNet 50", "M60", 400, 400)
+	p := NewPaldia().Policy
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.SplitY(st, 400)
+	}
+}

@@ -1,0 +1,232 @@
+// The dispatcher half of the serving runtime (Fig. 2's Dispatcher plus the
+// Job Distribution logic): every dispatch window, pending requests are split
+// between MPS co-location and the time-share lane per the scheme's policy
+// and submitted to the serving node(s).
+
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/batch"
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+)
+
+// --- dispatch ----------------------------------------------------------------
+
+func (r *runner) dispatchTick() {
+	now := r.eng.Now()
+	if now < r.end || r.bat.Pending() > 0 {
+		r.eng.Schedule(r.cfg.DispatchWindow, r.dispatchTick)
+	}
+	r.dispatch()
+}
+
+func (r *runner) dispatch() {
+	if r.bat.Pending() == 0 {
+		return
+	}
+	if r.cur == nil || r.cur.node.Device == nil || r.cur.node.Device.Failed() {
+		// No healthy node: requests wait in the batcher; make sure a
+		// replacement is on the way.
+		r.ensureFailover()
+		return
+	}
+	nodes := r.healthyNodes()
+	if len(nodes) == 1 {
+		r.dispatchOn(nodes[0], r.bat.Pending())
+		return
+	}
+	// Scale-out: spread this window's pending requests evenly across the
+	// replicas; each node runs its own Eq. (1) split against its own state.
+	n := r.bat.Pending()
+	share := (n + len(nodes) - 1) / len(nodes)
+	for _, node := range nodes {
+		if r.bat.Pending() == 0 {
+			break
+		}
+		take := share
+		if p := r.bat.Pending(); take > p {
+			take = p
+		}
+		r.dispatchOn(node, take)
+	}
+}
+
+// healthyNodes returns the primary plus any healthy replicas.
+func (r *runner) healthyNodes() []*servingNode {
+	nodes := []*servingNode{r.cur}
+	for _, rep := range r.replicas {
+		if rep.node.Device != nil && !rep.node.Device.Failed() {
+			nodes = append(nodes, rep)
+		}
+	}
+	return nodes
+}
+
+// dispatchOn serves up to limit pending requests on one node.
+func (r *runner) dispatchOn(node *servingNode, limit int) {
+	n := limit
+	if n <= 0 {
+		return
+	}
+	st := r.stateOf(node)
+	st.Pending = n
+	bs := node.entry.PreferredBatch
+
+	y := r.cfg.Scheme.Policy.SplitY(st, n)
+	if y < 0 {
+		y = 0
+	}
+	if y > n {
+		y = n
+	}
+	spatialN := n - y
+	if !node.node.Spec.IsGPU() {
+		// Batched CPU mode: everything executes serially.
+		spatialN = 0
+		y = n
+	}
+	// Device memory bounds resident jobs: spatial batches beyond the free
+	// slots wait in the batcher (reroutable) rather than piling onto the
+	// node. This is a physical limit that applies to every scheme; within
+	// it, MPS-only schemes still consolidate enough batches to interfere
+	// heavily.
+	if node.node.Spec.IsGPU() {
+		free := node.entry.MaxResidentJobs - node.node.Device.ActiveCount() - laneCap
+		if free < 0 {
+			free = 0
+		}
+		if max := free * bs; spatialN > max {
+			spatialN = max
+		}
+	}
+	// Admit only laneCap time-share jobs onto the device; the remainder of
+	// the queued portion waits in the batcher (rerouted on a hardware
+	// switch, re-split next window).
+	slots := laneCap - node.queuedOutstanding
+	if slots < 0 {
+		slots = 0
+	}
+	if max := slots * bs; y > max {
+		y = max
+	}
+	if r.cfg.UniformBatching {
+		// Only full batches leave the batcher, unless the oldest pending
+		// request is running out of SLO budget.
+		total := spatialN + y
+		full := total / bs * bs
+		if full < total {
+			oldest, ok := r.bat.OldestArrival()
+			if !ok || r.eng.Now()-oldest < r.cfg.SLO/4 {
+				// Trim the queued portion first, then the spatial one.
+				drop := total - full
+				if d := min(drop, y); d > 0 {
+					y -= d
+					drop -= d
+				}
+				spatialN -= drop
+			}
+		}
+		if spatialN+y == 0 {
+			return
+		}
+	}
+	reqs := r.bat.TakeUpTo(spatialN + y)
+	spatial := reqs[:spatialN]
+	queued := reqs[spatialN:]
+
+	// Reactive scale-up: one container per spatial batch (§IV-C), on top of
+	// containers already serving in-flight batches.
+	node.pool.Ensure(node.pool.Busy() + autoscale.ReactiveContainers(len(spatial), bs))
+
+	for _, b := range batch.Split(spatial, bs) {
+		r.dispatchJob(node, b, device.Spatial)
+	}
+	for _, b := range batch.Split(queued, bs) {
+		r.dispatchJob(node, b, device.Queued)
+	}
+}
+
+func (r *runner) dispatchJob(node *servingNode, reqs []batch.Request, mode device.Mode) {
+	now := r.eng.Now()
+	solo := profile.Solo(r.cfg.Model, node.node.Spec, len(reqs))
+
+	job := &device.Job{
+		Batch:   len(reqs),
+		Solo:    solo,
+		FBR:     node.entry.FBR,
+		Compute: profile.ComputeFraction(r.cfg.Model, node.node.Spec, len(reqs)),
+		Mode:    mode,
+	}
+	r.cfg.event(now, "job-"+mode.String(),
+		fmt.Sprintf("%s n=%d first=%v", node.node.Spec.Name, len(reqs), reqs[0].Arrival))
+	var cold time.Duration // container-wait serialized into the request
+	job.Done = func(j *device.Job) { r.completeJob(node, reqs, j, now, cold, mode) }
+	submit := func() {
+		cold = r.eng.Now() - now
+		if cold > 0 {
+			r.cfg.event(now, "container-wait", node.node.Spec.Name)
+		}
+		node.node.Device.Submit(job)
+	}
+
+	if mode == device.Spatial {
+		node.pool.AcquireOrWait(submit)
+		return
+	}
+	node.queuedOutstanding++
+	if node.laneReady {
+		// Time-shared batches reuse the single warm lane container.
+		submit()
+		return
+	}
+	node.lanePending = append(node.lanePending, submit)
+	if node.laneHeld {
+		return
+	}
+	node.laneHeld = true
+	node.pool.AcquireOrWait(func() {
+		node.laneReady = true
+		pending := node.lanePending
+		node.lanePending = nil
+		for _, f := range pending {
+			f()
+		}
+	})
+}
+
+func (r *runner) completeJob(node *servingNode, reqs []batch.Request, j *device.Job,
+	dispatched time.Duration, cold time.Duration, mode device.Mode) {
+	finish := r.eng.Now()
+	for _, req := range reqs {
+		rec := metrics.Record{
+			Arrival:      req.Arrival,
+			Latency:      finish - req.Arrival,
+			BatchWait:    dispatched - req.Arrival,
+			ColdStart:    cold,
+			QueueDelay:   j.QueueDelay(),
+			Interference: j.Interference(),
+			MinExec:      j.Solo,
+			Failed:       j.Failed,
+		}
+		if j.Failed {
+			r.failedRq++
+		}
+		r.col.Add(rec)
+	}
+	if mode == device.Spatial {
+		node.pool.Release()
+		return
+	}
+	node.queuedOutstanding--
+	if node.queuedOutstanding == 0 && node.laneReady {
+		node.pool.Release()
+		node.laneHeld = false
+		node.laneReady = false
+	}
+}

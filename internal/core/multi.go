@@ -1,0 +1,625 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/batch"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/device"
+	"repro/internal/hardware"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Multi-tenant serving: several workloads co-served on one shared node at a
+// time, the deployment reality behind the paper's motivation experiment and
+// mixed-workload study. Each workload keeps its own batcher, predictor,
+// split decision and container pool; the Hardware Selection module must pick
+// a node capable of the *aggregate*, which the runtime resolves as the most
+// capable of the per-workload desires (a node that satisfies every tenant).
+
+// Workload pairs a model with its arrival trace.
+type Workload struct {
+	Model model.Spec
+	Trace *trace.Trace
+}
+
+// MultiConfig describes a multi-tenant serving simulation.
+type MultiConfig struct {
+	Workloads []Workload
+	Scheme    Scheme
+
+	// SLO, DispatchWindow, MonitorInterval, Horizon, HWLead, ObserveWindow,
+	// KeepAlive: as in Config (zero = defaults).
+	SLO             time.Duration
+	DispatchWindow  time.Duration
+	MonitorInterval time.Duration
+	Horizon         time.Duration
+	HWLead          time.Duration
+	ObserveWindow   time.Duration
+	KeepAlive       time.Duration
+
+	// InitialHardware overrides the warm-start node choice.
+	InitialHardware *hardware.Spec
+}
+
+// MultiResult aggregates a multi-tenant run.
+type MultiResult struct {
+	Scheme string
+	// PerWorkload carries one collector per workload, in input order.
+	PerWorkload []*metrics.Collector
+	// SLOCompliance is request-weighted across workloads.
+	SLOCompliance float64
+	Cost          float64
+	Switches      int
+	HeldBySpec    map[string]time.Duration
+}
+
+type tenant struct {
+	w     Workload
+	bat   batch.Batcher
+	col   *metrics.Collector
+	entry profile.Entry // for the current node
+
+	predictAt func(now, horizon time.Duration) float64
+	onArrive  func(now time.Duration)
+
+	obsWindowStart time.Duration
+	obsCount       int
+	obsRate        float64
+
+	arrivalIdx int
+}
+
+// tenantNode is the shared node plus per-tenant container pools.
+type tenantNode struct {
+	node  *cluster.Node
+	pools []*container.Pool
+
+	queuedOutstanding []int
+	laneHeld          []bool
+	laneReady         []bool
+	lanePending       [][]func()
+}
+
+type multiRunner struct {
+	cfg MultiConfig
+	eng *sim.Engine
+	clu *cluster.Cluster
+
+	tenants []*tenant
+	cur     *tenantNode
+
+	procured bool
+	waitCtr  int
+	switches int
+	lastSwap time.Duration
+	end      time.Duration
+}
+
+// RunMulti executes a multi-tenant simulation.
+func RunMulti(cfg MultiConfig) MultiResult {
+	base := Config{
+		SLO:             cfg.SLO,
+		DispatchWindow:  cfg.DispatchWindow,
+		MonitorInterval: cfg.MonitorInterval,
+		Horizon:         cfg.Horizon,
+		HWLead:          cfg.HWLead,
+		ObserveWindow:   cfg.ObserveWindow,
+		KeepAlive:       cfg.KeepAlive,
+	}
+	base.applyDefaults()
+	cfg.SLO = base.SLO
+	cfg.DispatchWindow = base.DispatchWindow
+	cfg.MonitorInterval = base.MonitorInterval
+	cfg.Horizon = base.Horizon
+	cfg.HWLead = base.HWLead
+	cfg.ObserveWindow = base.ObserveWindow
+	cfg.KeepAlive = base.KeepAlive
+
+	r := &multiRunner{cfg: cfg, eng: sim.NewEngine()}
+	r.clu = cluster.New(r.eng)
+	for _, w := range cfg.Workloads {
+		t := &tenant{w: w, col: metrics.NewCollector(cfg.SLO)}
+		r.setupPredictor(t)
+		if w.Trace.Duration > r.end {
+			r.end = w.Trace.Duration
+		}
+		r.tenants = append(r.tenants, t)
+	}
+	r.warmStart()
+	for _, t := range r.tenants {
+		r.scheduleArrivals(t)
+	}
+	r.eng.Schedule(cfg.DispatchWindow, r.dispatchTick)
+	r.eng.Schedule(cfg.MonitorInterval, r.monitorTick)
+	r.eng.Run(r.end + DefaultDrain)
+	// Run to completion so conservation holds even under deep overload;
+	// give up only when a whole chunk passes without progress, then flush
+	// anything truly unservable as failed.
+	for guard := 0; guard < 720 && !r.complete(); guard++ {
+		before := 0
+		for _, t := range r.tenants {
+			before += t.col.Count()
+		}
+		r.eng.Run(r.eng.Now() + 60*time.Second)
+		after := 0
+		for _, t := range r.tenants {
+			after += t.col.Count()
+		}
+		if after == before {
+			break
+		}
+	}
+	for _, t := range r.tenants {
+		for _, req := range t.bat.TakeAll() {
+			t.col.Add(metrics.Record{
+				Arrival: req.Arrival,
+				Latency: r.eng.Now() - req.Arrival,
+				Failed:  true,
+			})
+		}
+	}
+	return r.results()
+}
+
+// complete reports whether every tenant's trace has been fully recorded.
+func (r *multiRunner) complete() bool {
+	for _, t := range r.tenants {
+		if t.col.Count() < t.w.Trace.Count() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *multiRunner) setupPredictor(t *tenant) {
+	if r.cfg.Scheme.Clairvoyant {
+		c := predict.NewClairvoyant(t.w.Trace)
+		t.predictAt = c.PredictRPS
+		t.onArrive = func(time.Duration) {}
+		return
+	}
+	obs := predict.NewWindowObserver(predict.NewEWMA(r.cfg.ObserveWindow), r.cfg.ObserveWindow)
+	t.predictAt = obs.PredictRPS
+	t.onArrive = obs.Arrive
+}
+
+func (r *multiRunner) warmStart() {
+	var spec hardware.Spec
+	if r.cfg.InitialHardware != nil {
+		spec = *r.cfg.InitialHardware
+	} else {
+		// Before any traffic is observed the predictors are empty; seed the
+		// per-tenant desires with the traces' opening rates, converted to
+		// work-equivalent aggregate rates as desiredAggregate does.
+		ref := hardware.MostPerformant(hardware.GPU)
+		totalWork := 0.0
+		for _, t := range r.tenants {
+			totalWork += t.w.Trace.Slice(0, 2*time.Second).MeanRPS() *
+				profile.SoloSample(t.w.Model, ref).Seconds()
+		}
+		for _, t := range r.tenants {
+			perSample := profile.SoloSample(t.w.Model, ref).Seconds()
+			st := r.stateFor(t, r.cfg.HWLead)
+			if perSample > 0 {
+				st.PredictedRPS = totalWork / perSample
+				st.ObservedRPS = st.PredictedRPS
+			}
+			d := r.cfg.Scheme.Policy.DesiredHardware(st)
+			if d.ComputeScore > spec.ComputeScore ||
+				(d.ComputeScore == spec.ComputeScore && d.CostPerHour > spec.CostPerHour) {
+				spec = d
+			}
+		}
+	}
+	r.cur = r.wireNode(r.clu.Acquire(spec, r.maxResident(spec)))
+	for _, p := range r.cur.pools {
+		p.AddWarm(1)
+	}
+}
+
+// maxResident: the shared device's memory cap must fit whichever tenant
+// packs tightest; use the smallest per-model cap (conservative).
+func (r *multiRunner) maxResident(spec hardware.Spec) int {
+	min := 0
+	for _, t := range r.tenants {
+		c := profile.MaxResidentJobs(t.w.Model, spec)
+		if min == 0 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+func (r *multiRunner) wireNode(node *cluster.Node) *tenantNode {
+	cold := container.CPUColdStart
+	if node.Spec.IsGPU() {
+		cold = container.GPUColdStart
+	}
+	if r.cfg.Scheme.InstantProcure {
+		cold = 0
+	}
+	n := len(r.tenants)
+	tn := &tenantNode{
+		node:              node,
+		pools:             make([]*container.Pool, n),
+		queuedOutstanding: make([]int, n),
+		laneHeld:          make([]bool, n),
+		laneReady:         make([]bool, n),
+		lanePending:       make([][]func(), n),
+	}
+	for i := range r.tenants {
+		tn.pools[i] = container.NewPool(r.eng, cold, r.cfg.KeepAlive)
+	}
+	return tn
+}
+
+func (r *multiRunner) scheduleArrivals(t *tenant) {
+	arr := t.w.Trace.Arrivals
+	var next func()
+	next = func() {
+		now := r.eng.Now()
+		for t.arrivalIdx < len(arr) && arr[t.arrivalIdx] <= now {
+			t.bat.Add(arr[t.arrivalIdx])
+			t.onArrive(now)
+			t.observeArrival(now, r.cfg.ObserveWindow)
+			t.arrivalIdx++
+		}
+		if t.arrivalIdx < len(arr) {
+			r.eng.ScheduleAt(arr[t.arrivalIdx], next)
+		}
+	}
+	if len(arr) > 0 {
+		r.eng.ScheduleAt(arr[0], next)
+	}
+}
+
+func (t *tenant) observeArrival(now, window time.Duration) {
+	for now >= t.obsWindowStart+window {
+		t.obsRate = float64(t.obsCount) / window.Seconds()
+		t.obsCount = 0
+		t.obsWindowStart += window
+	}
+	t.obsCount++
+}
+
+func (t *tenant) observedRPS(now, window time.Duration) float64 {
+	for now >= t.obsWindowStart+window {
+		t.obsRate = float64(t.obsCount) / window.Seconds()
+		t.obsCount = 0
+		t.obsWindowStart += window
+	}
+	return t.obsRate
+}
+
+// stateFor builds the policy State for one tenant at the given horizon.
+func (r *multiRunner) stateFor(t *tenant, horizon time.Duration) *State {
+	now := r.eng.Now()
+	s := &State{
+		Now:          now,
+		Model:        t.w.Model,
+		SLO:          r.cfg.SLO,
+		PredictedRPS: t.predictAt(now, horizon),
+		ObservedRPS:  t.observedRPS(now, r.cfg.ObserveWindow),
+		Pending:      t.bat.Pending(),
+		Window:       r.cfg.DispatchWindow,
+	}
+	if r.cur != nil {
+		s.Current = r.cur.node.Spec
+		s.HasCurrent = true
+		s.Entry = profile.Lookup(t.w.Model, r.cur.node.Spec)
+		if dev := r.cur.node.Device; dev != nil && !dev.Failed() {
+			s.ActiveDemand = dev.ActiveDemand()
+			s.ActiveCompute = dev.ActiveCompute()
+			s.ActiveJobs = dev.ActiveCount()
+			s.Backlog = dev.BacklogSolo()
+			s.LaneBacklog = dev.LaneBacklogSolo()
+		}
+	}
+	return s
+}
+
+// desiredAggregate resolves per-tenant hardware desires into one node. A
+// tenant's policy only understands its own workload, so each tenant's rate
+// is first converted into a work-equivalent rate covering ALL tenants (total
+// work per second divided by this tenant's per-sample work, measured on a
+// reference device); the policy then sizes hardware for the aggregate in its
+// own units. The final choice is the most capable of the per-tenant answers.
+func (r *multiRunner) desiredAggregate() hardware.Spec {
+	ref := hardware.MostPerformant(hardware.GPU)
+	now := r.eng.Now()
+
+	perSample := make([]float64, len(r.tenants))
+	var totalPredWork, totalObsWork float64
+	pred := make([]float64, len(r.tenants))
+	obs := make([]float64, len(r.tenants))
+	for i, t := range r.tenants {
+		perSample[i] = profile.SoloSample(t.w.Model, ref).Seconds()
+		pred[i] = t.predictAt(now, r.cfg.HWLead)
+		obs[i] = t.observedRPS(now, r.cfg.ObserveWindow)
+		totalPredWork += pred[i] * perSample[i]
+		totalObsWork += obs[i] * perSample[i]
+	}
+
+	var best hardware.Spec
+	for i, t := range r.tenants {
+		st := r.stateFor(t, r.cfg.HWLead)
+		if perSample[i] > 0 {
+			st.PredictedRPS = totalPredWork / perSample[i]
+			st.ObservedRPS = totalObsWork / perSample[i]
+		}
+		d := r.cfg.Scheme.Policy.DesiredHardware(st)
+		if d.ComputeScore > best.ComputeScore ||
+			(d.ComputeScore == best.ComputeScore && d.CostPerHour > best.CostPerHour) {
+			best = d
+		}
+	}
+	return best
+}
+
+func (r *multiRunner) dispatchTick() {
+	now := r.eng.Now()
+	pending := 0
+	for _, t := range r.tenants {
+		pending += t.bat.Pending()
+	}
+	if now < r.end || pending > 0 {
+		r.eng.Schedule(r.cfg.DispatchWindow, r.dispatchTick)
+	}
+	if r.cur == nil || r.cur.node.Device == nil || r.cur.node.Device.Failed() {
+		return
+	}
+	for i, t := range r.tenants {
+		r.dispatchTenant(i, t)
+	}
+}
+
+func (r *multiRunner) dispatchTenant(i int, t *tenant) {
+	n := t.bat.Pending()
+	if n == 0 {
+		return
+	}
+	node := r.cur
+	spec := node.node.Spec
+	entry := profile.Lookup(t.w.Model, spec)
+	st := r.stateFor(t, r.cfg.Horizon)
+	y := r.cfg.Scheme.Policy.SplitY(st, n)
+	if y < 0 {
+		y = 0
+	}
+	if y > n {
+		y = n
+	}
+	spatialN := n - y
+	if !spec.IsGPU() {
+		spatialN = 0
+		y = n
+	}
+	if spec.IsGPU() {
+		free := entry.MaxResidentJobs - node.node.Device.ActiveCount() - laneCap
+		if free < 0 {
+			free = 0
+		}
+		if max := free * entry.PreferredBatch; spatialN > max {
+			spatialN = max
+		}
+	}
+	slots := laneCap - node.queuedOutstanding[i]
+	if slots < 0 {
+		slots = 0
+	}
+	if max := slots * entry.PreferredBatch; y > max {
+		y = max
+	}
+	reqs := t.bat.TakeUpTo(spatialN + y)
+	if len(reqs) == 0 {
+		return
+	}
+	spatial := reqs[:minInt(spatialN, len(reqs))]
+	queued := reqs[len(spatial):]
+
+	node.pools[i].Ensure(node.pools[i].Busy() +
+		autoscale.ReactiveContainers(len(spatial), entry.PreferredBatch))
+	for _, b := range batch.Split(spatial, entry.PreferredBatch) {
+		r.dispatchJob(i, t, entry, b, device.Spatial)
+	}
+	for _, b := range batch.Split(queued, entry.PreferredBatch) {
+		r.dispatchJob(i, t, entry, b, device.Queued)
+	}
+}
+
+func (r *multiRunner) dispatchJob(i int, t *tenant, entry profile.Entry,
+	reqs []batch.Request, mode device.Mode) {
+	node := r.cur
+	now := r.eng.Now()
+	spec := node.node.Spec
+	job := &device.Job{
+		Batch:   len(reqs),
+		Solo:    profile.Solo(t.w.Model, spec, len(reqs)),
+		FBR:     entry.FBR,
+		Compute: profile.ComputeFraction(t.w.Model, spec, len(reqs)),
+		Mode:    mode,
+	}
+	var cold time.Duration
+	job.Done = func(j *device.Job) {
+		finish := r.eng.Now()
+		for _, req := range reqs {
+			t.col.Add(metrics.Record{
+				Arrival:      req.Arrival,
+				Latency:      finish - req.Arrival,
+				BatchWait:    now - req.Arrival,
+				ColdStart:    cold,
+				QueueDelay:   j.QueueDelay(),
+				Interference: j.Interference(),
+				MinExec:      j.Solo,
+				Failed:       j.Failed,
+			})
+		}
+		if mode == device.Spatial {
+			node.pools[i].Release()
+			return
+		}
+		node.queuedOutstanding[i]--
+		if node.queuedOutstanding[i] == 0 && node.laneReady[i] {
+			node.pools[i].Release()
+			node.laneHeld[i] = false
+			node.laneReady[i] = false
+		}
+	}
+	submit := func() {
+		cold = r.eng.Now() - now
+		node.node.Device.Submit(job)
+	}
+	if mode == device.Spatial {
+		node.pools[i].AcquireOrWait(submit)
+		return
+	}
+	node.queuedOutstanding[i]++
+	if node.laneReady[i] {
+		submit()
+		return
+	}
+	node.lanePending[i] = append(node.lanePending[i], submit)
+	if node.laneHeld[i] {
+		return
+	}
+	node.laneHeld[i] = true
+	node.pools[i].AcquireOrWait(func() {
+		node.laneReady[i] = true
+		pending := node.lanePending[i]
+		node.lanePending[i] = nil
+		for _, f := range pending {
+			f()
+		}
+	})
+}
+
+func (r *multiRunner) monitorTick() {
+	now := r.eng.Now()
+	if now < r.end {
+		r.eng.Schedule(r.cfg.MonitorInterval, r.monitorTick)
+	}
+	desired := r.desiredAggregate()
+	if r.cur != nil && desired.Name == r.cur.node.Spec.Name {
+		r.waitCtr = 0
+		return
+	}
+	limit := r.cfg.Scheme.Policy.WaitLimit()
+	if r.cur != nil && desired.CostPerHour < r.cur.node.Spec.CostPerHour {
+		if now-r.lastSwap < minHold {
+			return
+		}
+		limit *= downgradeFactor
+	}
+	r.waitCtr++
+	if r.waitCtr < limit {
+		return
+	}
+	r.reconfigure(desired)
+}
+
+func (r *multiRunner) reconfigure(desired hardware.Spec) {
+	if r.procured {
+		return
+	}
+	r.procured = true
+	r.waitCtr = 0
+	maxRes := r.maxResident(desired)
+	if r.cfg.Scheme.InstantProcure {
+		tn := r.wireNode(r.clu.Acquire(desired, maxRes))
+		for _, p := range tn.pools {
+			p.AddWarm(1)
+		}
+		r.swapTo(tn)
+		r.procured = false
+		return
+	}
+	r.clu.AcquireAsync(desired, maxRes, func(node *cluster.Node) {
+		tn := r.wireNode(node)
+		for i, t := range r.tenants {
+			entry := profile.Lookup(t.w.Model, desired)
+			need := autoscale.PredictiveContainers(
+				t.predictAt(r.eng.Now(), r.cfg.Horizon), 2*entry.SoloBatch, entry.PreferredBatch)
+			if backlog := autoscale.ReactiveContainers(t.bat.Pending(), entry.PreferredBatch); backlog > need {
+				need = backlog
+			}
+			if need < 2 {
+				need = 2
+			}
+			if cap := entry.MaxResidentJobs + laneCap; need > cap {
+				need = cap
+			}
+			tn.pools[i].EnsureWithin(need, swapTail)
+		}
+		r.eng.Schedule(swapTail, func() {
+			r.swapTo(tn)
+			r.procured = false
+		})
+	})
+}
+
+func (r *multiRunner) swapTo(tn *tenantNode) {
+	old := r.cur
+	r.cur = tn
+	r.switches++
+	r.lastSwap = r.eng.Now()
+	if old != nil {
+		r.retire(old)
+	}
+}
+
+func (r *multiRunner) retire(old *tenantNode) {
+	attempts := 0
+	var poll func()
+	poll = func() {
+		dev := old.node.Device
+		outstanding := 0
+		for _, q := range old.queuedOutstanding {
+			outstanding += q
+		}
+		drained := dev == nil || dev.Failed() ||
+			(dev.ActiveCount() == 0 && dev.LaneLength() == 0 && outstanding == 0)
+		attempts++
+		if drained || attempts > 240 {
+			r.clu.Release(old.node)
+			return
+		}
+		r.eng.Schedule(500*time.Millisecond, poll)
+	}
+	poll()
+}
+
+func (r *multiRunner) results() MultiResult {
+	res := MultiResult{
+		Scheme:     r.cfg.Scheme.Name(),
+		Cost:       r.clu.TotalCost(),
+		Switches:   r.switches,
+		HeldBySpec: r.clu.HeldBySpec(),
+	}
+	total, ok := 0, 0.0
+	for _, t := range r.tenants {
+		res.PerWorkload = append(res.PerWorkload, t.col)
+		total += t.col.Count()
+		ok += t.col.SLOCompliance() * float64(t.col.Count())
+	}
+	if total > 0 {
+		res.SLOCompliance = ok / float64(total)
+	} else {
+		res.SLOCompliance = 1
+	}
+	return res
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

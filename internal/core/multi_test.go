@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func multiWorkloads(seed uint64, dur time.Duration) []Workload {
+	rng := sim.NewRNG(seed)
+	return []Workload{
+		{Model: model.MustByName("SENet 18"), Trace: trace.Stable(rng.Child("a"), 300, dur)},
+		{Model: model.MustByName("DenseNet 121"), Trace: trace.Stable(rng.Child("b"), 80, dur)},
+	}
+}
+
+func TestRunMultiServesAllTenants(t *testing.T) {
+	ws := multiWorkloads(1, 2*time.Minute)
+	res := RunMulti(MultiConfig{Workloads: ws, Scheme: NewPaldia()})
+	if len(res.PerWorkload) != 2 {
+		t.Fatalf("collectors = %d, want 2", len(res.PerWorkload))
+	}
+	for i, c := range res.PerWorkload {
+		if c.Count() != ws[i].Trace.Count() {
+			t.Fatalf("tenant %d served %d of %d", i, c.Count(), ws[i].Trace.Count())
+		}
+	}
+	if res.SLOCompliance < 0.9 {
+		t.Fatalf("combined compliance %.3f too low for stable traffic", res.SLOCompliance)
+	}
+	if res.Cost <= 0 {
+		t.Fatal("zero cost")
+	}
+}
+
+func TestRunMultiDeterministic(t *testing.T) {
+	cfg := MultiConfig{Workloads: multiWorkloads(2, time.Minute), Scheme: NewPaldia()}
+	a := RunMulti(cfg)
+	// Traces are shared pointers, so rebuild the config identically.
+	b := RunMulti(MultiConfig{Workloads: multiWorkloads(2, time.Minute), Scheme: NewPaldia()})
+	if a.SLOCompliance != b.SLOCompliance || a.Cost != b.Cost || a.Switches != b.Switches {
+		t.Fatalf("multi-run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunMultiAggregateHardwareCoversAllTenants(t *testing.T) {
+	// A heavy LLM tenant forces brawnier shared hardware than the light
+	// vision tenant alone would need.
+	rng := sim.NewRNG(3)
+	dur := 2 * time.Minute
+	light := Workload{Model: model.MustByName("MobileNet"), Trace: trace.Stable(rng.Child("l"), 50, dur)}
+	heavy := Workload{Model: model.MustByName("BERT"), Trace: trace.Stable(rng.Child("h"), 6, dur)}
+
+	lightOnly := RunMulti(MultiConfig{Workloads: []Workload{light}, Scheme: NewPaldia()})
+	both := RunMulti(MultiConfig{Workloads: []Workload{light, heavy}, Scheme: NewPaldia()})
+
+	costOf := func(held map[string]time.Duration) float64 {
+		total := 0.0
+		for name, d := range held {
+			hw, _ := hardware.ByName(name)
+			total += hw.CostPerSecond() * d.Seconds()
+		}
+		return total
+	}
+	if costOf(both.HeldBySpec) <= costOf(lightOnly.HeldBySpec) {
+		t.Fatalf("adding a heavy tenant did not raise hardware spend: %v vs %v",
+			both.HeldBySpec, lightOnly.HeldBySpec)
+	}
+	if both.SLOCompliance < 0.9 {
+		t.Fatalf("combined compliance %.3f with heavy tenant", both.SLOCompliance)
+	}
+}
+
+func TestRunMultiPinnedNode(t *testing.T) {
+	m60, _ := hardware.ByName("M60")
+	res := RunMulti(MultiConfig{
+		Workloads:       multiWorkloads(4, time.Minute),
+		Scheme:          NewOfflineHybrid(m60, 0.3),
+		InitialHardware: &m60,
+	})
+	if len(res.HeldBySpec) != 1 {
+		t.Fatalf("pinned multi-run held %v", res.HeldBySpec)
+	}
+}
+
+func TestRunMultiInterferenceAcrossTenants(t *testing.T) {
+	// Co-located tenants on a pinned cheap GPU must show higher tail
+	// latency than either tenant alone on the same node: cross-model
+	// contention is modelled.
+	m60, _ := hardware.ByName("M60")
+	dur := 2 * time.Minute
+	mk := func(seed uint64) []Workload { return multiWorkloads(seed, dur) }
+
+	alone := RunMulti(MultiConfig{
+		Workloads:       mk(5)[:1],
+		Scheme:          NewMPSOnly(m60, "(M60)"),
+		InitialHardware: &m60,
+	})
+	both := RunMulti(MultiConfig{
+		Workloads:       mk(5),
+		Scheme:          NewMPSOnly(m60, "(M60)"),
+		InitialHardware: &m60,
+	})
+	p99Alone := alone.PerWorkload[0].Percentile(99)
+	p99Both := both.PerWorkload[0].Percentile(99)
+	if p99Both <= p99Alone {
+		t.Fatalf("co-tenancy did not raise P99: alone %v, both %v", p99Alone, p99Both)
+	}
+}

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/batch"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/hardware"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/predict"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Defaults for the serving runtime's time constants.
+const (
+	// DefaultSLO is the paper's 200 ms target for every workload.
+	DefaultSLO = 200 * time.Millisecond
+	// DefaultDispatchWindow is the batching/dispatch cadence.
+	DefaultDispatchWindow = 25 * time.Millisecond
+	// DefaultMonitorInterval is the Hardware Selection cadence (Algorithm
+	// 1's Monitor_Interval); with Paldia's wait_limit of 3 a switch commits
+	// after ~3 intervals of consistent mismatch.
+	DefaultMonitorInterval = 250 * time.Millisecond
+	// DefaultHorizon is the prediction lookahead (~4 s, the hardware
+	// acquisition lead time).
+	DefaultHorizon = 4 * time.Second
+	// DefaultObserveWindow is the rate-observation window feeding the EWMA.
+	DefaultObserveWindow = 500 * time.Millisecond
+	// DefaultDrain is how long after the trace ends in-flight work may
+	// complete.
+	DefaultDrain = 30 * time.Second
+	// DefaultHWLead is the lookahead used when selecting hardware: it covers
+	// the decision debounce, VM procurement, the exposed tail of container
+	// spawning, and one further re-decision cycle, so that the node chosen
+	// mid-ramp is still capable when traffic keeps building (the paper
+	// chooses its pool "so as to allow enough time to acquire the
+	// hardware").
+	DefaultHWLead = 15 * time.Second
+	// swapTail is the exposed part of container spawning on a newly
+	// procured node; the rest overlaps the VM launch.
+	swapTail = time.Second
+	// laneCap bounds the time-share jobs handed to a device ahead of
+	// execution; the rest of the backlog waits in the batcher, where it can
+	// be rerouted if the scheme switches hardware. (Spatial submissions are
+	// deliberately unbounded — MPS-only schemes consolidate every batch onto
+	// the GPU, which is exactly their documented failure mode.)
+	laneCap = 3
+	// minHold blocks switches to *cheaper* hardware within this span of the
+	// last switch, preventing downgrade thrash right after a surge; upgrades
+	// are never delayed. Downgrades additionally require a longer run of
+	// consistent mismatches (downgradeFactor x the policy's wait limit).
+	minHold         = 20 * time.Second
+	downgradeFactor = 4
+)
+
+// Config describes one serving simulation.
+type Config struct {
+	Model  model.Spec
+	Trace  *trace.Trace
+	Scheme Scheme
+
+	// SLO defaults to 200 ms.
+	SLO time.Duration
+	// Seed drives all randomness (trace realization happens before the
+	// runner; this seed only matters if the runner ever needs randomness).
+	Seed uint64
+
+	// DispatchWindow, MonitorInterval, Horizon, HWLead, ObserveWindow and
+	// KeepAlive default to the package constants /
+	// container.DefaultKeepAlive.
+	DispatchWindow  time.Duration
+	MonitorInterval time.Duration
+	Horizon         time.Duration
+	HWLead          time.Duration
+	ObserveWindow   time.Duration
+	KeepAlive       time.Duration
+
+	// HostFactorCPU/GPU inflate execution on each node class (mixed-workload
+	// study); zero means no inflation.
+	HostFactorCPU float64
+	HostFactorGPU float64
+
+	// FailureEvery/FailureDuration inject node failures (node-failure
+	// study); zero disables.
+	FailureEvery    time.Duration
+	FailureDuration time.Duration
+
+	// NewPredictor overrides the rate predictor (the paper's is "a
+	// lightweight, pluggable model (EWMA in our case)"). Ignored for
+	// clairvoyant schemes. Nil uses the default EWMA.
+	NewPredictor func() predict.Predictor
+
+	// UniformBatching disables the paper's flexible batch sizes: requests
+	// dispatch only as full preferred-size batches, with leftovers flushed
+	// once the oldest has waited a quarter of the SLO. The paper argues
+	// uniform batching "would hinder" the hybrid scheduler; this flag is the
+	// ablation that measures it.
+	UniformBatching bool
+
+	// MaxNodes enables horizontal scale-out beyond the paper: when even the
+	// selected node type cannot sustain the forecast rate alone, up to this
+	// many replicas of it are procured and load is spread across them.
+	// Zero or one keeps the paper's single-serving-node behaviour.
+	MaxNodes int
+
+	// InitialHardware overrides the warm-start node choice.
+	InitialHardware *hardware.Spec
+
+	// OnEvent, when set, receives runtime events (hardware switches, cold
+	// starts, failovers) for debugging and tracing.
+	OnEvent func(t time.Duration, kind, detail string)
+}
+
+func (c *Config) event(t time.Duration, kind, detail string) {
+	if c.OnEvent != nil {
+		c.OnEvent(t, kind, detail)
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.SLO == 0 {
+		c.SLO = DefaultSLO
+	}
+	if c.DispatchWindow == 0 {
+		c.DispatchWindow = DefaultDispatchWindow
+	}
+	if c.MonitorInterval == 0 {
+		c.MonitorInterval = DefaultMonitorInterval
+	}
+	if c.Horizon == 0 {
+		c.Horizon = DefaultHorizon
+	}
+	if c.HWLead == 0 {
+		c.HWLead = DefaultHWLead
+	}
+	if c.ObserveWindow == 0 {
+		c.ObserveWindow = DefaultObserveWindow
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = container.DefaultKeepAlive
+	}
+}
+
+// Result is everything one run produces.
+type Result struct {
+	Scheme string
+	Model  string
+
+	Collector *metrics.Collector
+
+	Requests      int
+	SLOCompliance float64
+	P50, P99      time.Duration
+	MeanLatency   time.Duration
+
+	// Cost is total dollars; CPUCost/GPUCost split it by node class.
+	Cost, CPUCost, GPUCost float64
+	EnergyWh, AvgPowerW    float64
+	UtilCPU, UtilGPU       float64
+
+	// Boots counts container cold boots; SyncColdStarts the request-blocking
+	// subset.
+	Boots, SyncColdStarts uint64
+	// Switches counts hardware reconfigurations.
+	Switches int
+	// FailedRequests counts requests lost to node failures.
+	FailedRequests int
+	// FailuresInjected counts induced node failures.
+	FailuresInjected int
+	// HeldBySpec is the node-residency breakdown: total held time per node
+	// type.
+	HeldBySpec map[string]time.Duration
+	// SwitchHistory is the primary-node timeline: one entry per serving
+	// node, in order, starting with the warm-start node.
+	SwitchHistory []SwitchEvent
+}
+
+// SwitchEvent records the primary node changing to a new node type.
+type SwitchEvent struct {
+	// At is when the node began serving.
+	At time.Duration
+	// Spec is the node type's instance name.
+	Spec string
+}
+
+// servingNode is a procured node actively (or about to be) serving.
+type servingNode struct {
+	node  *cluster.Node
+	pool  *container.Pool
+	entry profile.Entry
+	ctl   *autoscale.Controller
+
+	queuedOutstanding int
+	laneHeld          bool     // a lane-container claim exists
+	laneReady         bool     // the lane container is serving
+	lanePending       []func() // lane submissions buffered until the claim lands
+}
+
+type runner struct {
+	cfg Config
+	eng *sim.Engine
+	clu *cluster.Cluster
+	bat batch.Batcher
+	col *metrics.Collector
+
+	cur      *servingNode
+	procured bool // a primary procurement is in flight
+
+	// scale-out state (MaxNodes > 1)
+	replicas       []*servingNode
+	replicaPending int
+	lastScale      time.Duration
+
+	predictAt  func(now, horizon time.Duration) float64
+	predictRPS func(now time.Duration) float64
+	onArrive   func(now time.Duration)
+
+	// observed-rate bookkeeping
+	obsWindowStart time.Duration
+	obsCount       int
+	obsRate        float64
+
+	waitCtr  int
+	switches int
+	failures int
+	failedRq int
+	history  []SwitchEvent
+
+	arrivalIdx int
+	end        time.Duration
+	lastSwap   time.Duration
+
+	boots, syncColds uint64 // accumulated from retired pools
+}
+
+// Run executes the configured simulation and returns its results.
+func Run(cfg Config) Result {
+	cfg.applyDefaults()
+	r := &runner{
+		cfg: cfg,
+		eng: sim.NewEngine(),
+		col: metrics.NewCollector(cfg.SLO),
+		end: cfg.Trace.Duration,
+	}
+	r.clu = cluster.New(r.eng)
+	r.setupPredictor()
+	r.warmStart()
+	r.scheduleArrivals()
+	r.eng.Schedule(cfg.DispatchWindow, r.dispatchTick)
+	r.eng.Schedule(cfg.MonitorInterval, r.monitorTick)
+	if cfg.FailureEvery > 0 {
+		r.eng.Schedule(cfg.FailureEvery, r.failureTick)
+	}
+	r.eng.Run(r.end + DefaultDrain)
+	// Overloaded runs can still hold deep backlogs at the drain bound; keep
+	// simulating until every request completes (so conservation holds and
+	// stragglers are recorded with their true, awful latencies), giving up
+	// only if a whole chunk passes without any progress.
+	for guard := 0; r.col.Count() < cfg.Trace.Count() && guard < 720; guard++ {
+		before := r.col.Count()
+		r.eng.Run(r.eng.Now() + 60*time.Second)
+		if r.col.Count() == before {
+			break
+		}
+	}
+	// Anything still unserved (e.g. no healthy node ever came back) is
+	// recorded as failed.
+	for _, req := range r.bat.TakeAll() {
+		r.failedRq++
+		r.col.Add(metrics.Record{
+			Arrival: req.Arrival,
+			Latency: r.eng.Now() - req.Arrival,
+			Failed:  true,
+		})
+	}
+	return r.results()
+}
+
+func (r *runner) setupPredictor() {
+	if r.cfg.Scheme.Clairvoyant {
+		c := predict.NewClairvoyant(r.cfg.Trace)
+		r.predictAt = c.PredictRPS
+		r.onArrive = func(time.Duration) {}
+	} else {
+		var p predict.Predictor = predict.NewEWMA(r.cfg.ObserveWindow)
+		if r.cfg.NewPredictor != nil {
+			p = r.cfg.NewPredictor()
+		}
+		obs := predict.NewWindowObserver(p, r.cfg.ObserveWindow)
+		r.predictAt = obs.PredictRPS
+		r.onArrive = obs.Arrive
+	}
+	r.predictRPS = func(now time.Duration) float64 {
+		return r.predictAt(now, r.cfg.Horizon)
+	}
+}
+
+// warmStart brings up the initial node with warm containers, as a system
+// already in service would have.
+func (r *runner) warmStart() {
+	var spec hardware.Spec
+	if r.cfg.InitialHardware != nil {
+		spec = *r.cfg.InitialHardware
+	} else {
+		initRate := r.cfg.Trace.Slice(0, 2*time.Second).MeanRPS()
+		st := r.stateWithRates(initRate, initRate)
+		spec = r.cfg.Scheme.Policy.DesiredHardware(st)
+	}
+	n := r.acquire(spec)
+	n.pool.AddWarm(2)
+	r.cur = n
+	n.ctl.Start()
+	r.history = append(r.history, SwitchEvent{At: 0, Spec: spec.Name})
+}
+
+// acquire procures a node immediately and wires its pool and autoscaler.
+func (r *runner) acquire(spec hardware.Spec) *servingNode {
+	node := r.clu.Acquire(spec, profile.MaxResidentJobs(r.cfg.Model, spec))
+	return r.wireNode(node)
+}
+
+func (r *runner) wireNode(node *cluster.Node) *servingNode {
+	r.applyHostFactor(node)
+	cold := container.CPUColdStart
+	if node.Spec.IsGPU() {
+		cold = container.GPUColdStart
+	}
+	if r.cfg.Scheme.InstantProcure {
+		cold = 0
+	}
+	sn := &servingNode{
+		node:  node,
+		pool:  container.NewPool(r.eng, cold, r.cfg.KeepAlive),
+		entry: profile.Lookup(r.cfg.Model, node.Spec),
+	}
+	if r.cfg.OnEvent != nil {
+		spec := node.Spec.Name
+		sn.pool.Trace = func(kind string) { r.cfg.event(r.eng.Now(), kind, spec) }
+	}
+	// Containers are sized for the batches resident at once: a batch
+	// occupies its container for its (possibly inflated) execution time, so
+	// the pool target is predicted-rate x residence / batch-size.
+	// The controller is started when the node begins serving (swapTo);
+	// starting it earlier would race the swap-time pre-warm with slower
+	// predictive boots.
+	sn.ctl = autoscale.NewController(r.eng, sn.pool,
+		func(now time.Duration) float64 { return r.predictRPS(now) },
+		func() int { return sn.entry.PreferredBatch },
+		residenceOf(sn.entry))
+	return sn
+}
+
+// residenceOf estimates how long one batch holds a container: the solo
+// execution latency with a 2x margin for interference.
+func residenceOf(e profile.Entry) time.Duration { return 2 * e.SoloBatch }
+
+// containerTarget is the predictive container requirement for a node at the
+// current forecast.
+func (r *runner) containerTarget(sn *servingNode) int {
+	n := autoscale.PredictiveContainers(r.predictRPS(r.eng.Now()), residenceOf(sn.entry),
+		sn.entry.PreferredBatch)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func (r *runner) applyHostFactor(node *cluster.Node) {
+	f := r.cfg.HostFactorCPU
+	if node.Spec.IsGPU() {
+		f = r.cfg.HostFactorGPU
+	}
+	if f > 1 && node.Device != nil {
+		node.Device.SetHostFactor(f)
+	}
+}
+
+// scheduleArrivals feeds trace arrivals one event at a time (constant event
+// memory regardless of trace size).
+func (r *runner) scheduleArrivals() {
+	arr := r.cfg.Trace.Arrivals
+	var next func()
+	next = func() {
+		now := r.eng.Now()
+		for r.arrivalIdx < len(arr) && arr[r.arrivalIdx] <= now {
+			r.bat.Add(arr[r.arrivalIdx])
+			r.onArrive(now)
+			r.observeArrival(now)
+			r.arrivalIdx++
+		}
+		if r.arrivalIdx < len(arr) {
+			r.eng.ScheduleAt(arr[r.arrivalIdx], next)
+		}
+	}
+	if len(arr) > 0 {
+		r.eng.ScheduleAt(arr[0], next)
+	}
+}
+
+func (r *runner) observeArrival(now time.Duration) {
+	for now >= r.obsWindowStart+r.cfg.ObserveWindow {
+		r.obsRate = float64(r.obsCount) / r.cfg.ObserveWindow.Seconds()
+		r.obsCount = 0
+		r.obsWindowStart += r.cfg.ObserveWindow
+	}
+	r.obsCount++
+}
+
+func (r *runner) observedRPS(now time.Duration) float64 {
+	// Roll the window forward even without arrivals so silence decays.
+	for now >= r.obsWindowStart+r.cfg.ObserveWindow {
+		r.obsRate = float64(r.obsCount) / r.cfg.ObserveWindow.Seconds()
+		r.obsCount = 0
+		r.obsWindowStart += r.cfg.ObserveWindow
+	}
+	return r.obsRate
+}
+
+func (r *runner) state() *State {
+	now := r.eng.Now()
+	return r.stateWithRates(r.predictRPS(now), r.observedRPS(now))
+}
+
+// stateOf builds the policy state against a specific node's device (the
+// primary's state() is the scale-in special case).
+func (r *runner) stateOf(sn *servingNode) *State {
+	s := r.state()
+	if sn == nil || sn == r.cur {
+		return s
+	}
+	s.Current = sn.node.Spec
+	s.Entry = sn.entry
+	s.ActiveDemand, s.ActiveCompute, s.ActiveJobs = 0, 0, 0
+	s.Backlog, s.LaneBacklog = 0, 0
+	if dev := sn.node.Device; dev != nil && !dev.Failed() {
+		s.ActiveDemand = dev.ActiveDemand()
+		s.ActiveCompute = dev.ActiveCompute()
+		s.ActiveJobs = dev.ActiveCount()
+		s.Backlog = dev.BacklogSolo()
+		s.LaneBacklog = dev.LaneBacklogSolo()
+	}
+	return s
+}
+
+func (r *runner) stateWithRates(predicted, observed float64) *State {
+	s := &State{
+		Now:          r.eng.Now(),
+		Model:        r.cfg.Model,
+		SLO:          r.cfg.SLO,
+		PredictedRPS: predicted,
+		ObservedRPS:  observed,
+		Pending:      r.bat.Pending(),
+		Window:       r.cfg.DispatchWindow,
+	}
+	if r.cur != nil {
+		s.Current = r.cur.node.Spec
+		s.HasCurrent = true
+		s.Entry = r.cur.entry
+		if dev := r.cur.node.Device; dev != nil && !dev.Failed() {
+			s.ActiveDemand = dev.ActiveDemand()
+			s.ActiveCompute = dev.ActiveCompute()
+			s.ActiveJobs = dev.ActiveCount()
+			s.Backlog = dev.BacklogSolo()
+			s.LaneBacklog = dev.LaneBacklogSolo()
+		}
+	}
+	return s
+}
+
+// --- results -------------------------------------------------------------------
+
+func (r *runner) results() Result {
+	if r.cur != nil {
+		r.accumulatePool(r.cur.pool)
+		for _, rep := range r.replicas {
+			r.accumulatePool(rep.pool)
+		}
+	}
+	cpuCost, gpuCost := r.clu.CostByKind()
+	res := Result{
+		Scheme:           r.cfg.Scheme.Name(),
+		Model:            r.cfg.Model.Name,
+		Collector:        r.col,
+		Requests:         r.col.Count(),
+		SLOCompliance:    r.col.SLOCompliance(),
+		P50:              r.col.Percentile(50),
+		P99:              r.col.Percentile(99),
+		MeanLatency:      r.col.Mean(),
+		Cost:             r.clu.TotalCost(),
+		CPUCost:          cpuCost,
+		GPUCost:          gpuCost,
+		EnergyWh:         r.clu.EnergyWh(),
+		AvgPowerW:        r.clu.AvgPowerW(),
+		UtilCPU:          r.clu.Utilization(hardware.CPU),
+		UtilGPU:          r.clu.Utilization(hardware.GPU),
+		Boots:            r.boots,
+		SyncColdStarts:   r.syncColds,
+		Switches:         r.switches,
+		FailedRequests:   r.failedRq,
+		FailuresInjected: r.failures,
+		HeldBySpec:       r.clu.HeldBySpec(),
+		SwitchHistory:    r.history,
+	}
+	return res
+}

@@ -1,0 +1,477 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+func gpuSpec() hardware.Spec {
+	hw, ok := hardware.ByName("M60")
+	if !ok {
+		panic("M60 missing")
+	}
+	return hw
+}
+
+func cpuSpec() hardware.Spec {
+	hw, ok := hardware.ByName("m4.xlarge")
+	if !ok {
+		panic("m4 missing")
+	}
+	return hw
+}
+
+func approxDur(t *testing.T, got, want time.Duration, tol time.Duration, msg string) {
+	t.Helper()
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if d > tol {
+		t.Fatalf("%s: got %v, want %v (±%v)", msg, got, want, tol)
+	}
+}
+
+func TestSingleJobRunsSolo(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var done *Job
+	d.Submit(&Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0.9, Mode: Spatial,
+		Done: func(j *Job) { done = j }})
+	eng.RunAll()
+	if done == nil {
+		t.Fatal("job never completed")
+	}
+	approxDur(t, done.Finished, 100*time.Millisecond, time.Microsecond, "finish time")
+	if done.QueueDelay() != 0 {
+		t.Fatalf("queue delay = %v, want 0", done.QueueDelay())
+	}
+	if done.Interference() > time.Microsecond {
+		t.Fatalf("interference = %v, want ~0", done.Interference())
+	}
+}
+
+func TestHighFBRJobAloneIsNotPenalized(t *testing.T) {
+	// Solo latency is the profiled ground truth even for FBR > 1 jobs
+	// (language models on the M60).
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var done *Job
+	d.Submit(&Job{Batch: 8, Solo: 150 * time.Millisecond, FBR: 1.7, Mode: Spatial,
+		Done: func(j *Job) { done = j }})
+	eng.RunAll()
+	approxDur(t, done.Finished, 150*time.Millisecond, time.Microsecond, "finish time")
+}
+
+func TestTwoSpatialJobsBelowSaturation(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var finished []*Job
+	mk := func() *Job {
+		return &Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0.4, Mode: Spatial,
+			Done: func(j *Job) { finished = append(finished, j) }}
+	}
+	d.Submit(mk())
+	d.Submit(mk())
+	eng.RunAll()
+	if len(finished) != 2 {
+		t.Fatal("jobs missing")
+	}
+	// Below bandwidth saturation only the MPS client overhead applies.
+	want := time.Duration(float64(100*time.Millisecond) * profile.ClientOverhead(2))
+	for _, j := range finished {
+		approxDur(t, j.Finished, want, time.Microsecond, "sub-saturation finish")
+	}
+}
+
+func TestTwoSpatialJobsInterfere(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var finished []*Job
+	mk := func() *Job {
+		return &Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0.6, Mode: Spatial,
+			Done: func(j *Job) { finished = append(finished, j) }}
+	}
+	d.Submit(mk())
+	d.Submit(mk())
+	eng.RunAll()
+	// D = 1.2, slowdown = P(1.2)/P(0.6) x 2-client overhead.
+	want := time.Duration(float64(100*time.Millisecond) *
+		profile.Slowdown(1.2, 0.6) * profile.ClientOverhead(2))
+	for _, j := range finished {
+		approxDur(t, j.Finished, want, 50*time.Microsecond, "interfered finish")
+		if j.Interference() < 25*time.Millisecond {
+			t.Fatalf("interference = %v, want substantial", j.Interference())
+		}
+	}
+}
+
+func TestStaggeredSpatialJobsPiecewise(t *testing.T) {
+	// A at t=0, B at t=50ms, both Solo=100ms FBR=0.8.
+	// Phase 1 [0,50ms): A alone at rate 1 -> 50ms work left.
+	// Phase 2: D=1.6, slowdown = P(1.6)/P(0.8) x 2-client overhead
+	// (P(0.8)=1 below saturation). B then finishes 50ms after A.
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var a, b *Job
+	eng.Schedule(0, func() {
+		d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.8, Mode: Spatial,
+			Done: func(j *Job) { a = j }})
+	})
+	eng.Schedule(50*time.Millisecond, func() {
+		d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.8, Mode: Spatial,
+			Done: func(j *Job) { b = j }})
+	})
+	eng.RunAll()
+	s := profile.Slowdown(1.6, 0.8) * profile.ClientOverhead(2)
+	wantA := 50*time.Millisecond + time.Duration(50*s*float64(time.Millisecond))
+	wantB := wantA + 50*time.Millisecond
+	approxDur(t, a.Finished, wantA, 100*time.Microsecond, "A finish")
+	approxDur(t, b.Finished, wantB, 100*time.Microsecond, "B finish")
+}
+
+func TestQueuedJobsSerialize(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var finished []*Job
+	for i := 0; i < 3; i++ {
+		d.Submit(&Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0.9, Mode: Queued,
+			Done: func(j *Job) { finished = append(finished, j) }})
+	}
+	eng.RunAll()
+	if len(finished) != 3 {
+		t.Fatalf("finished %d jobs, want 3", len(finished))
+	}
+	for i, j := range finished {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		approxDur(t, j.Finished, want, 10*time.Microsecond, "serialized finish")
+		wantQ := time.Duration(i) * 100 * time.Millisecond
+		approxDur(t, j.QueueDelay(), wantQ, 10*time.Microsecond, "queue delay")
+		if j.Interference() > time.Microsecond {
+			t.Fatalf("queued job %d has interference %v", i, j.Interference())
+		}
+	}
+}
+
+func TestLaneConcurrentWithSpatialPool(t *testing.T) {
+	// One spatial (FBR .5) + one queued (FBR .4): total demand .9 < 1, both
+	// run at solo speed concurrently.
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var sp, q *Job
+	d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.5, Mode: Spatial,
+		Done: func(j *Job) { sp = j }})
+	d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.4, Mode: Queued,
+		Done: func(j *Job) { q = j }})
+	eng.RunAll()
+	want := time.Duration(float64(100*time.Millisecond) * profile.ClientOverhead(2))
+	approxDur(t, sp.Finished, want, time.Microsecond, "spatial finish")
+	approxDur(t, q.Finished, want, time.Microsecond, "queued finish")
+}
+
+func TestCPUCoercesToQueued(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, cpuSpec(), 0)
+	var finished []*Job
+	for i := 0; i < 2; i++ {
+		d.Submit(&Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0, Mode: Spatial,
+			Done: func(j *Job) { finished = append(finished, j) }})
+	}
+	eng.RunAll()
+	approxDur(t, finished[0].Finished, 100*time.Millisecond, time.Microsecond, "cpu first")
+	approxDur(t, finished[1].Finished, 200*time.Millisecond, time.Microsecond, "cpu second serialized")
+}
+
+func TestMemoryCapDefersSpatialJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 2)
+	var finished []*Job
+	for i := 0; i < 3; i++ {
+		d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.3, Mode: Spatial,
+			Done: func(j *Job) { finished = append(finished, j) }})
+	}
+	if d.ActiveCount() != 2 {
+		t.Fatalf("active = %d, want 2 (cap)", d.ActiveCount())
+	}
+	eng.RunAll()
+	if len(finished) != 3 {
+		t.Fatal("job lost under memory cap")
+	}
+	// First two run co-located (client overhead), the third starts when a
+	// slot frees and finishes alongside-ish the co-location tail.
+	pair := time.Duration(float64(100*time.Millisecond) * profile.ClientOverhead(2))
+	third := finished[2]
+	if third.QueueDelay() < pair-time.Millisecond {
+		t.Fatalf("deferred job queue delay = %v, want ~%v", third.QueueDelay(), pair)
+	}
+	if third.Finished < pair+90*time.Millisecond {
+		t.Fatalf("deferred job finished at %v, too early", third.Finished)
+	}
+}
+
+func TestHostFactorSlowsExecution(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	d.SetHostFactor(2)
+	var done *Job
+	d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.5, Mode: Spatial,
+		Done: func(j *Job) { done = j }})
+	eng.RunAll()
+	approxDur(t, done.Finished, 200*time.Millisecond, 10*time.Microsecond, "host-contended finish")
+}
+
+func TestFailureFailsInFlightAndWaiting(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var results []*Job
+	collect := func(j *Job) { results = append(results, j) }
+	d.Submit(&Job{Batch: 1, Solo: time.Second, FBR: 0.5, Mode: Spatial, Done: collect})
+	d.Submit(&Job{Batch: 1, Solo: time.Second, FBR: 0.5, Mode: Queued, Done: collect})
+	d.Submit(&Job{Batch: 1, Solo: time.Second, FBR: 0.5, Mode: Queued, Done: collect})
+	eng.Schedule(100*time.Millisecond, func() { d.Fail() })
+	eng.RunAll()
+	if len(results) != 3 {
+		t.Fatalf("got %d completions, want 3 failures", len(results))
+	}
+	for _, j := range results {
+		if !j.Failed {
+			t.Fatal("job completed normally on a failed node")
+		}
+	}
+	// Submissions while failed fail immediately.
+	var late *Job
+	d.Submit(&Job{Batch: 1, Solo: time.Second, FBR: 0.5, Done: func(j *Job) { late = j }})
+	if late == nil || !late.Failed {
+		t.Fatal("submission to failed device did not fail synchronously")
+	}
+	// After recovery the device serves again.
+	d.Recover()
+	var ok *Job
+	d.Submit(&Job{Batch: 1, Solo: 50 * time.Millisecond, FBR: 0.5, Mode: Spatial,
+		Done: func(j *Job) { ok = j }})
+	eng.RunAll()
+	if ok == nil || ok.Failed {
+		t.Fatal("device did not recover")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.5, Mode: Spatial, Done: func(*Job) {}})
+	eng.Run(400 * time.Millisecond)
+	got := d.Utilization()
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("utilization = %.3f, want 0.25", got)
+	}
+}
+
+func TestBacklogSolo(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	for i := 0; i < 3; i++ {
+		d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.2, Mode: Queued, Done: func(*Job) {}})
+	}
+	got := d.BacklogSolo()
+	approxDur(t, got, 300*time.Millisecond, time.Microsecond, "backlog")
+	eng.RunAll()
+	if d.BacklogSolo() != 0 {
+		t.Fatalf("backlog after drain = %v", d.BacklogSolo())
+	}
+}
+
+// Property: work is conserved — total solo-equivalent work completed equals
+// the sum of submitted solo times, for arbitrary job mixes.
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		r := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		d := New(eng, gpuSpec(), 0)
+		var want time.Duration
+		completions := 0
+		for i := 0; i < n; i++ {
+			solo := time.Duration(10+r.Intn(150)) * time.Millisecond
+			want += solo
+			mode := Spatial
+			if r.Intn(2) == 0 {
+				mode = Queued
+			}
+			j := &Job{
+				Batch: 1 + r.Intn(64),
+				Solo:  solo,
+				FBR:   0.1 + r.Float64()*1.5,
+				Mode:  mode,
+				Done:  func(*Job) { completions++ },
+			}
+			at := time.Duration(r.Intn(500)) * time.Millisecond
+			eng.Schedule(at, func() { d.Submit(j) })
+		}
+		eng.RunAll()
+		if completions != n {
+			return false
+		}
+		diff := (d.WorkDone() - want).Seconds()
+		return math.Abs(diff) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a job's finish time is never before submission + solo time
+// (nothing runs faster than its profiled solo latency).
+func TestNoSuperSoloSpeedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		d := New(eng, gpuSpec(), 0)
+		ok := true
+		for i := 0; i < 10; i++ {
+			solo := time.Duration(20+r.Intn(100)) * time.Millisecond
+			j := &Job{Batch: 1, Solo: solo, FBR: r.Float64(), Mode: Spatial}
+			j.Done = func(j *Job) {
+				if j.Finished-j.Submitted < solo-time.Microsecond {
+					ok = false
+				}
+			}
+			eng.Schedule(time.Duration(r.Intn(200))*time.Millisecond, func() { d.Submit(j) })
+		}
+		eng.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreColocationMoreInterference(t *testing.T) {
+	// Interference must grow monotonically with co-location degree — the
+	// mechanism behind the MPS-only schemes' tail latency.
+	avgInterference := func(n int) time.Duration {
+		eng := sim.NewEngine()
+		d := New(eng, gpuSpec(), 0)
+		var total time.Duration
+		for i := 0; i < n; i++ {
+			d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.5, Mode: Spatial,
+				Done: func(j *Job) { total += j.Interference() }})
+		}
+		eng.RunAll()
+		return total / time.Duration(n)
+	}
+	i2, i4, i8 := avgInterference(2), avgInterference(4), avgInterference(8)
+	if !(i2 < i4 && i4 < i8) {
+		t.Fatalf("interference not monotone: n=2:%v n=4:%v n=8:%v", i2, i4, i8)
+	}
+	if i8 < 100*time.Millisecond {
+		t.Fatalf("8-way co-location interference %v suspiciously low", i8)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Spatial.String() != "spatial" || Queued.String() != "queued" {
+		t.Fatal("Mode.String broken")
+	}
+}
+
+func TestLaneBacklogSolo(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	for i := 0; i < 3; i++ {
+		d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.2, Mode: Queued, Done: func(*Job) {}})
+	}
+	// One running (100ms left) + two waiting (200ms) = 300ms.
+	approxDur(t, d.LaneBacklogSolo(), 300*time.Millisecond, time.Microsecond, "lane backlog")
+	eng.Run(50 * time.Millisecond)
+	approxDur(t, d.LaneBacklogSolo(), 250*time.Millisecond, time.Microsecond, "lane backlog mid-run")
+	eng.RunAll()
+	if d.LaneBacklogSolo() != 0 {
+		t.Fatalf("lane backlog after drain = %v", d.LaneBacklogSolo())
+	}
+}
+
+func TestActiveCompute(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	d.Submit(&Job{Batch: 1, Solo: time.Second, FBR: 0.1, Compute: 0.3, Mode: Spatial, Done: func(*Job) {}})
+	d.Submit(&Job{Batch: 1, Solo: time.Second, FBR: 0.1, Compute: 0.5, Mode: Spatial, Done: func(*Job) {}})
+	if got := d.ActiveCompute(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("ActiveCompute = %v, want 0.8", got)
+	}
+}
+
+func TestComputeContentionBindsWhenSaturated(t *testing.T) {
+	// Two jobs each occupying 0.9 of the device's compute: C = 1.8 binds
+	// (bandwidth is low), so both finish at Solo * 1.8 * clientOverhead(2).
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var finished []*Job
+	mk := func() *Job {
+		return &Job{Batch: 64, Solo: 100 * time.Millisecond, FBR: 0.1, Compute: 0.9,
+			Mode: Spatial, Done: func(j *Job) { finished = append(finished, j) }}
+	}
+	d.Submit(mk())
+	d.Submit(mk())
+	eng.RunAll()
+	want := time.Duration(float64(100*time.Millisecond) * 1.8 * profile.ClientOverhead(2))
+	for _, j := range finished {
+		approxDur(t, j.Finished, want, 50*time.Microsecond, "compute-bound finish")
+	}
+}
+
+func TestFailDuringLaneWait(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	results := 0
+	for i := 0; i < 4; i++ {
+		d.Submit(&Job{Batch: 1, Solo: time.Second, FBR: 0.2, Mode: Queued,
+			Done: func(j *Job) {
+				if !j.Failed {
+					panic("job survived a failure")
+				}
+				results++
+			}})
+	}
+	d.Fail()
+	if results != 4 {
+		t.Fatalf("failed callbacks = %d, want 4 (running + lane-waiting)", results)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	if d.Spec().Accel != "M60" {
+		t.Fatal("Spec accessor broken")
+	}
+	if d.Failed() {
+		t.Fatal("fresh device reports failed")
+	}
+	d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.4, Mode: Spatial, Done: func(*Job) {}})
+	d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.3, Mode: Queued, Done: func(*Job) {}})
+	d.Submit(&Job{Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.3, Mode: Queued, Done: func(*Job) {}})
+	if got := d.ActiveDemand(); math.Abs(got-0.7) > 1e-12 { // spatial + running lane job
+		t.Fatalf("ActiveDemand = %v, want 0.7", got)
+	}
+	if d.LaneLength() != 1 {
+		t.Fatalf("LaneLength = %d, want 1 waiting", d.LaneLength())
+	}
+	eng.RunAll()
+	if d.JobsDone() != 3 {
+		t.Fatalf("JobsDone = %d, want 3", d.JobsDone())
+	}
+	if d.BusyTime() <= 0 {
+		t.Fatal("BusyTime not accumulated")
+	}
+	d.Fail()
+	if !d.Failed() {
+		t.Fatal("Failed() false after Fail()")
+	}
+}

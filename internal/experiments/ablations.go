@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: how much of
+// Paldia's win comes from prediction, from the hybrid split, from the
+// debounced hardware switching, and how accurate the Eq. (1) performance
+// model is against the simulated ground truth (the paper reports <4% error
+// for its approximation).
+
+// AblationPrediction compares full Paldia against a variant whose hardware
+// selection sees only the observed (not forecast) rate — isolating the value
+// of the EWMA-with-trend predictor and the procurement lead.
+func AblationPrediction(o Options) *Table {
+	o = o.normalize()
+	t := &Table{
+		ID:      "ablation-prediction",
+		Title:   "Ablation: predictive vs reactive hardware selection",
+		Columns: []string{"trace", "variant", "SLO compliance", "P99", "cost", "hw switches"},
+	}
+	variants := []struct {
+		name string
+		s    core.Scheme
+	}{
+		{"Paldia (predictive)", core.NewPaldia()},
+		{"Paldia w/o prediction", core.NewPaldiaReactive()},
+		{"Oracle (clairvoyant)", core.NewOracle()},
+	}
+
+	resnet := model.MustByName("ResNet 50")
+	dpn := model.MustByName("DPN 92")
+	azureMean := dpn.DefaultPeakRPS() * 55 / 673
+	cases := []struct {
+		label string
+		m     model.Spec
+		gen   traceGen
+	}{
+		{"Azure (gentle ramps)", resnet, azureGen(o, resnet)},
+		{"Twitter (erratic)", dpn, func(rng *sim.RNG) *trace.Trace {
+			return trace.Twitter(rng, 5*azureMean, o.dur(trace.TwitterDuration))
+		}},
+	}
+	for _, c := range cases {
+		for _, v := range variants {
+			a := runRepeated(o, c.m, c.gen, v.s, nil)
+			switches := 0
+			for _, r := range a.Results {
+				switches += r.Switches
+			}
+			t.Rows = append(t.Rows, []string{
+				c.label, v.name, pct(a.Compliance), msec(a.P99), dollars(a.Cost),
+				fmt.Sprint(switches / len(a.Results)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"on gentle ramps the observed-rate variant can keep up; the forecast's lead "+
+			"matters as traffic gets steeper and more erratic")
+	return t
+}
+
+// AblationHybrid compares Paldia against variants whose Job Distributor is
+// pinned to all-spatial or all-queued while keeping Paldia's hardware
+// selection — isolating the hybrid split's contribution.
+func AblationHybrid(o Options) *Table {
+	o = o.normalize()
+	m := model.MustByName("GoogleNet")
+	v100 := hardware.MostPerformant(hardware.GPU)
+	rate := ExhaustionRate(m)
+	gen := func(rng *sim.RNG) *trace.Trace {
+		return trace.Poisson(rng, rate, o.dur(10*time.Minute))
+	}
+	pin := func(cfg *core.Config) { cfg.InitialHardware = &v100 }
+	t := &Table{
+		ID:      "ablation-hybrid",
+		Title:   "Ablation: hybrid vs pure sharing at the V100's capacity (GoogleNet, Poisson)",
+		Columns: []string{"job distribution", "SLO compliance", "P99"},
+	}
+	variants := []struct {
+		name string
+		s    core.Scheme
+	}{
+		{"hybrid (Eq. 1 split)", core.NewPaldiaPinned(v100)},
+		{"all spatial (MPS only)", core.NewMPSOnly(v100, "(V100)")},
+		{"all queued (time only)", core.NewTimeSharedOnly(v100, "(V100)")},
+	}
+	for _, v := range variants {
+		a := runRepeated(o, m, gen, v.s, pin)
+		t.Rows = append(t.Rows, []string{v.name, pct(a.Compliance), msec(a.P99)})
+	}
+	return t
+}
+
+// AblationWaitLimit sweeps Algorithm 1's wait_limit (the consecutive-
+// mismatch debounce before reconfiguring).
+func AblationWaitLimit(o Options) *Table {
+	o = o.normalize()
+	m := model.MustByName("ResNet 50")
+	t := &Table{
+		ID:      "ablation-waitlimit",
+		Title:   "Ablation: Algorithm 1 wait_limit debounce (ResNet 50, Azure trace)",
+		Columns: []string{"wait_limit", "SLO compliance", "cost", "hw switches"},
+	}
+	for _, wl := range []int{1, 3, 6, 12} {
+		s := core.NewPaldiaWithWaitLimit(wl)
+		a := runRepeated(o, m, azureGen(o, m), s, nil)
+		switches := 0
+		for _, r := range a.Results {
+			switches += r.Switches
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(wl), pct(a.Compliance), dollars(a.Cost),
+			fmt.Sprint(switches / len(a.Results)),
+		})
+	}
+	t.Notes = append(t.Notes, "the paper uses 3; low values chase noise, high values miss surges")
+	return t
+}
+
+// AblationKeepAlive sweeps the delayed-termination window.
+func AblationKeepAlive(o Options) *Table {
+	o = o.normalize()
+	m := model.MustByName("ResNet 50")
+	t := &Table{
+		ID:      "ablation-keepalive",
+		Title:   "Ablation: container keep-alive window (ResNet 50, Azure trace)",
+		Columns: []string{"keep-alive", "container boots", "blocking cold starts", "SLO compliance"},
+	}
+	for _, ka := range []time.Duration{time.Nanosecond, time.Minute, 10 * time.Minute, time.Hour} {
+		mut := func(cfg *core.Config) { cfg.KeepAlive = ka }
+		a := runRepeated(o, m, azureGen(o, m), core.NewPaldia(), mut)
+		var boots, colds uint64
+		for _, r := range a.Results {
+			boots += r.Boots
+			colds += r.SyncColdStarts
+		}
+		n := uint64(len(a.Results))
+		label := ka.String()
+		if ka == time.Nanosecond {
+			label = "immediate"
+		}
+		t.Rows = append(t.Rows, []string{
+			label, fmt.Sprint(boots / n), fmt.Sprint(colds / n), pct(a.Compliance),
+		})
+	}
+	return t
+}
+
+// AblationDispatchWindow sweeps the batching/dispatch window.
+func AblationDispatchWindow(o Options) *Table {
+	o = o.normalize()
+	m := model.MustByName("ResNet 50")
+	t := &Table{
+		ID:      "ablation-window",
+		Title:   "Ablation: dispatch window (ResNet 50, Azure trace)",
+		Columns: []string{"window", "SLO compliance", "P99", "GPU util"},
+	}
+	for _, w := range []time.Duration{10 * time.Millisecond, 25 * time.Millisecond,
+		50 * time.Millisecond, 100 * time.Millisecond} {
+		mut := func(cfg *core.Config) { cfg.DispatchWindow = w }
+		a := runRepeated(o, m, azureGen(o, m), core.NewPaldia(), mut)
+		t.Rows = append(t.Rows, []string{
+			w.String(), pct(a.Compliance), msec(a.P99), pct(a.UtilGPU),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"larger windows amortize launch overhead but spend SLO budget on batching wait")
+	return t
+}
+
+// ModelError validates the scheduler's performance model against the
+// simulated ground truth, the analogue of the paper's "<4% error" claim for
+// its queued-execution approximation: random hybrid workloads are executed
+// on an idle device and the realized completion time of the last request is
+// compared with Eq. (1)'s prediction.
+func ModelError(o Options) *Table {
+	o = o.normalize()
+	rng := sim.NewRNG(o.Seed).Stream("model-error")
+	gpus := hardware.GPUs()
+	models := model.VisionModels()
+
+	var errs []float64
+	trials := 200
+	for trial := 0; trial < trials; trial++ {
+		m := models[rng.Intn(len(models))]
+		hw := gpus[rng.Intn(len(gpus))]
+		e := profile.Lookup(m, hw)
+		n := (1 + rng.Intn(8)) * e.PreferredBatch / 2 // 0.5..4 batches worth
+		if n < 1 {
+			n = 1
+		}
+		in := perfmodel.Inputs{
+			Solo:        e.SoloBatch,
+			BatchSize:   e.PreferredBatch,
+			FBR:         e.FBR,
+			ComputeFrac: e.ComputeFrac,
+			N:           n,
+			SLO:         time.Second,
+		}
+		y, predicted, _ := perfmodel.BestY(in)
+
+		// Ground truth: submit the same split to an idle device and measure
+		// the last completion.
+		eng := sim.NewEngine()
+		dev := device.New(eng, hw, 0)
+		var last time.Duration
+		submit := func(count int, mode device.Mode) {
+			for count > 0 {
+				b := count
+				if b > e.PreferredBatch {
+					b = e.PreferredBatch
+				}
+				count -= b
+				dev.Submit(&device.Job{
+					Batch:   b,
+					Solo:    profile.Solo(m, hw, b),
+					FBR:     e.FBR,
+					Compute: profile.ComputeFraction(m, hw, b),
+					Mode:    mode,
+					Done: func(j *device.Job) {
+						if j.Finished > last {
+							last = j.Finished
+						}
+					},
+				})
+			}
+		}
+		submit(n-y, device.Spatial)
+		submit(y, device.Queued)
+		eng.RunAll()
+
+		if last > 0 {
+			err := math.Abs(float64(predicted-last)) / float64(last)
+			errs = append(errs, err)
+		}
+	}
+	sort.Float64s(errs)
+	mean := 0.0
+	for _, e := range errs {
+		mean += e
+	}
+	mean /= float64(len(errs))
+	q := func(p float64) float64 { return errs[int(p*float64(len(errs)-1))] }
+
+	return &Table{
+		ID:      "modelerror",
+		Title:   "Eq. (1) prediction error vs simulated ground truth (random hybrid workloads)",
+		Columns: []string{"statistic", "relative error"},
+		Rows: [][]string{
+			{"mean", fmt.Sprintf("%.2f%%", mean*100)},
+			{"median", fmt.Sprintf("%.2f%%", q(0.5)*100)},
+			{"P90", fmt.Sprintf("%.2f%%", q(0.9)*100)},
+			{"max", fmt.Sprintf("%.2f%%", q(1.0)*100)},
+		},
+		Notes: []string{fmt.Sprintf("%d random (model, GPU, N) trials on an idle device; "+
+			"the paper reports <4%% error for its queued-execution approximation", trials)},
+	}
+}

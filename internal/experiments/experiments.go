@@ -1,0 +1,277 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) on the simulated substrate. Each experiment is a
+// function from Options to a Table of the same rows/series the paper plots;
+// cmd/paldia-experiments renders them, and bench_test.go exposes one
+// benchmark per experiment.
+//
+// Absolute numbers differ from the paper (the substrate is a calibrated
+// simulator, not the authors' EC2 cluster); the experiments are judged on
+// shape: which scheme wins, by roughly what factor, and where the
+// crossovers fall. EXPERIMENTS.md records paper-vs-measured for every entry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/svgplot"
+	"repro/internal/trace"
+)
+
+// Options control experiment scale and reproducibility.
+type Options struct {
+	// Seed roots all randomness.
+	Seed uint64
+	// Reps is the number of repetitions per data point; results aggregate
+	// with the paper's outlier rule (drop beyond 2.5 sigma). The paper uses
+	// 5.
+	Reps int
+	// Scale shrinks trace durations for quick runs (1 = paper scale).
+	Scale float64
+}
+
+// Default returns paper-like options at a tractable repetition count.
+func Default() Options { return Options{Seed: 42, Reps: 3, Scale: 1} }
+
+func (o Options) normalize() Options {
+	if o.Reps < 1 {
+		o.Reps = 1
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// dur scales a paper-scale duration.
+func (o Options) dur(d time.Duration) time.Duration {
+	s := time.Duration(float64(d) * o.Scale)
+	if s < 30*time.Second {
+		s = 30 * time.Second
+	}
+	return s
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("fig3", "table2", ...).
+	ID string
+	// Title describes what the paper's figure/table shows.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, as formatted strings.
+	Rows [][]string
+	// Notes carry caveats and substitutions.
+	Notes []string
+	// Plot, when non-empty, is a terminal chart of the figure's shape.
+	Plot string
+	// SVGs are renderable figure files (written by paldia-experiments -svg).
+	SVGs []SVGFigure
+}
+
+// SVGFigure is one renderable figure of an experiment.
+type SVGFigure struct {
+	// Name is the file stem, e.g. "fig3-compliance".
+	Name string
+	// Render writes the standalone SVG.
+	Render func(w io.Writer) error
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Plot != "" {
+		fmt.Fprintf(&b, "\n%s", t.Plot)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\nnote: %s\n", n)
+	}
+	return b.String()
+}
+
+// Cell returns one data cell (empty string when out of range).
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}
+
+// FindRow returns the index of the first row whose given column equals
+// value, or -1.
+func (t *Table) FindRow(col int, value string) int {
+	for i, row := range t.Rows {
+		if col < len(row) && row[col] == value {
+			return i
+		}
+	}
+	return -1
+}
+
+// ParsePct converts a table cell like "99.25%" back into a fraction; it
+// returns -1 for malformed cells.
+func ParsePct(cell string) float64 {
+	var v float64
+	if _, err := fmt.Sscanf(cell, "%f%%", &v); err != nil {
+		return -1
+	}
+	return v / 100
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(t.ID), t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Plot != "" {
+		fmt.Fprintf(&b, "\n```\n%s```\n", t.Plot)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*Note: %s*\n", n)
+	}
+	return b.String()
+}
+
+// aggregate is the per-scheme mean metrics over repetitions.
+type aggregate struct {
+	Compliance float64
+	Cost       float64
+	P99        time.Duration
+	Power      float64
+	UtilCPU    float64
+	UtilGPU    float64
+	Results    []core.Result // every repetition, for detail extraction
+}
+
+// traceGen builds a trace for one repetition.
+type traceGen func(rng *sim.RNG) *trace.Trace
+
+// mutator tweaks the run config (failures, host factors, pins).
+type mutator func(cfg *core.Config)
+
+// runRepeated executes Reps repetitions of (model, trace, scheme) and
+// aggregates with the paper's outlier rule.
+func runRepeated(o Options, m model.Spec, gen traceGen, scheme core.Scheme, mut mutator) aggregate {
+	var compl, cost, p99, power, ucpu, ugpu []float64
+	var results []core.Result
+	for rep := 0; rep < o.Reps; rep++ {
+		rng := sim.NewRNG(o.Seed).Child(fmt.Sprintf("rep-%d", rep))
+		cfg := core.Config{
+			Model:  m,
+			Trace:  gen(rng),
+			Scheme: scheme,
+			Seed:   rng.Seed(),
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		res := core.Run(cfg)
+		results = append(results, res)
+		compl = append(compl, res.SLOCompliance)
+		cost = append(cost, res.Cost)
+		p99 = append(p99, float64(res.P99))
+		power = append(power, res.AvgPowerW)
+		ucpu = append(ucpu, res.UtilCPU)
+		ugpu = append(ugpu, res.UtilGPU)
+	}
+	const k = 2.5
+	return aggregate{
+		Compliance: metrics.MeanDropOutliers(compl, k),
+		Cost:       metrics.MeanDropOutliers(cost, k),
+		P99:        time.Duration(metrics.MeanDropOutliers(p99, k)),
+		Power:      metrics.MeanDropOutliers(power, k),
+		UtilCPU:    metrics.MeanDropOutliers(ucpu, k),
+		UtilGPU:    metrics.MeanDropOutliers(ugpu, k),
+		Results:    results,
+	}
+}
+
+// azureGen returns the standard Azure trace generator for a model.
+func azureGen(o Options, m model.Spec) traceGen {
+	return func(rng *sim.RNG) *trace.Trace {
+		return trace.Azure(rng, m.DefaultPeakRPS(), o.dur(trace.AzureDuration))
+	}
+}
+
+// standardSchemes are the five evaluated schemes in plotting order.
+func standardSchemes() []core.Scheme { return core.StandardSchemes() }
+
+func pct(f float64) string     { return fmt.Sprintf("%.2f%%", f*100) }
+func dollars(f float64) string { return fmt.Sprintf("$%.4f", f) }
+func msec(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}
+
+// attachGroupedBars adds a grouped-bar SVG figure to a table.
+func attachGroupedBars(t *Table, name, title string, groups, series []string,
+	values [][]float64, yMax float64, unit string) {
+	g := &svgplot.GroupedBars{
+		Title: title, Groups: groups, Series: series, Values: values,
+		YMax: yMax, Unit: unit,
+	}
+	t.SVGs = append(t.SVGs, SVGFigure{Name: name, Render: g.Render})
+}
+
+// normalizeMax scales values so the maximum is 1.
+func normalizeMax(values []float64) []float64 {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(values))
+	if max == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / max
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package hardware describes the heterogeneous compute nodes a provider can
+// place serverless functions on. The catalog mirrors Table II of the Paldia
+// paper: three GPU-equipped EC2 shapes (V100, K80, M60) and three CPU-only
+// shapes (two IceLake, one Broadwell), with their on-demand hourly prices.
+//
+// The performance-relevant fields (ComputeScore, MemBWGBps, power) are not in
+// the paper; they are calibrated from public specifications of the underlying
+// silicon so that the *ratios* between nodes — which are all the scheduling
+// policies consume — match reality: the V100 is roughly 3x the M60 on
+// compute and ~5.6x on memory bandwidth, CPUs are an order of magnitude
+// slower for dense inference, and so on.
+package hardware
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind distinguishes the primary compute device of a node.
+type Kind int
+
+const (
+	// CPU nodes serve inference with the ML framework's batched CPU mode.
+	CPU Kind = iota
+	// GPU nodes serve inference on the accelerator and support both time
+	// sharing and spatial sharing (MPS).
+	GPU
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one node type the provider can procure.
+type Spec struct {
+	// Name is the instance type, e.g. "p3.2xlarge".
+	Name string
+	// Accel names the primary compute hardware, e.g. "V100" or "IceLake".
+	Accel string
+	// Kind is the node class (CPU-only or GPU-equipped).
+	Kind Kind
+	// CostPerHour is the on-demand price in dollars (Table II).
+	CostPerHour float64
+	// MemGB is the CPU or GPU memory in GiB (Table II).
+	MemGB float64
+
+	// ComputeScore is the relative dense-inference throughput of the primary
+	// compute device. It is normalized so that the V100 scores 14.0 (its
+	// peak FP32 TFLOP/s); solo execution latency scales as 1/ComputeScore.
+	ComputeScore float64
+	// MemBWGBps is the device global-memory bandwidth in GB/s; it is the
+	// denominator of the Fractional Bandwidth Requirement (FBR) and only
+	// meaningful for GPU nodes.
+	MemBWGBps float64
+	// VCPUs is the host vCPU count. CPU nodes execute one batch at a time
+	// using the whole node (the ML framework's batched CPU mode); VCPUs
+	// matters for host-side contention with co-resident "regular" serverless
+	// workloads (Table III).
+	VCPUs int
+
+	// IdlePowerW and PeakPowerW bound the node's linear power model.
+	IdlePowerW float64
+	PeakPowerW float64
+
+	// ProcureDelay is the time from requesting the node (VM launch) until
+	// containers can be spawned on it.
+	ProcureDelay time.Duration
+}
+
+// IsGPU reports whether the node's primary compute device is a GPU.
+func (s Spec) IsGPU() bool { return s.Kind == GPU }
+
+// CostPerSecond converts the hourly price.
+func (s Spec) CostPerSecond() float64 { return s.CostPerHour / 3600 }
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%s, $%.2f/h)", s.Name, s.Accel, s.CostPerHour)
+}
+
+// Catalog returns the Table II node types, cheapest first. The returned slice
+// is a fresh copy; callers may reorder it freely.
+func Catalog() []Spec {
+	c := make([]Spec, len(catalog))
+	copy(c, catalog)
+	return c
+}
+
+// GPUs returns only the GPU-equipped nodes, cheapest first.
+func GPUs() []Spec { return filter(GPU) }
+
+// CPUs returns only the CPU-only nodes, cheapest first.
+func CPUs() []Spec { return filter(CPU) }
+
+func filter(k Kind) []Spec {
+	var out []Spec
+	for _, s := range catalog {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName looks a node type up by instance name or accelerator name
+// (case-sensitive). The boolean reports whether it was found.
+func ByName(name string) (Spec, bool) {
+	for _, s := range catalog {
+		if s.Name == name || s.Accel == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// MostPerformant returns the node with the highest ComputeScore among the
+// given kind; with kind==GPU and the default catalog this is the V100 node,
+// the hardware the paper's "(P)" baselines always use.
+func MostPerformant(k Kind) Spec {
+	var best Spec
+	for _, s := range catalog {
+		if s.Kind == k && s.ComputeScore > best.ComputeScore {
+			best = s
+		}
+	}
+	return best
+}
+
+// SortByCostAscending orders specs cheapest-first (Algorithm 1 sorts the
+// hardware pool this way before probing). Ties break by name for determinism.
+func SortByCostAscending(specs []Spec) {
+	sort.Slice(specs, func(i, j int) bool {
+		if specs[i].CostPerHour != specs[j].CostPerHour {
+			return specs[i].CostPerHour < specs[j].CostPerHour
+		}
+		return specs[i].Name < specs[j].Name
+	})
+}
+
+// DefaultProcureDelay is the VM launch latency used for every catalog node.
+// Hardware acquisition happens in the background (Algorithm 1's
+// reconfigure_HW), so its exact value only shifts how long the previous node
+// keeps serving.
+const DefaultProcureDelay = 4 * time.Second
+
+var catalog = []Spec{
+	{
+		Name: "m4.xlarge", Accel: "Broadwell", Kind: CPU,
+		CostPerHour: 0.20, MemGB: 8,
+		ComputeScore: 0.5, VCPUs: 2,
+		IdlePowerW: 40, PeakPowerW: 95,
+		ProcureDelay: DefaultProcureDelay,
+	},
+	{
+		Name: "c6i.2xlarge", Accel: "IceLake-8", Kind: CPU,
+		CostPerHour: 0.34, MemGB: 16,
+		ComputeScore: 1.1, VCPUs: 8,
+		IdlePowerW: 55, PeakPowerW: 140,
+		ProcureDelay: DefaultProcureDelay,
+	},
+	{
+		Name: "c6i.4xlarge", Accel: "IceLake-16", Kind: CPU,
+		CostPerHour: 0.68, MemGB: 32,
+		ComputeScore: 2.2, VCPUs: 16,
+		IdlePowerW: 70, PeakPowerW: 210,
+		ProcureDelay: DefaultProcureDelay,
+	},
+	{
+		Name: "g3s.xlarge", Accel: "M60", Kind: GPU,
+		CostPerHour: 0.75, MemGB: 8,
+		ComputeScore: 4.8, MemBWGBps: 160, VCPUs: 4,
+		IdlePowerW: 60, PeakPowerW: 210, // host + 120 W TDP board (half of M60 card)
+		ProcureDelay: DefaultProcureDelay,
+	},
+	{
+		Name: "p2.xlarge", Accel: "K80", Kind: GPU,
+		CostPerHour: 0.90, MemGB: 12,
+		ComputeScore: 5.6, MemBWGBps: 240, VCPUs: 4,
+		IdlePowerW: 70, PeakPowerW: 290,
+		ProcureDelay: DefaultProcureDelay,
+	},
+	{
+		Name: "p3.2xlarge", Accel: "V100", Kind: GPU,
+		CostPerHour: 3.06, MemGB: 16,
+		ComputeScore: 14.0, MemBWGBps: 900, VCPUs: 8,
+		IdlePowerW: 90, PeakPowerW: 390,
+		ProcureDelay: DefaultProcureDelay,
+	},
+}

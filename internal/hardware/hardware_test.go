@@ -1,0 +1,165 @@
+package hardware
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogMatchesTableII(t *testing.T) {
+	// Instance name -> (accelerator, $/h, mem GB) straight from Table II.
+	want := map[string]struct {
+		accel string
+		cost  float64
+		mem   float64
+		kind  Kind
+	}{
+		"p3.2xlarge":  {"V100", 3.06, 16, GPU},
+		"p2.xlarge":   {"K80", 0.90, 12, GPU},
+		"g3s.xlarge":  {"M60", 0.75, 8, GPU},
+		"c6i.4xlarge": {"IceLake-16", 0.68, 32, CPU},
+		"c6i.2xlarge": {"IceLake-8", 0.34, 16, CPU},
+		"m4.xlarge":   {"Broadwell", 0.20, 8, CPU},
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(cat), len(want))
+	}
+	for _, s := range cat {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected node %q", s.Name)
+			continue
+		}
+		if s.Accel != w.accel || s.CostPerHour != w.cost || s.MemGB != w.mem || s.Kind != w.kind {
+			t.Errorf("%s = {%s $%.2f %gGB %v}, want {%s $%.2f %gGB %v}",
+				s.Name, s.Accel, s.CostPerHour, s.MemGB, s.Kind, w.accel, w.cost, w.mem, w.kind)
+		}
+	}
+}
+
+func TestCatalogIsACopy(t *testing.T) {
+	a := Catalog()
+	a[0].CostPerHour = 999
+	b := Catalog()
+	if b[0].CostPerHour == 999 {
+		t.Fatal("mutating Catalog() result leaked into the package catalog")
+	}
+}
+
+func TestGPURelativePerformance(t *testing.T) {
+	v100, _ := ByName("V100")
+	m60, _ := ByName("M60")
+	k80, _ := ByName("K80")
+	if !(v100.ComputeScore > k80.ComputeScore && k80.ComputeScore > m60.ComputeScore) {
+		t.Fatalf("want V100 > K80 > M60 compute, got %v %v %v",
+			v100.ComputeScore, k80.ComputeScore, m60.ComputeScore)
+	}
+	if v100.MemBWGBps <= m60.MemBWGBps {
+		t.Fatal("V100 must have more memory bandwidth than M60")
+	}
+	// The paper's story needs the cheap GPU to saturate bandwidth much more
+	// easily: same-workload FBR on M60 should be several times the V100's.
+	ratio := v100.MemBWGBps / m60.MemBWGBps
+	if ratio < 3 {
+		t.Fatalf("V100/M60 bandwidth ratio = %.1f, want >= 3 for the interference story", ratio)
+	}
+}
+
+func TestMostPerformant(t *testing.T) {
+	if got := MostPerformant(GPU); got.Accel != "V100" {
+		t.Fatalf("MostPerformant(GPU) = %s, want V100", got.Accel)
+	}
+	if got := MostPerformant(CPU); got.Name != "c6i.4xlarge" {
+		t.Fatalf("MostPerformant(CPU) = %s, want c6i.4xlarge", got.Name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("p3.2xlarge"); !ok {
+		t.Fatal("ByName(p3.2xlarge) not found")
+	}
+	if _, ok := ByName("V100"); !ok {
+		t.Fatal("ByName(V100) by accelerator not found")
+	}
+	if _, ok := ByName("tpu.v5"); ok {
+		t.Fatal("ByName(tpu.v5) unexpectedly found")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	if n := len(GPUs()); n != 3 {
+		t.Fatalf("GPUs() returned %d nodes, want 3", n)
+	}
+	if n := len(CPUs()); n != 3 {
+		t.Fatalf("CPUs() returned %d nodes, want 3", n)
+	}
+	for _, s := range GPUs() {
+		if !s.IsGPU() {
+			t.Errorf("%s in GPUs() but IsGPU() is false", s.Name)
+		}
+	}
+}
+
+func TestSortByCostAscending(t *testing.T) {
+	specs := Catalog()
+	// Shuffle deterministically by reversing.
+	for i, j := 0, len(specs)-1; i < j; i, j = i+1, j-1 {
+		specs[i], specs[j] = specs[j], specs[i]
+	}
+	SortByCostAscending(specs)
+	for i := 1; i < len(specs); i++ {
+		if specs[i].CostPerHour < specs[i-1].CostPerHour {
+			t.Fatalf("not sorted at %d: %v after %v", i, specs[i], specs[i-1])
+		}
+	}
+	if specs[0].Name != "m4.xlarge" || specs[len(specs)-1].Name != "p3.2xlarge" {
+		t.Fatalf("cheapest/dearest = %s/%s, want m4.xlarge/p3.2xlarge",
+			specs[0].Name, specs[len(specs)-1].Name)
+	}
+}
+
+func TestCostPerSecond(t *testing.T) {
+	v100, _ := ByName("V100")
+	got := v100.CostPerSecond() * 3600
+	if diff := got - v100.CostPerHour; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("CostPerSecond*3600 = %v, want %v", got, v100.CostPerHour)
+	}
+}
+
+func TestPowerModelSane(t *testing.T) {
+	for _, s := range Catalog() {
+		if s.IdlePowerW <= 0 || s.PeakPowerW <= s.IdlePowerW {
+			t.Errorf("%s power model invalid: idle=%v peak=%v", s.Name, s.IdlePowerW, s.PeakPowerW)
+		}
+	}
+}
+
+// Property: SortByCostAscending is a permutation (no specs gained or lost).
+func TestSortPermutationProperty(t *testing.T) {
+	f := func(perm []uint8) bool {
+		specs := Catalog()
+		// Apply a pseudo-permutation driven by the fuzz input.
+		for i, p := range perm {
+			j := int(p) % len(specs)
+			specs[i%len(specs)], specs[j] = specs[j], specs[i%len(specs)]
+		}
+		SortByCostAscending(specs)
+		seen := map[string]bool{}
+		for _, s := range specs {
+			seen[s.Name] = true
+		}
+		return len(seen) == len(specs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown Kind.String broken")
+	}
+}

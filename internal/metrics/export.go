@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the per-request export schema.
+var csvHeader = []string{
+	"arrival_s", "latency_ms", "batch_wait_ms", "queue_delay_ms",
+	"interference_ms", "cold_start_ms", "min_exec_ms", "failed", "slo_ok",
+}
+
+// WriteCSV exports every request record for offline analysis (one row per
+// request, times in seconds/milliseconds).
+func (c *Collector) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	ms := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+	}
+	for _, r := range c.records {
+		row := []string{
+			strconv.FormatFloat(r.Arrival.Seconds(), 'f', 6, 64),
+			ms(r.Latency), ms(r.BatchWait), ms(r.QueueDelay),
+			ms(r.Interference), ms(r.ColdStart), ms(r.MinExec),
+			strconv.FormatBool(r.Failed),
+			strconv.FormatBool(!r.Failed && r.Latency <= c.SLO),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records previously written with WriteCSV into a collector
+// with the given SLO (the slo_ok column is recomputed, not trusted).
+func ReadCSV(r io.Reader, slo time.Duration) (*Collector, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	c := NewCollector(slo)
+	for i, row := range rows {
+		if i == 0 && len(row) > 0 && row[0] == csvHeader[0] {
+			continue // header
+		}
+		if len(row) < 8 {
+			continue
+		}
+		f := func(s string) float64 {
+			v, _ := strconv.ParseFloat(s, 64)
+			return v
+		}
+		ms := func(s string) time.Duration {
+			return time.Duration(f(s) * float64(time.Millisecond))
+		}
+		failed, _ := strconv.ParseBool(row[7])
+		c.Add(Record{
+			Arrival:      time.Duration(f(row[0]) * float64(time.Second)),
+			Latency:      ms(row[1]),
+			BatchWait:    ms(row[2]),
+			QueueDelay:   ms(row[3]),
+			Interference: ms(row[4]),
+			ColdStart:    ms(row[5]),
+			MinExec:      ms(row[6]),
+			Failed:       failed,
+		})
+	}
+	return c, nil
+}

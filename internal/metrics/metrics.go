@@ -1,0 +1,272 @@
+// Package metrics collects per-request outcomes and computes every quantity
+// the paper's evaluation reports: SLO compliance, tail latency percentiles,
+// end-to-end latency CDFs, the tail-latency breakdown into minimum possible
+// execution time / queueing delay / interference overhead (Figs. 1 and 4),
+// goodput over peak-traffic windows (Fig. 7a), and helper statistics for
+// aggregating repetitions the way the paper does (outliers beyond 2.5
+// standard deviations dropped).
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Record is the outcome of one request.
+type Record struct {
+	// Arrival is the request's arrival instant.
+	Arrival time.Duration
+	// Latency is the end-to-end response time (arrival to completion).
+	Latency time.Duration
+	// BatchWait is the time spent in the batcher before dispatch.
+	BatchWait time.Duration
+	// QueueDelay is the time the request's job waited on the device.
+	QueueDelay time.Duration
+	// Interference is the execution inflation from co-located jobs.
+	Interference time.Duration
+	// ColdStart is container startup time serialized before execution.
+	ColdStart time.Duration
+	// MinExec is the profiled solo execution latency of the request's batch
+	// on the hardware that served it ("Min possible time" in Figs. 1 and 4).
+	MinExec time.Duration
+	// Failed marks requests lost to node failures or overload shedding;
+	// they always count as SLO violations.
+	Failed bool
+}
+
+// Collector accumulates request records for one experiment run.
+type Collector struct {
+	SLO time.Duration
+
+	records []Record
+	sorted  []time.Duration // latencies sorted; nil when stale
+}
+
+// NewCollector returns a collector judging requests against the given SLO.
+func NewCollector(slo time.Duration) *Collector {
+	return &Collector{SLO: slo}
+}
+
+// Add appends one request outcome.
+func (c *Collector) Add(r Record) {
+	c.records = append(c.records, r)
+	c.sorted = nil
+}
+
+// Count returns the number of recorded requests.
+func (c *Collector) Count() int { return len(c.records) }
+
+// Records exposes the raw records (read-only by convention).
+func (c *Collector) Records() []Record { return c.records }
+
+// SLOCompliance returns the fraction of requests that completed within the
+// SLO, in [0, 1]. Failed requests always violate. An empty collector reports
+// 1 (no request missed its target).
+func (c *Collector) SLOCompliance() float64 {
+	if len(c.records) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, r := range c.records {
+		if !r.Failed && r.Latency <= c.SLO {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(c.records))
+}
+
+// Violations returns the number of requests that missed the SLO or failed.
+func (c *Collector) Violations() int {
+	v := 0
+	for _, r := range c.records {
+		if r.Failed || r.Latency > c.SLO {
+			v++
+		}
+	}
+	return v
+}
+
+func (c *Collector) ensureSorted() {
+	if c.sorted != nil {
+		return
+	}
+	c.sorted = make([]time.Duration, len(c.records))
+	for i, r := range c.records {
+		c.sorted[i] = r.Latency
+	}
+	sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i] < c.sorted[j] })
+}
+
+// Percentile returns the p-th latency percentile (p in (0,100]), using the
+// nearest-rank method. It returns 0 for an empty collector.
+func (c *Collector) Percentile(p float64) time.Duration {
+	if len(c.records) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(c.sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(c.sorted) {
+		rank = len(c.sorted)
+	}
+	return c.sorted[rank-1]
+}
+
+// Mean returns the mean end-to-end latency.
+func (c *Collector) Mean() time.Duration {
+	if len(c.records) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, r := range c.records {
+		sum += r.Latency
+	}
+	return sum / time.Duration(len(c.records))
+}
+
+// CDFPoint is one point of a latency CDF.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64 // fraction of requests with latency <= Latency
+}
+
+// CDF returns the end-to-end latency CDF sampled at n evenly spaced
+// fractions (Fig. 6).
+func (c *Collector) CDF(n int) []CDFPoint {
+	if len(c.records) == 0 || n <= 0 {
+		return nil
+	}
+	c.ensureSorted()
+	out := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		f := float64(i+1) / float64(n)
+		idx := int(f*float64(len(c.sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = CDFPoint{Latency: c.sorted[idx], Fraction: f}
+	}
+	return out
+}
+
+// Breakdown decomposes latency into the paper's Fig. 1/4 components.
+type Breakdown struct {
+	// MinExec is the interference- and queueing-free execution time.
+	MinExec time.Duration
+	// BatchWait is time spent forming the batch.
+	BatchWait time.Duration
+	// QueueDelay is device queueing (time sharing) delay.
+	QueueDelay time.Duration
+	// Interference is execution inflation from spatial co-location.
+	Interference time.Duration
+	// ColdStart is container startup serialized into the request.
+	ColdStart time.Duration
+	// Total is the end-to-end latency.
+	Total time.Duration
+}
+
+// TailBreakdown averages the latency components of the requests in the
+// percentile band [pLo, pHi] — e.g. (99, 99.5) reproduces the paper's P99
+// breakdown figures.
+func (c *Collector) TailBreakdown(pLo, pHi float64) Breakdown {
+	if len(c.records) == 0 {
+		return Breakdown{}
+	}
+	lo := c.Percentile(pLo)
+	hi := c.Percentile(pHi)
+	var b Breakdown
+	n := 0
+	for _, r := range c.records {
+		if r.Latency < lo || r.Latency > hi {
+			continue
+		}
+		b.MinExec += r.MinExec
+		b.BatchWait += r.BatchWait
+		b.QueueDelay += r.QueueDelay
+		b.Interference += r.Interference
+		b.ColdStart += r.ColdStart
+		b.Total += r.Latency
+		n++
+	}
+	if n == 0 {
+		return Breakdown{}
+	}
+	d := time.Duration(n)
+	return Breakdown{
+		MinExec:      b.MinExec / d,
+		BatchWait:    b.BatchWait / d,
+		QueueDelay:   b.QueueDelay / d,
+		Interference: b.Interference / d,
+		ColdStart:    b.ColdStart / d,
+		Total:        b.Total / d,
+	}
+}
+
+// GoodputRPS returns the rate of requests served within the SLO whose
+// arrivals fall in [from, to) — the paper's goodput metric for peak-traffic
+// analysis.
+func (c *Collector) GoodputRPS(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	ok := 0
+	for _, r := range c.records {
+		if r.Arrival >= from && r.Arrival < to && !r.Failed && r.Latency <= c.SLO {
+			ok++
+		}
+	}
+	return float64(ok) / (to - from).Seconds()
+}
+
+// ArrivalRPS returns the arrival rate over [from, to).
+func (c *Collector) ArrivalRPS(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	n := 0
+	for _, r := range c.records {
+		if r.Arrival >= from && r.Arrival < to {
+			n++
+		}
+	}
+	return float64(n) / (to - from).Seconds()
+}
+
+// MeanDropOutliers averages values after discarding entries more than k
+// standard deviations from the mean — the paper's repetition-aggregation
+// rule (k = 2.5). With fewer than 3 values it returns the plain mean.
+func MeanDropOutliers(values []float64, k float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	mean, sd := meanStd(values)
+	if len(values) < 3 || sd == 0 {
+		return mean
+	}
+	var kept []float64
+	for _, v := range values {
+		if math.Abs(v-mean) <= k*sd {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		return mean
+	}
+	m, _ := meanStd(kept)
+	return m
+}
+
+func meanStd(values []float64) (mean, sd float64) {
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(len(values))
+	for _, v := range values {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(values)))
+	return mean, sd
+}

@@ -1,0 +1,57 @@
+// Package mixedload models the paper's mixed-workload study (Table III):
+// "regular" CPU-bound serverless workloads from the SeBS benchmark suite —
+// file compression, dynamic HTML generation, and image thumbnailing —
+// co-resident on each worker node's host CPU.
+//
+// The actual SeBS functions are not executed; what the study measures is the
+// slowdown they induce on co-resident inference. Each workload therefore
+// carries a host-CPU utilization share, and the package converts a set of
+// co-resident workloads into a host-contention factor per node class: CPU
+// nodes suffer directly (inference competes for the same cores), GPU nodes
+// only through host-side preprocessing and kernel dispatch.
+package mixedload
+
+import (
+	"repro/internal/hardware"
+)
+
+// Workload is one co-resident "regular" serverless workload.
+type Workload struct {
+	// Name identifies the SeBS benchmark.
+	Name string
+	// CPUShare is the average host-CPU fraction the workload consumes on a
+	// reference 8-vCPU node.
+	CPUShare float64
+}
+
+// SeBS returns the three workloads the paper co-locates.
+func SeBS() []Workload {
+	return []Workload{
+		{Name: "file-compression", CPUShare: 0.18},
+		{Name: "dynamic-html", CPUShare: 0.10},
+		{Name: "image-thumbnailing", CPUShare: 0.14},
+	}
+}
+
+// gpuHostSensitivity is how strongly host-CPU contention bleeds into
+// GPU-served inference (input decoding, batching, kernel launches). The
+// paper observes the effect is much weaker than on CPU-only nodes.
+const gpuHostSensitivity = 0.25
+
+// HostFactor converts co-resident workloads into the execution inflation
+// factor (>= 1) for inference on the given node class. On CPU nodes the
+// contention is direct: the inference job loses the share the regular
+// workloads consume. On GPU nodes only a fraction of that pressure is felt.
+func HostFactor(kind hardware.Kind, loads []Workload) float64 {
+	share := 0.0
+	for _, w := range loads {
+		share += w.CPUShare
+	}
+	if share > 0.9 {
+		share = 0.9
+	}
+	if kind == hardware.GPU {
+		share *= gpuHostSensitivity
+	}
+	return 1 / (1 - share)
+}

@@ -1,0 +1,50 @@
+package mixedload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hardware"
+)
+
+func TestSeBSWorkloads(t *testing.T) {
+	loads := SeBS()
+	if len(loads) != 3 {
+		t.Fatalf("SeBS has %d workloads, want 3 (compression, HTML, thumbnailing)", len(loads))
+	}
+	for _, w := range loads {
+		if w.CPUShare <= 0 || w.CPUShare >= 1 {
+			t.Errorf("%s CPUShare = %v out of (0,1)", w.Name, w.CPUShare)
+		}
+	}
+}
+
+func TestHostFactorCPUWorseThanGPU(t *testing.T) {
+	loads := SeBS()
+	cpu := HostFactor(hardware.CPU, loads)
+	gpu := HostFactor(hardware.GPU, loads)
+	if cpu <= gpu {
+		t.Fatalf("CPU factor %.2f not above GPU factor %.2f — contention must be "+
+			"'especially pronounced' on CPU nodes", cpu, gpu)
+	}
+	if cpu < 1.2 || cpu > 3 {
+		t.Fatalf("CPU host factor %.2f implausible", cpu)
+	}
+	if gpu < 1.02 || gpu > 1.5 {
+		t.Fatalf("GPU host factor %.2f implausible", gpu)
+	}
+}
+
+func TestHostFactorNoLoads(t *testing.T) {
+	if f := HostFactor(hardware.CPU, nil); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("factor with no loads = %v, want 1", f)
+	}
+}
+
+func TestHostFactorSaturates(t *testing.T) {
+	heavy := []Workload{{Name: "a", CPUShare: 0.6}, {Name: "b", CPUShare: 0.6}}
+	f := HostFactor(hardware.CPU, heavy)
+	if math.IsInf(f, 1) || f > 10.0001 {
+		t.Fatalf("factor = %v, want clamped at 10x", f)
+	}
+}

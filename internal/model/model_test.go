@@ -1,0 +1,131 @@
+package model
+
+import "testing"
+
+func TestCatalogSize(t *testing.T) {
+	if n := len(Catalog()); n != 16 {
+		t.Fatalf("catalog has %d models, want 16", n)
+	}
+	if n := len(VisionModels()); n != 12 {
+		t.Fatalf("%d vision models, want 12", n)
+	}
+	if n := len(LanguageModels()); n != 4 {
+		t.Fatalf("%d language models, want 4", n)
+	}
+}
+
+func TestCatalogNamesMatchPaper(t *testing.T) {
+	want := []string{
+		"ResNet 50", "GoogleNet", "DenseNet 121", "DPN 92", "VGG 19",
+		"ResNet 18", "MobileNet", "MobileNet V2", "SENet 18",
+		"ShuffleNet V2", "EfficientNet B0", "Simplified DLA",
+		"AlBERT", "BERT", "DistilBERT", "Funnel-Transformer",
+	}
+	got := Catalog()
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Errorf("catalog[%d] = %q, want %q", i, got[i].Name, name)
+		}
+	}
+}
+
+func TestMaxBatch(t *testing.T) {
+	for _, m := range VisionModels() {
+		if m.MaxBatch != 128 {
+			t.Errorf("%s MaxBatch = %d, want 128", m.Name, m.MaxBatch)
+		}
+	}
+	for _, m := range LanguageModels() {
+		if m.MaxBatch != 8 {
+			t.Errorf("%s MaxBatch = %d, want 8", m.Name, m.MaxBatch)
+		}
+	}
+}
+
+func TestPeakRPSClasses(t *testing.T) {
+	// The paper: high-FBR vision models (GoogleNet, DPN 92, etc.) get a
+	// 225 rps peak, the other vision models double that, language models 8.
+	cases := map[string]float64{
+		"GoogleNet":          225,
+		"DPN 92":             225,
+		"DenseNet 121":       225,
+		"VGG 19":             225,
+		"ResNet 50":          450,
+		"EfficientNet B0":    450,
+		"SENet 18":           450,
+		"BERT":               8,
+		"Funnel-Transformer": 8,
+	}
+	for name, want := range cases {
+		m := MustByName(name)
+		if got := m.DefaultPeakRPS(); got != want {
+			t.Errorf("%s DefaultPeakRPS = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestLanguageModelsHeavierThanVision(t *testing.T) {
+	// Language models must have "significantly higher execution times,
+	// memory footprints, and FBRs" (paper §VI-B). FBR scales with
+	// TrafficGBPerSample/GFLOPsPerSample; compare that ratio.
+	maxVision := 0.0
+	for _, m := range VisionModels() {
+		r := m.TrafficGBPerSample / m.GFLOPsPerSample
+		if r > maxVision {
+			maxVision = r
+		}
+	}
+	for _, m := range LanguageModels() {
+		r := m.TrafficGBPerSample / m.GFLOPsPerSample
+		if r <= maxVision {
+			t.Errorf("%s bandwidth intensity %.4f not above every vision model (max %.4f)", m.Name, r, maxVision)
+		}
+		if m.GFLOPsPerSample < 10 {
+			t.Errorf("%s GFLOPs/sample = %v, want >= 10 (much higher execution time)", m.Name, m.GFLOPsPerSample)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("ResNet 50"); !ok {
+		t.Fatal("ResNet 50 missing")
+	}
+	if _, ok := ByName("ResNet-50"); ok {
+		t.Fatal("ByName should be exact-match")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName on unknown model did not panic")
+		}
+	}()
+	MustByName("GPT-17")
+}
+
+func TestCatalogIsACopy(t *testing.T) {
+	a := Catalog()
+	a[0].GFLOPsPerSample = -1
+	if Catalog()[0].GFLOPsPerSample == -1 {
+		t.Fatal("Catalog() exposes shared state")
+	}
+}
+
+func TestSpecsPositive(t *testing.T) {
+	for _, m := range Catalog() {
+		if m.GFLOPsPerSample <= 0 || m.TrafficGBPerSample <= 0 ||
+			m.CPUFactor <= 0 || m.MemFootprintGB <= 0 || m.MaxBatch <= 0 {
+			t.Errorf("%s has a non-positive calibration constant: %+v", m.Name, m)
+		}
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if Vision.String() != "vision" || Language.String() != "language" {
+		t.Fatal("Domain.String broken")
+	}
+	if Domain(7).String() != "Domain(7)" {
+		t.Fatal("unknown Domain.String broken")
+	}
+}

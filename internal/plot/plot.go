@@ -1,0 +1,184 @@
+// Package plot renders small terminal charts — horizontal bar charts, line
+// charts and CDFs — so the experiment harness can show the *shape* of each
+// figure, not just its numbers. Everything is plain text, deterministic, and
+// dependency-free.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart. Values are scaled to width
+// characters against the maximum; negative values clamp to zero. The unit
+// string is appended to each printed value.
+func BarChart(title string, bars []Bar, width int, unit string) string {
+	if width < 8 {
+		width = 8
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	labelW, max := 0, 0.0
+	for _, bar := range bars {
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+		if bar.Value > max {
+			max = bar.Value
+		}
+	}
+	for _, bar := range bars {
+		v := bar.Value
+		if v < 0 {
+			v = 0
+		}
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %.4g%s\n", labelW, bar.Label, width,
+			strings.Repeat("█", n), bar.Value, unit)
+	}
+	return b.String()
+}
+
+// Series is one named line of a line chart.
+type Series struct {
+	Name string
+	// Points are (x, y) pairs, x ascending.
+	Points [][2]float64
+}
+
+// seriesGlyphs mark the lines of a multi-series chart.
+var seriesGlyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LineChart renders one or more series on a character grid of the given
+// size, with min/max axis annotations. Later series draw over earlier ones.
+func LineChart(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	finite := func(p [2]float64) bool {
+		return !math.IsNaN(p[0]) && !math.IsInf(p[0], 0) &&
+			!math.IsNaN(p[1]) && !math.IsInf(p[1], 0)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !finite(p) {
+				continue
+			}
+			minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, p := range s.Points {
+			if !finite(p) {
+				continue
+			}
+			// Extreme ranges can overflow to Inf/NaN in the scaling; clamp.
+			x := clampIndex((p[0]-minX)/(maxX-minX)*float64(width-1), width)
+			y := clampIndex((p[1]-minY)/(maxY-minY)*float64(height-1), height)
+			grid[height-1-y][x] = glyph
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, row := range grid {
+		edge := "|"
+		if i == 0 {
+			edge = fmt.Sprintf("%.4g", maxY)
+		} else if i == height-1 {
+			edge = fmt.Sprintf("%.4g", minY)
+		}
+		fmt.Fprintf(&b, "%8s %s\n", edge, string(row))
+	}
+	fmt.Fprintf(&b, "%8s %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%8s %c = %s\n", "", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// clampIndex converts a possibly non-finite scaled position into a valid
+// grid index.
+func clampIndex(v float64, n int) int {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if i := int(v); i < n {
+		return i
+	}
+	return n - 1
+}
+
+// CDF renders cumulative distributions: x = value, y = fraction in [0,1].
+// Values per series must be sorted ascending; fractions are implied by rank.
+func CDF(title string, names []string, values [][]float64, width, height int) string {
+	series := make([]Series, len(values))
+	for i, vs := range values {
+		pts := make([][2]float64, len(vs))
+		for j, v := range vs {
+			pts[j] = [2]float64{v, float64(j+1) / float64(len(vs))}
+		}
+		name := fmt.Sprintf("series %d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		series[i] = Series{Name: name, Points: pts}
+	}
+	return LineChart(title, series, width, height)
+}
+
+// Sparkline renders values as a compact one-line chart.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		min, max = math.Min(min, v), math.Max(max, v)
+	}
+	if max == min {
+		max = min + 1
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := int((v - min) / (max - min) * float64(len(ramp)-1))
+		b.WriteRune(ramp[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("demo", []Bar{
+		{Label: "Paldia", Value: 99.3},
+		{Label: "Molecule", Value: 85.0},
+		{Label: "zero", Value: 0},
+	}, 20, "%")
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "Paldia") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want title + 3 bars", len(lines))
+	}
+	// Larger value gets a longer bar.
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Fatal("bar lengths not ordered by value")
+	}
+	if strings.Count(lines[3], "█") != 0 {
+		t.Fatal("zero value drew a bar")
+	}
+}
+
+func TestBarChartNegativeClamped(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "a", Value: -5}, {Label: "b", Value: 5}}, 10, "")
+	if strings.Count(strings.Split(out, "\n")[0], "█") != 0 {
+		t.Fatal("negative value drew a bar")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	s := []Series{
+		{Name: "up", Points: [][2]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}},
+		{Name: "flat", Points: [][2]float64{{0, 1.5}, {3, 1.5}}},
+	}
+	out := LineChart("trend", s, 24, 6)
+	for _, want := range []string{"trend", "*", "o", "up", "flat", "3", "0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("none", nil, 20, 5)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart should say so:\n%s", out)
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	// Single point: both ranges degenerate; must not panic or divide by 0.
+	out := LineChart("dot", []Series{{Name: "p", Points: [][2]float64{{1, 1}}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("point not drawn:\n%s", out)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	out := CDF("latency", []string{"a", "b"},
+		[][]float64{{1, 2, 3, 10}, {2, 4, 6, 8}}, 30, 8)
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "a") {
+		t.Fatalf("bad CDF:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline length %d, want 8", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("ends wrong: %s", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	if len([]rune(Sparkline([]float64{5, 5, 5}))) != 3 {
+		t.Fatal("constant input mishandled")
+	}
+}
+
+// Property: rendering never panics and output line count is bounded by
+// height + decorations for arbitrary inputs.
+func TestLineChartRobustProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		pts := make([][2]float64, 0, n)
+		for i := 0; i < n; i++ {
+			// Skip NaN/Inf — chart contract is finite input.
+			if xs[i] != xs[i] || ys[i] != ys[i] {
+				continue
+			}
+			pts = append(pts, [2]float64{xs[i], ys[i]})
+		}
+		out := LineChart("t", []Series{{Name: "s", Points: pts}}, 20, 5)
+		return strings.Count(out, "\n") <= 5+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

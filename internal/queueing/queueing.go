@@ -1,0 +1,53 @@
+// Package queueing provides the small queueing-theory estimates the
+// scheduling policies lean on: utilization, M/D/1-style waiting times, and a
+// tail-flavoured worst-case wait. Serial devices (the batched CPU mode, the
+// GPU time-share lane) are single-server queues with near-deterministic
+// service, so these closed forms are the right first-order model for
+// Algorithm 1's approx_T_max.
+package queueing
+
+import "time"
+
+// Utilization returns the offered load of a single-server queue: arrival
+// rate times mean service time. Values >= 1 mean the queue is unstable.
+func Utilization(arrivalRPS float64, service time.Duration) float64 {
+	if arrivalRPS <= 0 || service <= 0 {
+		return 0
+	}
+	return arrivalRPS * service.Seconds()
+}
+
+// MD1Wait returns the mean queueing delay of an M/D/1 queue (Poisson
+// arrivals, deterministic service): W = rho/(2(1-rho)) * S. It returns a
+// very large sentinel (an hour) for rho >= 1, which callers treat as
+// "disqualified".
+func MD1Wait(rho float64, service time.Duration) time.Duration {
+	if rho <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return Unstable
+	}
+	return time.Duration(rho / (2 * (1 - rho)) * float64(service))
+}
+
+// TailWait returns a worst-case-flavoured wait estimate: four times the
+// M/D/1 mean. The waiting-time tail is near-exponential, so quantile q sits
+// at roughly mean * ln(1/(1-q)); 4x corresponds to ~P98 — the right flavour
+// for a T_max-style bound without modelling the full transform.
+func TailWait(rho float64, service time.Duration) time.Duration {
+	if rho >= 1 {
+		return Unstable
+	}
+	return 4 * MD1Wait(rho, service)
+}
+
+// Unstable is the sentinel returned when a queue's utilization is at or
+// beyond 1: no finite wait estimate exists.
+const Unstable = time.Hour
+
+// Stable reports whether the queue has headroom at the given utilization
+// threshold (e.g. 0.85).
+func Stable(rho, threshold float64) bool {
+	return rho < threshold
+}

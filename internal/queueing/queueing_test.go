@@ -1,0 +1,69 @@
+package queueing
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUtilization(t *testing.T) {
+	if got := Utilization(50, 10*time.Millisecond); got != 0.5 {
+		t.Fatalf("rho = %v, want 0.5", got)
+	}
+	if Utilization(0, time.Second) != 0 || Utilization(10, 0) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}
+
+func TestMD1Wait(t *testing.T) {
+	s := 100 * time.Millisecond
+	// rho=0.5: W = 0.5/(2*0.5) * S = 0.5 S.
+	if got := MD1Wait(0.5, s); got != 50*time.Millisecond {
+		t.Fatalf("W(0.5) = %v, want 50ms", got)
+	}
+	// rho=0.9: W = 0.9/0.2 * S = 4.5 S.
+	if got := MD1Wait(0.9, s); got != 450*time.Millisecond {
+		t.Fatalf("W(0.9) = %v, want 450ms", got)
+	}
+	if MD1Wait(1.0, s) != Unstable || MD1Wait(1.5, s) != Unstable {
+		t.Fatal("unstable queue must return the sentinel")
+	}
+	if MD1Wait(0, s) != 0 {
+		t.Fatal("empty queue should not wait")
+	}
+}
+
+func TestTailWaitDominatesMean(t *testing.T) {
+	s := 80 * time.Millisecond
+	for _, rho := range []float64{0.1, 0.5, 0.8, 0.95} {
+		if TailWait(rho, s) != 4*MD1Wait(rho, s) {
+			t.Fatalf("tail wait not 4x mean at rho=%v", rho)
+		}
+	}
+	if TailWait(1.2, s) != Unstable {
+		t.Fatal("unstable tail must return sentinel")
+	}
+}
+
+func TestStable(t *testing.T) {
+	if !Stable(0.5, 0.85) || Stable(0.85, 0.85) || Stable(0.9, 0.85) {
+		t.Fatal("stability threshold broken")
+	}
+}
+
+// Property: waits are nonnegative and monotone in rho below 1.
+func TestWaitMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw) / 65536 * 0.99
+		b := float64(bRaw) / 65536 * 0.99
+		if a > b {
+			a, b = b, a
+		}
+		s := 50 * time.Millisecond
+		wa, wb := MD1Wait(a, s), MD1Wait(b, s)
+		return wa >= 0 && wb >= wa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

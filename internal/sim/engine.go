@@ -1,0 +1,152 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock (a time.Duration offset from the start
+// of the simulation) and a priority queue of events. Events scheduled for the
+// same instant fire in the order they were scheduled, which — together with
+// seeded random sources (see rng.go) — makes every simulation in this
+// repository bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback bound to a point in virtual time.
+type Event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// At reports the virtual time the event fires at.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on one
+// goroutine. (Parallelism inside a callback — e.g. Paldia's parallel y-value
+// probing — is fine as long as it joins before the callback returns.)
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule queues fn to run after delay. A negative delay panics: model code
+// must never schedule into the past.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v at t=%v", delay, e.now))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t (>= Now).
+func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step fires the next pending event, advancing the clock to it. It returns
+// false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or the clock would pass until.
+// Events scheduled exactly at until still fire. The clock ends at
+// min(until, time of last event fired) unless an event at until fired, in
+// which case it ends at until.
+func (e *Engine) Run(until time.Duration) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll fires events until none remain.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}

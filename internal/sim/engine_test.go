@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndStep(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(3*time.Millisecond, func() { fired = append(fired, e.Now()) })
+	e.Schedule(time.Millisecond, func() { fired = append(fired, e.Now()) })
+	e.Schedule(2*time.Millisecond, func() { fired = append(fired, e.Now()) })
+
+	for e.Step() {
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d (same-instant events must be FIFO)", i, got, i)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Schedule(time.Second, func() {
+		times = append(times, e.Now())
+		e.Schedule(time.Second, func() {
+			times = append(times, e.Now())
+		})
+		// Zero-delay event from inside a callback fires at the same instant,
+		// after currently queued same-instant events.
+		e.Schedule(0, func() { times = append(times, e.Now()) })
+	})
+	e.RunAll()
+	want := []time.Duration{time.Second, time.Second, 2 * time.Second}
+	if len(times) != 3 {
+		t.Fatalf("got %d events, want 3", len(times))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(time.Millisecond, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", e.Fired())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) }))
+	}
+	evs[2].Cancel()
+	e.RunAll()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	e.Run(5 * time.Second) // events at exactly 5s included
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", e.Now())
+	}
+	e.Run(20 * time.Second)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	// No events at 20s; clock still advances to the until bound.
+	if e.Now() != 20*time.Second {
+		t.Fatalf("Now() = %v, want 20s", e.Now())
+	}
+}
+
+func TestRunUntilDoesNotFireLater(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(2*time.Second, func() { fired = true })
+	e.Run(time.Second)
+	if fired {
+		t.Fatal("event after 'until' fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// insertion order, and every scheduled (non-cancelled) event fires.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []time.Duration
+		for _, d := range delaysMs {
+			d := time.Duration(d) * time.Millisecond
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		// Multiset equality with the inputs.
+		want := make([]time.Duration, len(delaysMs))
+		for i, d := range delaysMs {
+			want[i] = time.Duration(d) * time.Millisecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving Step and nested Schedule keeps the clock monotone.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		last := time.Duration(-1)
+		ok := true
+		var spawn func()
+		spawn = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if e.Fired() < uint64(n) {
+				e.Schedule(time.Duration(r.Intn(1000))*time.Microsecond, spawn)
+			}
+		}
+		e.Schedule(0, spawn)
+		e.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).Stream("trace")
+	b := NewRNG(42).Stream("trace")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed+name produced different streams")
+		}
+	}
+}
+
+func TestRNGStreamIndependence(t *testing.T) {
+	root := NewRNG(42)
+	a := root.Stream("a")
+	b := root.Stream("b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams 'a' and 'b' collided %d/64 times", same)
+	}
+}
+
+func TestRNGChild(t *testing.T) {
+	root := NewRNG(7)
+	c1 := root.Child("rep-1")
+	c2 := root.Child("rep-2")
+	if c1.Seed() == c2.Seed() {
+		t.Fatal("children with different names share a seed")
+	}
+	if c1.Seed() != NewRNG(7).Child("rep-1").Seed() {
+		t.Fatal("child derivation not deterministic")
+	}
+}
+
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%64 == 0 {
+			for e.Step() {
+			}
+		}
+	}
+	e.RunAll()
+}

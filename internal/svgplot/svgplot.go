@@ -1,0 +1,204 @@
+// Package svgplot renders the experiment figures as standalone SVG files —
+// grouped bar charts for the compliance/cost comparisons and multi-series
+// line charts for the CDFs — using nothing but the standard library. The
+// output is deterministic, so regenerated figures diff cleanly.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette holds the series colours (colour-blind-safe-ish defaults).
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// escape makes a string safe for SVG text nodes.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// header opens an SVG document.
+func header(w io.Writer, width, height int, title string) {
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(title))
+}
+
+// GroupedBars is a grouped bar chart: one group per row label, one bar per
+// series within each group.
+type GroupedBars struct {
+	Title  string
+	Groups []string    // x-axis group labels
+	Series []string    // legend entries
+	Values [][]float64 // Values[group][series]
+	// YMax fixes the axis (0 = auto).
+	YMax float64
+	// Unit is appended to axis labels (e.g. "%").
+	Unit string
+}
+
+// Render writes the chart as a standalone SVG.
+func (g *GroupedBars) Render(w io.Writer) error {
+	const (
+		width   = 760
+		height  = 360
+		left    = 60
+		right   = 20
+		top     = 40
+		bottom  = 80
+		legendH = 18
+	)
+	plotW := width - left - right
+	plotH := height - top - bottom
+
+	max := g.YMax
+	if max <= 0 {
+		for _, row := range g.Values {
+			for _, v := range row {
+				if v > max {
+					max = v
+				}
+			}
+		}
+		if max <= 0 {
+			max = 1
+		}
+	}
+
+	header(w, width, height, g.Title)
+
+	// Y axis with 5 gridlines.
+	for i := 0; i <= 5; i++ {
+		v := max * float64(i) / 5
+		y := float64(top) + float64(plotH)*(1-float64(i)/5)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			left, y, width-right, y)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%.4g%s</text>`+"\n",
+			left-5, y+3, v, escape(g.Unit))
+	}
+
+	nGroups, nSeries := len(g.Groups), len(g.Series)
+	if nGroups == 0 || nSeries == 0 {
+		fmt.Fprintln(w, `</svg>`)
+		return nil
+	}
+	groupW := float64(plotW) / float64(nGroups)
+	barW := groupW * 0.8 / float64(nSeries)
+
+	for gi, row := range g.Values {
+		for si, v := range row {
+			if si >= nSeries || v < 0 {
+				continue
+			}
+			h := float64(plotH) * math.Min(v/max, 1)
+			x := float64(left) + float64(gi)*groupW + groupW*0.1 + float64(si)*barW
+			y := float64(top) + float64(plotH) - h
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW, h, palette[si%len(palette)])
+		}
+		// Group label, angled to avoid collisions.
+		x := float64(left) + float64(gi)*groupW + groupW/2
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-30 %.1f %d)">%s</text>`+"\n",
+			x, height-bottom+14, x, height-bottom+14, escape(g.Groups[gi]))
+	}
+
+	// Legend.
+	lx, ly := left, height-legendH-4
+	for si, name := range g.Series {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			lx, ly, palette[si%len(palette)])
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n", lx+14, ly+9, escape(name))
+		lx += 14 + 8*len(name)
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+// Lines is a multi-series line chart (e.g. a latency CDF).
+type Lines struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []LineSeries
+	// XMax/YMax fix the axes (0 = auto).
+	XMax, YMax float64
+}
+
+// LineSeries is one named polyline.
+type LineSeries struct {
+	Name   string
+	Points [][2]float64
+}
+
+// Render writes the chart as a standalone SVG.
+func (l *Lines) Render(w io.Writer) error {
+	const (
+		width  = 760
+		height = 360
+		left   = 60
+		right  = 20
+		top    = 40
+		bottom = 60
+	)
+	plotW := width - left - right
+	plotH := height - top - bottom
+
+	xMax, yMax := l.XMax, l.YMax
+	for _, s := range l.Series {
+		for _, p := range s.Points {
+			if l.XMax <= 0 && p[0] > xMax {
+				xMax = p[0]
+			}
+			if l.YMax <= 0 && p[1] > yMax {
+				yMax = p[1]
+			}
+		}
+	}
+	if xMax <= 0 {
+		xMax = 1
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+
+	header(w, width, height, l.Title)
+	for i := 0; i <= 5; i++ {
+		y := float64(top) + float64(plotH)*(1-float64(i)/5)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			left, y, width-right, y)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n",
+			left-5, y+3, yMax*float64(i)/5)
+		x := float64(left) + float64(plotW)*float64(i)/5
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%.3g</text>`+"\n",
+			x, height-bottom+14, xMax*float64(i)/5)
+	}
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, height-bottom+32, escape(l.XLabel))
+	fmt.Fprintf(w, `<text x="14" y="%d" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, escape(l.YLabel))
+
+	for si, s := range l.Series {
+		var pts []string
+		for _, p := range s.Points {
+			x := float64(left) + float64(plotW)*math.Min(p[0]/xMax, 1)
+			y := float64(top) + float64(plotH)*(1-math.Min(p[1]/yMax, 1))
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), palette[si%len(palette)])
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="10" fill="%s">%s</text>`+"\n",
+			width-right-150, top+14*(si+1), palette[si%len(palette)], escape(s.Name))
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}

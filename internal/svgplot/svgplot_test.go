@@ -1,0 +1,107 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestGroupedBarsRender(t *testing.T) {
+	g := &GroupedBars{
+		Title:  "SLO compliance",
+		Groups: []string{"ResNet 50", "VGG 19"},
+		Series: []string{"Paldia", "Molecule ($)"},
+		Values: [][]float64{{99.7, 89.6}, {99.4, 83.9}},
+		YMax:   100,
+		Unit:   "%",
+	}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	wellFormed(t, buf.Bytes())
+	for _, want := range []string{"<svg", "SLO compliance", "Paldia", "ResNet 50", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q in SVG", want)
+		}
+	}
+	if got := strings.Count(svg, `fill="#4477aa"`); got != 2+1 { // 2 bars + 1 legend swatch
+		t.Fatalf("series-0 rects = %d, want 3", got)
+	}
+}
+
+func TestGroupedBarsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&GroupedBars{Title: "x"}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestGroupedBarsEscapesLabels(t *testing.T) {
+	g := &GroupedBars{
+		Title:  "a < b & c",
+		Groups: []string{"<model>"},
+		Series: []string{"s&s"},
+		Values: [][]float64{{1}},
+	}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if strings.Contains(buf.String(), "<model>") {
+		t.Fatal("unescaped label leaked into SVG")
+	}
+}
+
+func TestLinesRender(t *testing.T) {
+	l := &Lines{
+		Title:  "CDF",
+		XLabel: "latency (ms)",
+		YLabel: "fraction",
+		YMax:   1,
+		Series: []LineSeries{
+			{Name: "Paldia", Points: [][2]float64{{10, 0.5}, {40, 0.99}, {50, 1}}},
+			{Name: "Molecule", Points: [][2]float64{{30, 0.5}, {300, 1}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := l.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if strings.Count(buf.String(), "<polyline") != 2 {
+		t.Fatal("expected 2 polylines")
+	}
+}
+
+func TestLinesDeterministic(t *testing.T) {
+	l := &Lines{Title: "t", Series: []LineSeries{{Name: "a", Points: [][2]float64{{1, 1}, {2, 2}}}}}
+	var a, b bytes.Buffer
+	if err := l.Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("SVG output not deterministic")
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzLoad ensures arbitrary input never panics the parser and that anything
+// it accepts round-trips.
+func FuzzLoad(f *testing.F) {
+	f.Add("1.0\n2.0\n")
+	f.Add("# trace: x\n# duration_s: 10\n0.5\n")
+	f.Add("")
+	f.Add("not a number")
+	f.Add("1e300\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Load(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		// Whatever parsed must satisfy the trace invariants.
+		for i := 1; i < len(tr.Arrivals); i++ {
+			if tr.Arrivals[i] < tr.Arrivals[i-1] {
+				t.Fatal("loaded arrivals not sorted")
+			}
+		}
+		for _, a := range tr.Arrivals {
+			if a < 0 {
+				t.Fatal("negative arrival accepted")
+			}
+		}
+		// And it must re-serialize and re-load to the same count.
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Load(&buf, "again")
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Count() != tr.Count() {
+			t.Fatalf("round trip count %d != %d", back.Count(), tr.Count())
+		}
+	})
+}
+
+// FuzzWindowCounts ensures bucketing conserves requests for arbitrary traces
+// and window sizes.
+func FuzzWindowCounts(f *testing.F) {
+	f.Add(uint16(100), uint16(3))
+	f.Fuzz(func(t *testing.T, winMs uint16, n uint16) {
+		arr := make([]time.Duration, n%512)
+		for i := range arr {
+			arr[i] = time.Duration(i) * 7 * time.Millisecond
+		}
+		tr := FromArrivals("f", arr, 0)
+		w := time.Duration(winMs%10000+1) * time.Millisecond
+		total := 0
+		for _, c := range tr.WindowCounts(w) {
+			total += c
+		}
+		if total != tr.Count() {
+			t.Fatalf("window counts %d != %d", total, tr.Count())
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The on-disk trace format is one arrival offset per line, in seconds
+// (fractional), optionally preceded by '#' comment lines. It matches
+// `paldia-trace -dump`, so real traces (Azure, Wikipedia, Twitter samples)
+// can be converted with a one-liner and replayed through the simulator.
+
+// Save writes the trace in the line format.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace: %s\n", t.Name)
+	fmt.Fprintf(bw, "# duration_s: %.6f\n", t.Duration.Seconds())
+	for _, a := range t.Arrivals {
+		fmt.Fprintf(bw, "%.6f\n", a.Seconds())
+	}
+	return bw.Flush()
+}
+
+// Load parses a trace from the line format. The duration is taken from the
+// "# duration_s:" header when present, otherwise from the last arrival
+// (rounded up to the next second). Arrivals are sorted; negative offsets are
+// rejected.
+func Load(r io.Reader, name string) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var arrivals []time.Duration
+	var duration time.Duration
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, "#") {
+			if rest, ok := strings.CutPrefix(s, "# duration_s:"); ok {
+				v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad duration: %w", line, err)
+				}
+				duration = time.Duration(v * float64(time.Second))
+			}
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		// Bound the offsets: negative, NaN, or beyond ~31 simulated years
+		// would overflow time.Duration.
+		const maxSeconds = 1e9
+		if v < 0 || v != v || v > maxSeconds {
+			return nil, fmt.Errorf("trace: line %d: arrival %v out of range [0, %g]", line, v, float64(maxSeconds))
+		}
+		arrivals = append(arrivals, time.Duration(v*float64(time.Second)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	if duration == 0 && len(arrivals) > 0 {
+		duration = arrivals[len(arrivals)-1].Truncate(time.Second) + time.Second
+	}
+	return &Trace{Name: name, Arrivals: arrivals, Duration: duration}, nil
+}
+
+// FromArrivals builds a trace from raw arrival offsets (copied and sorted).
+func FromArrivals(name string, arrivals []time.Duration, duration time.Duration) *Trace {
+	out := make([]time.Duration, len(arrivals))
+	copy(out, arrivals)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if duration == 0 && len(out) > 0 {
+		duration = out[len(out)-1] + time.Nanosecond
+	}
+	return &Trace{Name: name, Arrivals: out, Duration: duration}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"math"
+	"time"
+)
+
+// Burst is a contiguous span whose arrival rate exceeds a threshold — the
+// "request surges" of the paper's Azure sample.
+type Burst struct {
+	// Start is the burst's first window.
+	Start time.Duration
+	// Duration is the burst's length.
+	Duration time.Duration
+	// PeakRPS is the highest windowed rate inside the burst.
+	PeakRPS float64
+	// Requests is the number of arrivals inside the burst.
+	Requests int
+}
+
+// Bursts detects contiguous spans whose rate (over the given window) exceeds
+// thresholdFrac of the trace's peak rate. Adjacent qualifying windows merge
+// into one burst.
+func (t *Trace) Bursts(window time.Duration, thresholdFrac float64) []Burst {
+	rates := t.RateCurve(window)
+	counts := t.WindowCounts(window)
+	peak := 0.0
+	for _, r := range rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	if peak == 0 {
+		return nil
+	}
+	threshold := peak * thresholdFrac
+
+	var bursts []Burst
+	var cur *Burst
+	for i, r := range rates {
+		if r >= threshold {
+			if cur == nil {
+				bursts = append(bursts, Burst{Start: time.Duration(i) * window})
+				cur = &bursts[len(bursts)-1]
+			}
+			cur.Duration += window
+			cur.Requests += counts[i]
+			if r > cur.PeakRPS {
+				cur.PeakRPS = r
+			}
+		} else {
+			cur = nil
+		}
+	}
+	return bursts
+}
+
+// RateCV returns the coefficient of variation (sd/mean) of the windowed rate
+// curve — the erraticness measure distinguishing the Twitter trace from the
+// stable one.
+func (t *Trace) RateCV(window time.Duration) float64 {
+	rates := t.RateCurve(window)
+	if len(rates) == 0 {
+		return 0
+	}
+	mean, sq := 0.0, 0.0
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(len(rates))
+	if mean == 0 {
+		return 0
+	}
+	for _, r := range rates {
+		sq += (r - mean) * (r - mean)
+	}
+	return math.Sqrt(sq/float64(len(rates))) / mean
+}
+
+// BurstLoadShare returns the fraction of all requests that arrive inside
+// bursts (per Bursts with the same parameters) — how surge-concentrated the
+// trace is.
+func (t *Trace) BurstLoadShare(window time.Duration, thresholdFrac float64) float64 {
+	if t.Count() == 0 {
+		return 0
+	}
+	total := 0
+	for _, b := range t.Bursts(window, thresholdFrac) {
+		total += b.Requests
+	}
+	return float64(total) / float64(t.Count())
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBurstsOnManualTrace(t *testing.T) {
+	// 10s trace: quiet except seconds 3-4 and 7 (dense).
+	var arr []time.Duration
+	add := func(sec int, n int) {
+		for i := 0; i < n; i++ {
+			arr = append(arr, time.Duration(sec)*time.Second+time.Duration(i)*time.Millisecond)
+		}
+	}
+	add(0, 2)
+	add(3, 100)
+	add(4, 90)
+	add(7, 95)
+	tr := FromArrivals("m", arr, 10*time.Second)
+
+	bursts := tr.Bursts(time.Second, 0.5)
+	if len(bursts) != 2 {
+		t.Fatalf("got %d bursts, want 2: %+v", len(bursts), bursts)
+	}
+	if bursts[0].Start != 3*time.Second || bursts[0].Duration != 2*time.Second {
+		t.Fatalf("first burst = %+v", bursts[0])
+	}
+	if bursts[0].Requests != 190 || bursts[0].PeakRPS != 100 {
+		t.Fatalf("first burst stats = %+v", bursts[0])
+	}
+	if bursts[1].Start != 7*time.Second || bursts[1].Requests != 95 {
+		t.Fatalf("second burst = %+v", bursts[1])
+	}
+}
+
+func TestBurstsEmptyTrace(t *testing.T) {
+	tr := &Trace{Name: "empty", Duration: time.Minute}
+	if b := tr.Bursts(time.Second, 0.5); b != nil {
+		t.Fatalf("empty trace produced bursts: %v", b)
+	}
+	if tr.BurstLoadShare(time.Second, 0.5) != 0 {
+		t.Fatal("empty trace burst share not 0")
+	}
+}
+
+func TestAzureBurstStructure(t *testing.T) {
+	tr := Azure(rng(), 450, AzureDuration)
+	bursts := tr.Bursts(time.Second, 0.5)
+	if len(bursts) < 1 || len(bursts) > 8 {
+		t.Fatalf("azure has %d bursts above half-peak, want a handful", len(bursts))
+	}
+	share := tr.BurstLoadShare(time.Second, 0.5)
+	if share < 0.1 || share > 0.8 {
+		t.Fatalf("azure burst load share = %.2f; surges should carry a sizeable minority", share)
+	}
+	for _, b := range bursts {
+		if b.Duration < 5*time.Second || b.Duration > 2*time.Minute {
+			t.Fatalf("burst duration %v outside the designed 10-90s range", b.Duration)
+		}
+	}
+}
+
+func TestRateCVOrdering(t *testing.T) {
+	stable := Stable(rng(), 100, 10*time.Minute)
+	twitter := Twitter(rng(), 100, 10*time.Minute)
+	azure := Azure(rng(), 450, AzureDuration)
+	w := 10 * time.Second
+	if !(stable.RateCV(w) < twitter.RateCV(w)) {
+		t.Fatalf("stable CV %.2f not below twitter CV %.2f", stable.RateCV(w), twitter.RateCV(w))
+	}
+	if !(twitter.RateCV(w) < azure.RateCV(w)) {
+		t.Fatalf("twitter CV %.2f not below azure CV %.2f (azure is surge-dominated)",
+			twitter.RateCV(w), azure.RateCV(w))
+	}
+}
+
+func TestRateCVEmpty(t *testing.T) {
+	tr := &Trace{Name: "x", Duration: 0}
+	if tr.RateCV(time.Second) != 0 {
+		t.Fatal("degenerate CV not 0")
+	}
+}

@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func rng() *sim.RNG { return sim.NewRNG(42) }
+
+func TestFromRateCurveDeterministic(t *testing.T) {
+	rates := []float64{10, 20, 0, 5}
+	a := FromRateCurve(rng(), "x", rates, time.Second)
+	b := FromRateCurve(rng(), "x", rates, time.Second)
+	if a.Count() != b.Count() {
+		t.Fatalf("counts differ: %d vs %d", a.Count(), b.Count())
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatal("same seed produced different arrivals")
+		}
+	}
+	c := FromRateCurve(sim.NewRNG(7), "x", rates, time.Second)
+	if c.Count() == a.Count() {
+		// Extremely unlikely to match exactly with ~35 expected arrivals.
+		same := true
+		for i := range c.Arrivals {
+			if i >= len(a.Arrivals) || c.Arrivals[i] != a.Arrivals[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestArrivalsSortedAndBounded(t *testing.T) {
+	tr := Azure(rng(), 450, 5*time.Minute)
+	for i := 1; i < len(tr.Arrivals); i++ {
+		if tr.Arrivals[i] < tr.Arrivals[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	for _, a := range tr.Arrivals {
+		if a < 0 || a >= tr.Duration {
+			t.Fatalf("arrival %v outside [0,%v)", a, tr.Duration)
+		}
+	}
+}
+
+func TestAzureShape(t *testing.T) {
+	tr := Azure(rng(), 450, AzureDuration)
+	peak := tr.PeakRPS(time.Second)
+	if peak < 350 || peak > 560 {
+		t.Fatalf("azure peak = %.0f rps, want ~450", peak)
+	}
+	ratio := peak / tr.MeanRPS()
+	if ratio < 6 || ratio > 25 {
+		t.Fatalf("azure peak:mean = %.1f, want large (paper ~12.2)", ratio)
+	}
+}
+
+func TestAzureSurgesAreOccasional(t *testing.T) {
+	tr := Azure(rng(), 450, AzureDuration)
+	rates := tr.RateCurve(time.Second)
+	high := 0
+	for _, r := range rates {
+		if r > 0.5*450 {
+			high++
+		}
+	}
+	frac := float64(high) / float64(len(rates))
+	if frac > 0.2 {
+		t.Fatalf("%.0f%% of seconds above half-peak; surges should be occasional", frac*100)
+	}
+	if high == 0 {
+		t.Fatal("no surge seconds at all")
+	}
+}
+
+func TestWikipediaDiurnal(t *testing.T) {
+	tr := Wikipedia(rng(), 170, 5, WikipediaCompression)
+	peak := tr.PeakRPS(time.Second)
+	if peak < 130 || peak > 220 {
+		t.Fatalf("wikipedia peak = %.0f, want ~170", peak)
+	}
+	// Sustained high traffic: a large fraction of time above half-peak
+	// (paper: ~16 hours per day).
+	rates := tr.RateCurve(10 * time.Second)
+	high := 0
+	for _, r := range rates {
+		if r > 0.5*peak {
+			high++
+		}
+	}
+	frac := float64(high) / float64(len(rates))
+	if frac < 0.35 || frac > 0.85 {
+		t.Fatalf("fraction of time at high traffic = %.2f, want ~16/24", frac)
+	}
+	// Has genuinely quiet troughs.
+	minRate := math.Inf(1)
+	for _, r := range rates {
+		if r < minRate {
+			minRate = r
+		}
+	}
+	if minRate > 0.3*peak {
+		t.Fatalf("overnight trough %.0f rps too high vs peak %.0f", minRate, peak)
+	}
+}
+
+func TestWikipediaCompressionShortens(t *testing.T) {
+	tr := Wikipedia(rng(), 170, 5, WikipediaCompression)
+	want := 5 * 24 * time.Hour / WikipediaCompression
+	if tr.Duration != want {
+		t.Fatalf("duration = %v, want %v", tr.Duration, want)
+	}
+}
+
+func TestTwitterMeanAndErratic(t *testing.T) {
+	tr := Twitter(rng(), 92, TwitterDuration)
+	if m := tr.MeanRPS(); m < 80 || m > 105 {
+		t.Fatalf("twitter mean = %.0f, want ~92", m)
+	}
+	// Erratic: coefficient of variation of the 10s rate curve should be
+	// substantial.
+	rates := tr.RateCurve(10 * time.Second)
+	mean, sq := 0.0, 0.0
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(len(rates))
+	for _, r := range rates {
+		sq += (r - mean) * (r - mean)
+	}
+	cv := math.Sqrt(sq/float64(len(rates))) / mean
+	if cv < 0.2 {
+		t.Fatalf("twitter rate CV = %.2f, want erratic (>= 0.2)", cv)
+	}
+}
+
+func TestPoissonConstantRate(t *testing.T) {
+	tr := Poisson(rng(), 700, 2*time.Minute)
+	if m := tr.MeanRPS(); m < 670 || m > 730 {
+		t.Fatalf("poisson mean = %.0f, want ~700", m)
+	}
+	rates := tr.RateCurve(5 * time.Second)
+	for i, r := range rates[:len(rates)-1] { // last bucket may be partial
+		if r < 550 || r > 850 {
+			t.Fatalf("bucket %d rate %.0f strays too far from 700", i, r)
+		}
+	}
+}
+
+func TestStableTrace(t *testing.T) {
+	tr := Stable(rng(), 575, 10*time.Minute)
+	if m := tr.MeanRPS(); m < 550 || m > 600 {
+		t.Fatalf("stable mean = %.0f, want ~575", m)
+	}
+	peak := tr.PeakRPS(time.Second)
+	if peak > 1.5*575 {
+		t.Fatalf("stable peak %.0f too spiky vs mean 575", peak)
+	}
+}
+
+func TestWindowCounts(t *testing.T) {
+	tr := &Trace{
+		Name:     "manual",
+		Arrivals: []time.Duration{0, time.Second / 2, time.Second, 2*time.Second + 1},
+		Duration: 3 * time.Second,
+	}
+	counts := tr.WindowCounts(time.Second)
+	want := []int{2, 1, 1, 0}
+	if len(counts) != len(want) {
+		t.Fatalf("got %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("got %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := Poisson(rng(), 100, time.Minute)
+	sub := tr.Slice(10*time.Second, 20*time.Second)
+	if sub.Duration != 10*time.Second {
+		t.Fatalf("slice duration = %v", sub.Duration)
+	}
+	for _, a := range sub.Arrivals {
+		if a < 0 || a >= 10*time.Second {
+			t.Fatalf("slice arrival %v out of range", a)
+		}
+	}
+	if m := sub.MeanRPS(); m < 60 || m > 140 {
+		t.Fatalf("slice mean = %.0f, want ~100", m)
+	}
+}
+
+func TestEmptyTraceMetrics(t *testing.T) {
+	tr := &Trace{Name: "empty", Duration: time.Minute}
+	if tr.MeanRPS() != 0 || tr.PeakRPS(time.Second) != 0 || tr.Count() != 0 {
+		t.Fatal("empty trace metrics not zero")
+	}
+}
+
+// Property: total window counts equal the trace count for any window size.
+func TestWindowCountConservationProperty(t *testing.T) {
+	tr := Azure(rng(), 225, 2*time.Minute)
+	f := func(winMs uint16) bool {
+		w := time.Duration(winMs%5000+1) * time.Millisecond
+		total := 0
+		for _, c := range tr.WindowCounts(w) {
+			total += c
+		}
+		return total == tr.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling target is honored across seeds.
+func TestPoissonMeanProperty(t *testing.T) {
+	f := func(seed uint32, rate10 uint8) bool {
+		rate := float64(rate10%50) + 10 // 10..59 rps
+		tr := Poisson(sim.NewRNG(uint64(seed)), rate, time.Minute)
+		m := tr.MeanRPS()
+		// 4 sigma tolerance for 60*rate expected arrivals.
+		tol := 4 * math.Sqrt(rate*60) / 60
+		return math.Abs(m-rate) <= tol+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonDrawStatistics(t *testing.T) {
+	// Exercise both branches of the Poisson sampler (inversion and normal
+	// approximation) and check mean/variance roughly match.
+	r := rng().Stream("poisson-test")
+	for _, mean := range []float64{0.5, 5, 30, 200} {
+		n := 4000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(poisson(r.Float64, mean))
+			sum += v
+			sumsq += v * v
+		}
+		m := sum / float64(n)
+		v := sumsq/float64(n) - m*m
+		if math.Abs(m-mean) > 0.15*mean+0.2 {
+			t.Errorf("poisson(%v): sample mean %.2f", mean, m)
+		}
+		if math.Abs(v-mean) > 0.3*mean+0.3 {
+			t.Errorf("poisson(%v): sample variance %.2f, want ~%v", mean, v, mean)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := Azure(rng(), 225, 2*time.Minute)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, "loaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != orig.Count() {
+		t.Fatalf("count %d != %d", back.Count(), orig.Count())
+	}
+	if back.Duration != orig.Duration {
+		t.Fatalf("duration %v != %v", back.Duration, orig.Duration)
+	}
+	for i := range back.Arrivals {
+		d := back.Arrivals[i] - orig.Arrivals[i]
+		if d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("arrival %d drifted by %v", i, d)
+		}
+	}
+}
+
+func TestLoadUnsortedAndComments(t *testing.T) {
+	in := "# a comment\n2.5\n0.5\n\n1.0\n"
+	tr, err := Load(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 3 || tr.Arrivals[0] != 500*time.Millisecond {
+		t.Fatalf("bad parse: %+v", tr.Arrivals)
+	}
+	if tr.Duration != 3*time.Second {
+		t.Fatalf("inferred duration %v, want 3s", tr.Duration)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("abc\n"), "x"); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := Load(strings.NewReader("-1\n"), "x"); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}
+
+func TestFromArrivals(t *testing.T) {
+	tr := FromArrivals("m", []time.Duration{3 * time.Second, time.Second}, 0)
+	if tr.Arrivals[0] != time.Second {
+		t.Fatal("not sorted")
+	}
+	if tr.Duration <= 3*time.Second {
+		t.Fatal("duration not inferred past last arrival")
+	}
+}

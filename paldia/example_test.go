@@ -1,0 +1,87 @@
+package paldia_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/paldia"
+)
+
+// The catalogs are static, so their facts make stable documentation.
+func ExampleModels() {
+	fmt.Println(len(paldia.Models()), "workloads:",
+		len(paldia.VisionModels()), "vision,", len(paldia.LanguageModels()), "language")
+	// Output: 16 workloads: 12 vision, 4 language
+}
+
+func ExampleHardware() {
+	for _, hw := range paldia.Hardware() {
+		if hw.IsGPU() {
+			fmt.Printf("%s (%s) $%.2f/h\n", hw.Name, hw.Accel, hw.CostPerHour)
+		}
+	}
+	// Output:
+	// g3s.xlarge (M60) $0.75/h
+	// p2.xlarge (K80) $0.90/h
+	// p3.2xlarge (V100) $3.06/h
+}
+
+func ExampleMustModel() {
+	m := paldia.MustModel("ResNet 50")
+	fmt.Println(m.Name, m.Domain, "peak", m.DefaultPeakRPS(), "rps")
+	// Output: ResNet 50 vision peak 450 rps
+}
+
+func ExampleStandardSchemes() {
+	for _, s := range paldia.StandardSchemes() {
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// Molecule (beta) (P)
+	// INFless/Llama (P)
+	// Molecule (beta) ($)
+	// INFless/Llama ($)
+	// Paldia
+}
+
+// Run executes a full serving simulation; the result carries SLO compliance,
+// latency percentiles, cost, and the hardware-residency breakdown.
+func ExampleRun() {
+	m := paldia.MustModel("ResNet 50")
+	tr := paldia.AzureTrace(42, m.DefaultPeakRPS(), 2*time.Minute)
+	res := paldia.Run(paldia.Config{Model: m, Trace: tr, Scheme: paldia.NewPaldia()})
+	fmt.Println("served every request:", res.Requests == tr.Count())
+	// Output: served every request: true
+}
+
+// RunMulti co-serves several workloads on one shared node at a time.
+func ExampleRunMulti() {
+	res := paldia.RunMulti(paldia.MultiConfig{
+		Workloads: []paldia.Workload{
+			{Model: paldia.MustModel("SENet 18"), Trace: paldia.StableTrace(1, 200, time.Minute)},
+			{Model: paldia.MustModel("MobileNet"), Trace: paldia.StableTrace(2, 100, time.Minute)},
+		},
+		Scheme: paldia.NewPaldia(),
+	})
+	fmt.Println("tenants:", len(res.PerWorkload))
+	// Output: tenants: 2
+}
+
+// AzureTrace synthesizes the paper's bursty serverless trace; the generators
+// are deterministic given a seed.
+func ExampleAzureTrace() {
+	a := paldia.AzureTrace(7, 450, 5*time.Minute)
+	b := paldia.AzureTrace(7, 450, 5*time.Minute)
+	fmt.Println("deterministic:", a.Count() == b.Count())
+	// Output: deterministic: true
+}
+
+// RunExperiment regenerates one of the paper's figures or tables.
+func ExampleRunExperiment() {
+	t, err := paldia.RunExperiment("table2", paldia.ExperimentOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(t.ID, "rows:", len(t.Rows))
+	// Output: table2 rows: 6
+}

@@ -1,0 +1,148 @@
+package paldia
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	tr := AzureTrace(1, 200, 2*time.Minute)
+	res := Run(Config{
+		Model:  MustModel("ResNet 50"),
+		Trace:  tr,
+		Scheme: NewPaldia(),
+	})
+	if res.Requests != tr.Count() {
+		t.Fatalf("served %d of %d", res.Requests, tr.Count())
+	}
+	if res.SLOCompliance <= 0.5 || res.Cost <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestCatalogAccess(t *testing.T) {
+	if len(Models()) != 16 || len(VisionModels()) != 12 || len(LanguageModels()) != 4 {
+		t.Fatal("model catalogs wrong")
+	}
+	if len(Hardware()) != 6 {
+		t.Fatal("hardware catalog wrong")
+	}
+	if MostPerformantGPU().Accel != "V100" {
+		t.Fatal("most performant GPU is not the V100")
+	}
+	if _, ok := Model("BERT"); !ok {
+		t.Fatal("BERT missing")
+	}
+	if _, ok := HardwareByName("g3s.xlarge"); !ok {
+		t.Fatal("g3s.xlarge missing")
+	}
+}
+
+func TestSchemeConstructors(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range StandardSchemes() {
+		names[s.Name()] = true
+	}
+	if len(names) != 5 {
+		t.Fatalf("expected 5 distinct standard schemes, got %v", names)
+	}
+	if NewOracle().Name() != "Oracle" {
+		t.Fatal("oracle constructor broken")
+	}
+	hw := MostPerformantGPU()
+	if NewOfflineHybrid(hw, 0.5).Name() != "Offline Hybrid" {
+		t.Fatal("offline hybrid constructor broken")
+	}
+	if NewPaldiaPinned(hw).Name() != "Paldia (pinned)" {
+		t.Fatal("pinned constructor broken")
+	}
+}
+
+func TestTraceConstructors(t *testing.T) {
+	if tr := AzureTrace(1, 100, time.Minute); tr.Count() == 0 {
+		t.Fatal("azure trace empty")
+	}
+	if tr := PoissonTrace(1, 50, time.Minute); tr.MeanRPS() < 30 {
+		t.Fatal("poisson trace too sparse")
+	}
+	if tr := TwitterTrace(1, 40, 2*time.Minute); tr.Count() == 0 {
+		t.Fatal("twitter trace empty")
+	}
+	if tr := StableTrace(1, 40, time.Minute); tr.Count() == 0 {
+		t.Fatal("stable trace empty")
+	}
+	if tr := WikipediaTrace(1, 100, 1, DefaultWikipediaCompression); tr.Count() == 0 {
+		t.Fatal("wikipedia trace empty")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentTable2(t *testing.T) {
+	tab, err := RunExperiment("table2", ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("table2 has %d rows, want 6", len(tab.Rows))
+	}
+	if tab.String() == "" || tab.Markdown() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"fig1", "fig3", "fig13", "table3", "coldstarts"} {
+		if !seen[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestFacadeWrappers(t *testing.T) {
+	for _, s := range []Scheme{
+		NewINFlessLlamaCost(), NewINFlessLlamaPerf(),
+		NewMoleculeCost(), NewMoleculePerf(),
+	} {
+		if s.Name() == "" || s.Policy == nil {
+			t.Fatalf("broken scheme wrapper: %+v", s)
+		}
+	}
+	if NewScheme(NewPaldia().Policy).Name() != "Paldia" {
+		t.Fatal("NewScheme wrapper broken")
+	}
+	if NewEWMAPredictor(time.Second) == nil || StaticPredictor(5) == nil {
+		t.Fatal("predictor constructors broken")
+	}
+}
+
+func TestFacadeTraceIO(t *testing.T) {
+	tr := TraceFromArrivals("x", []time.Duration{time.Second, 2 * time.Second}, 3*time.Second)
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(&buf, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 2 {
+		t.Fatalf("round trip count %d", back.Count())
+	}
+}
