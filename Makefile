@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet bench experiments figures fuzz clean
+.PHONY: build test vet race bench experiments figures fuzz clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# The simulator is single-goroutine by design; -race guards the few places
+# that could grow concurrency (exporters, CLI plumbing).
+race:
+	$(GO) test -race ./...
 
 # One benchmark per paper figure/table (+ ablations), reduced scale.
 bench:

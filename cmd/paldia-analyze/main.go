@@ -1,31 +1,52 @@
-// Command paldia-analyze post-processes a per-request CSV dump written by
-// `paldia-sim -csv`: SLO compliance, percentiles, the P99 component
-// breakdown, a terminal CDF, and optionally an SVG of the CDF.
+// Command paldia-analyze post-processes paldia-sim exports: a per-request
+// CSV dump (`-csv`), per-request telemetry spans (`-spans-out` JSONL), or
+// sampled time series (`-series-out` CSV). For record CSVs it prints SLO
+// compliance, percentiles, the P99 component breakdown and a terminal CDF;
+// for spans a latency-component breakdown with the slowest requests; for
+// series a per-series summary and optionally an SVG timeline.
 //
 //	paldia-sim -model "VGG 19" -scheme molecule-cost -csv run.csv
 //	paldia-analyze run.csv
 //	paldia-analyze -slo 150ms -svg cdf.svg run.csv
+//	paldia-analyze -spans spans.jsonl
+//	paldia-analyze -series series.csv -timeline-svg timeline.svg
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/svgplot"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		slo    = flag.Duration("slo", 200*time.Millisecond, "SLO used to (re)judge requests")
-		svgOut = flag.String("svg", "", "write the latency CDF as an SVG to this path")
+		slo         = flag.Duration("slo", 200*time.Millisecond, "SLO used to (re)judge requests")
+		svgOut      = flag.String("svg", "", "write the latency CDF as an SVG to this path")
+		spansPath   = flag.String("spans", "", "analyze a spans JSONL file (paldia-sim -spans-out)")
+		seriesPath  = flag.String("series", "", "analyze a series CSV file (paldia-sim -series-out)")
+		timelineSVG = flag.String("timeline-svg", "", "with -series, render the series as an SVG chart")
 	)
 	flag.Parse()
+	if *spansPath != "" {
+		analyzeSpans(*spansPath, *slo)
+	}
+	if *seriesPath != "" {
+		analyzeSeries(*seriesPath, *timelineSVG)
+	}
 	if flag.NArg() != 1 {
+		if *spansPath != "" || *seriesPath != "" {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "usage: paldia-analyze [-slo D] [-svg out.svg] records.csv")
+		fmt.Fprintln(os.Stderr, "       paldia-analyze -spans spans.jsonl")
+		fmt.Fprintln(os.Stderr, "       paldia-analyze -series series.csv [-timeline-svg out.svg]")
 		os.Exit(1)
 	}
 
@@ -92,5 +113,132 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgOut)
+	}
+}
+
+// analyzeSpans prints the latency-component breakdown of a spans JSONL
+// export: where completed requests spent their time (batcher, container
+// wait, device queue, execution) and the slowest individual requests.
+func analyzeSpans(path string, slo time.Duration) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	spans, err := telemetry.ReadSpansJSONL(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var done []*telemetry.Span
+	failed := 0
+	for _, s := range spans {
+		if s.Failed {
+			failed++
+		}
+		if s.Done() && !s.Failed {
+			done = append(done, s)
+		}
+	}
+	fmt.Printf("spans           %d (%d completed ok, %d failed)\n", len(spans), len(done), failed)
+	if len(done) == 0 {
+		return
+	}
+	comp := func(name string, get func(*telemetry.Span) time.Duration) {
+		vals := make([]time.Duration, len(done))
+		var sum time.Duration
+		for i, s := range done {
+			vals[i] = get(s)
+			sum += vals[i]
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p / 100 * float64(len(vals)-1))
+			return vals[i]
+		}
+		fmt.Printf("  %-12s mean %10v   P50 %10v   P99 %10v\n", name,
+			(sum / time.Duration(len(done))).Round(time.Microsecond),
+			pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond))
+	}
+	comp("batch wait", (*telemetry.Span).BatchWait)
+	comp("cold start", (*telemetry.Span).ColdStart)
+	comp("queue", (*telemetry.Span).QueueDelay)
+	comp("exec", (*telemetry.Span).Exec)
+	comp("latency", (*telemetry.Span).Latency)
+
+	viol := 0
+	for _, s := range done {
+		if s.Latency() > slo {
+			viol++
+		}
+	}
+	fmt.Printf("  SLO %v: %d/%d over (%.2f%% compliant)\n\n", slo, viol, len(done),
+		100*(1-float64(viol)/float64(len(done))))
+
+	slowest := append([]*telemetry.Span(nil), done...)
+	sort.Slice(slowest, func(i, j int) bool { return slowest[i].Latency() > slowest[j].Latency() })
+	n := 5
+	if n > len(slowest) {
+		n = len(slowest)
+	}
+	fmt.Println("  slowest requests:")
+	for _, s := range slowest[:n] {
+		fmt.Printf("    req %-6d t=%-10v latency %10v = batch %v + cold %v + queue %v + exec %v  (%s batch=%d node=%d %s)\n",
+			s.Req, s.Arrived.Round(time.Millisecond), s.Latency().Round(time.Microsecond),
+			s.BatchWait().Round(time.Microsecond), s.ColdStart().Round(time.Microsecond),
+			s.QueueDelay().Round(time.Microsecond), s.Exec().Round(time.Microsecond),
+			s.Mode, s.BatchSize, s.Node, s.Spec)
+	}
+	fmt.Println()
+}
+
+// analyzeSeries prints a summary of every sampled series and optionally
+// renders the set as an SVG timeline.
+func analyzeSeries(path, svgOut string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	ss, err := telemetry.ReadSeriesCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("series          %d\n", ss.Len())
+	for _, name := range ss.Names() {
+		s := ss.Get(name)
+		min, max, sum := 0.0, 0.0, 0.0
+		for i, p := range s.Points {
+			if i == 0 || p.Value < min {
+				min = p.Value
+			}
+			if i == 0 || p.Value > max {
+				max = p.Value
+			}
+			sum += p.Value
+		}
+		mean := 0.0
+		if len(s.Points) > 0 {
+			mean = sum / float64(len(s.Points))
+		}
+		fmt.Printf("  %-18s %5d samples   min %10.4g   mean %10.4g   max %10.4g   last %10.4g\n",
+			name, len(s.Points), min, mean, max, s.Last().Value)
+	}
+	fmt.Println()
+	if svgOut != "" {
+		out, err := os.Create(svgOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := ss.TimelineSVG(out, "sampled runtime series"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", svgOut)
 	}
 }

@@ -8,12 +8,18 @@
 //	paldia-sim -model "ResNet 50" -scheme paldia
 //	paldia-sim -model "VGG 19" -scheme molecule-cost -trace azure -duration 5m
 //	paldia-sim -model BERT -scheme all -trace azure -peak 8
+//
+// Telemetry (single-scheme runs): -trace-out writes a Chrome trace_event
+// timeline (chrome://tracing, Perfetto) plus a derived series CSV;
+// -spans-out / -events-out / -series-out / -timeline-svg export the other
+// views; -sample sets the gauge sampling cadence.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -21,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -36,6 +43,13 @@ func main() {
 		list      = flag.Bool("list", false, "list models and exit")
 		timeline  = flag.Bool("timeline", false, "print per-30s violation counts")
 		csvPath   = flag.String("csv", "", "write per-request records to this CSV file (single-scheme runs)")
+
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (also derives a series CSV next to it)")
+		spansOut    = flag.String("spans-out", "", "write per-request spans as JSONL")
+		eventsOut   = flag.String("events-out", "", "write every telemetry event as JSONL")
+		seriesOut   = flag.String("series-out", "", "write sampled time series as CSV")
+		timelineSVG = flag.String("timeline-svg", "", "render the sampled series as an SVG chart")
+		sampleEvery = flag.Duration("sample", time.Second, "telemetry gauge sampling cadence (virtual time)")
 	)
 	flag.Parse()
 
@@ -61,14 +75,29 @@ func main() {
 	fmt.Printf("trace %s: %d requests, mean %.1f rps, peak %.0f rps (1s windows)\n\n",
 		tr.Name, tr.Count(), tr.MeanRPS(), tr.PeakRPS(time.Second))
 
-	for _, scheme := range pickSchemes(*schemeArg) {
-		res := core.Run(core.Config{
+	telemetryOn := *traceOut != "" || *spansOut != "" || *eventsOut != "" ||
+		*seriesOut != "" || *timelineSVG != ""
+	schemes := pickSchemes(*schemeArg)
+	if telemetryOn && len(schemes) > 1 {
+		fmt.Fprintln(os.Stderr, "telemetry flags (-trace-out, -spans-out, ...) require a single scheme, not -scheme all")
+		os.Exit(1)
+	}
+
+	for _, scheme := range schemes {
+		cfg := core.Config{
 			Model:  m,
 			Trace:  tr,
 			Scheme: scheme,
 			SLO:    *slo,
 			Seed:   *seed,
-		})
+		}
+		var rec *telemetry.Recorder
+		if telemetryOn {
+			rec = telemetry.NewRecorder()
+			cfg.Telemetry = rec
+			cfg.SampleEvery = *sampleEvery
+		}
+		res := core.Run(cfg)
 		printResult(res)
 		if *timeline {
 			printTimeline(res, tr.Duration)
@@ -80,7 +109,63 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", res.Requests, *csvPath)
 		}
+		if rec != nil {
+			if err := writeTelemetry(rec, *traceOut, *spansOut, *eventsOut, *seriesOut, *timelineSVG); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeTelemetry exports the recorder's views to every requested path. A
+// -trace-out without -series-out also writes the sampled series next to the
+// trace (<name>_series.csv), so one flag yields both timeline artifacts.
+func writeTelemetry(rec *telemetry.Recorder, traceOut, spansOut, eventsOut, seriesOut, svgOut string) error {
+	write := func(path, what string, fn func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s to %s\n", what, path)
+		return nil
+	}
+	if seriesOut == "" && traceOut != "" && rec.Series().Len() > 0 {
+		seriesOut = strings.TrimSuffix(traceOut, filepath.Ext(traceOut)) + "_series.csv"
+	}
+	if err := write(traceOut, "Chrome trace", func(f *os.File) error {
+		return rec.WriteChromeTrace(f)
+	}); err != nil {
+		return err
+	}
+	if err := write(spansOut, fmt.Sprintf("%d spans", len(rec.Spans())), func(f *os.File) error {
+		return rec.WriteSpansJSONL(f)
+	}); err != nil {
+		return err
+	}
+	if err := write(eventsOut, fmt.Sprintf("%d events", len(rec.Events())), func(f *os.File) error {
+		return rec.WriteEventsJSONL(f)
+	}); err != nil {
+		return err
+	}
+	if err := write(seriesOut, fmt.Sprintf("%d series", rec.Series().Len()), func(f *os.File) error {
+		return rec.Series().WriteCSV(f)
+	}); err != nil {
+		return err
+	}
+	return write(svgOut, "series timeline SVG", func(f *os.File) error {
+		return rec.Series().TimelineSVG(f, "sampled runtime series")
+	})
 }
 
 func writeCSV(path string, res core.Result) error {

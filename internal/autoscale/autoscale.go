@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // DefaultPredictInterval is the paper's ~10 s predictive scale-up cadence.
@@ -63,6 +64,12 @@ type Controller struct {
 	// Interval is the prediction cadence (default ~10 s).
 	Interval time.Duration
 
+	// Sink, when set, receives AutoscalePrewarm events whenever a
+	// predictive tick grows the pool; NodeID/Spec label them.
+	Sink   telemetry.Sink
+	NodeID int
+	Spec   string
+
 	stopped bool
 }
 
@@ -91,6 +98,14 @@ func (c *Controller) tick() {
 	}
 	need := PredictiveContainers(c.PredictRPS(c.eng.Now()), c.Window, c.BatchSize())
 	if need > c.Pool.Total() {
+		if c.Sink != nil {
+			e := telemetry.Ev(c.eng.Now(), telemetry.AutoscalePrewarm)
+			e.Node = c.NodeID
+			e.Spec = c.Spec
+			e.N = need
+			e.Detail = "predictive"
+			c.Sink.Event(e)
+		}
 		c.Pool.Ensure(need)
 	}
 	c.eng.Schedule(c.Interval, func() { c.tick() })

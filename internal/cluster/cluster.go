@@ -11,6 +11,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/hardware"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Node is one acquired worker VM.
@@ -44,11 +45,23 @@ type Cluster struct {
 	eng    *sim.Engine
 	nodes  []*Node
 	nextID int
+
+	// Sink, when set, receives node lifecycle events and is propagated to
+	// every device the cluster creates.
+	Sink telemetry.Sink
 }
 
 // New returns an empty cluster bound to the engine.
 func New(eng *sim.Engine) *Cluster {
 	return &Cluster{eng: eng}
+}
+
+// emit sends one node lifecycle event; call sites guard Sink != nil.
+func (c *Cluster) emit(kind telemetry.Kind, n *Node) {
+	e := telemetry.Ev(c.eng.Now(), kind)
+	e.Node = n.ID
+	e.Spec = n.Spec.Name
+	c.Sink.Event(e)
 }
 
 // Acquire procures a node immediately (no VM launch delay) — for nodes held
@@ -63,6 +76,10 @@ func (c *Cluster) Acquire(spec hardware.Spec, maxResident int) *Node {
 	}
 	c.nextID++
 	c.nodes = append(c.nodes, n)
+	if c.Sink != nil {
+		n.Device.SetTelemetry(c.Sink, n.ID)
+		c.emit(telemetry.NodeAcquired, n)
+	}
 	return n
 }
 
@@ -79,8 +96,15 @@ func (c *Cluster) AcquireAsync(spec hardware.Spec, maxResident int, ready func(*
 	}
 	c.nextID++
 	c.nodes = append(c.nodes, n)
+	if c.Sink != nil {
+		c.emit(telemetry.NodeRequested, n)
+	}
 	c.eng.Schedule(spec.ProcureDelay, func() {
 		n.Device = device.New(c.eng, spec, maxResident)
+		if c.Sink != nil {
+			n.Device.SetTelemetry(c.Sink, n.ID)
+			c.emit(telemetry.NodeAcquired, n)
+		}
 		ready(n)
 	})
 }
@@ -93,6 +117,9 @@ func (c *Cluster) Release(n *Node) {
 	}
 	n.released = true
 	n.releasedAt = c.eng.Now()
+	if c.Sink != nil {
+		c.emit(telemetry.NodeReleased, n)
+	}
 }
 
 // Fail makes the node unavailable (failing all in-flight work) for the given
@@ -102,7 +129,15 @@ func (c *Cluster) Fail(n *Node, dur time.Duration) {
 		return
 	}
 	n.Device.Fail()
-	c.eng.Schedule(dur, func() { n.Device.Recover() })
+	if c.Sink != nil {
+		c.emit(telemetry.NodeFailed, n)
+	}
+	c.eng.Schedule(dur, func() {
+		n.Device.Recover()
+		if c.Sink != nil {
+			c.emit(telemetry.NodeRecovered, n)
+		}
+	})
 }
 
 // Nodes returns every node ever acquired, in acquisition order.

@@ -8,10 +8,10 @@
 package container
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Cold-start latencies by node class: GPU containers must also load model
@@ -29,9 +29,13 @@ type Pool struct {
 	coldStart time.Duration
 	keepAlive time.Duration
 
-	// Trace, when set, receives lifecycle event kinds ("boot", "prewarm",
-	// "wait") for debugging.
-	Trace func(kind string)
+	// Sink, when set, receives container lifecycle events (waits, boots,
+	// pre-warms, reaps) labelled with NodeID/Spec/Tenant. A nil Sink costs
+	// one branch per transition.
+	Sink   telemetry.Sink
+	NodeID int
+	Spec   string
+	Tenant int
 
 	idleSince []time.Duration // one entry per idle container, LIFO
 	busy      int
@@ -51,6 +55,17 @@ type Pool struct {
 // (the paper's scale-down-immediately baseline).
 func NewPool(eng *sim.Engine, coldStart, keepAlive time.Duration) *Pool {
 	return &Pool{eng: eng, coldStart: coldStart, keepAlive: keepAlive}
+}
+
+// emit sends one pool lifecycle event; call sites guard Sink != nil.
+func (p *Pool) emit(kind telemetry.Kind, n int, detail string) {
+	e := telemetry.Ev(p.eng.Now(), kind)
+	e.Node = p.NodeID
+	e.Spec = p.Spec
+	e.Tenant = p.Tenant
+	e.N = n
+	e.Detail = detail
+	p.Sink.Event(e)
 }
 
 // ColdStartLatency returns the pool's configured cold-start latency.
@@ -105,13 +120,18 @@ func (p *Pool) Ensure(n int) { p.EnsureWithin(n, p.coldStart) }
 // exposed.
 func (p *Pool) EnsureWithin(n int, d time.Duration) {
 	p.reap()
+	started := 0
 	for p.Total() < n {
 		p.starting++
 		p.boots++
+		started++
 		p.eng.Schedule(d, func() {
 			p.starting--
 			p.pushIdle()
 		})
+	}
+	if started > 0 && p.Sink != nil {
+		p.emit(telemetry.ContainerPrewarm, started, "")
 	}
 }
 
@@ -130,6 +150,9 @@ func (p *Pool) Acquire() (delay time.Duration) {
 	p.busy++
 	p.boots++
 	p.syncColds++
+	if p.Sink != nil {
+		p.emit(telemetry.ContainerBoot, 1, "sync")
+	}
 	return p.coldStart
 }
 
@@ -151,15 +174,14 @@ func (p *Pool) AcquireOrWait(ready func()) {
 	// Each starting or busy container can absorb one waiting claim; beyond
 	// that the pool must grow.
 	if len(p.waiters) < p.starting+p.busy {
-		if p.Trace != nil {
-			p.Trace("wait")
+		if p.Sink != nil {
+			p.emit(telemetry.ContainerWait, len(p.waiters)+1, "")
 		}
 		p.waiters = append(p.waiters, ready)
 		return
 	}
-	if p.Trace != nil {
-		p.Trace(fmt.Sprintf("boot idle=%d busy=%d starting=%d booting=%d waiters=%d",
-			len(p.idleSince), p.busy, p.starting, p.booting, len(p.waiters)))
+	if p.Sink != nil {
+		p.emit(telemetry.ContainerBoot, 1, "sync")
 	}
 	p.booting++
 	p.boots++
@@ -223,12 +245,17 @@ func (p *Pool) reap() {
 	}
 	now := p.eng.Now()
 	keep := p.idleSince[:0]
+	reaped := 0
 	for _, since := range p.idleSince {
 		if now-since >= p.keepAlive {
 			p.terminated++
+			reaped++
 		} else {
 			keep = append(keep, since)
 		}
 	}
 	p.idleSince = keep
+	if reaped > 0 && p.Sink != nil {
+		p.emit(telemetry.ContainerReaped, reaped, "")
+	}
 }

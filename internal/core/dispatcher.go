@@ -6,7 +6,6 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/autoscale"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 // --- dispatch ----------------------------------------------------------------
@@ -163,15 +163,24 @@ func (r *runner) dispatchJob(node *servingNode, reqs []batch.Request, mode devic
 		Compute: profile.ComputeFraction(r.cfg.Model, node.node.Spec, len(reqs)),
 		Mode:    mode,
 	}
-	r.cfg.event(now, "job-"+mode.String(),
-		fmt.Sprintf("%s n=%d first=%v", node.node.Spec.Name, len(reqs), reqs[0].Arrival))
+	if r.tel != nil {
+		r.jobSeq++
+		job.ID = r.jobSeq
+		for _, q := range reqs {
+			e := telemetry.Ev(now, telemetry.Dispatched)
+			e.Req = int64(q.ID)
+			e.Job = job.ID
+			e.Node = node.node.ID
+			e.Spec = node.node.Spec.Name
+			e.N = len(reqs)
+			e.Detail = mode.String()
+			r.tel.Event(e)
+		}
+	}
 	var cold time.Duration // container-wait serialized into the request
 	job.Done = func(j *device.Job) { r.completeJob(node, reqs, j, now, cold, mode) }
 	submit := func() {
 		cold = r.eng.Now() - now
-		if cold > 0 {
-			r.cfg.event(now, "container-wait", node.node.Spec.Name)
-		}
 		node.node.Device.Submit(job)
 	}
 
@@ -203,6 +212,19 @@ func (r *runner) dispatchJob(node *servingNode, reqs []batch.Request, mode devic
 func (r *runner) completeJob(node *servingNode, reqs []batch.Request, j *device.Job,
 	dispatched time.Duration, cold time.Duration, mode device.Mode) {
 	finish := r.eng.Now()
+	if r.tel != nil {
+		kind := telemetry.Completed
+		if j.Failed {
+			kind = telemetry.Failed
+		}
+		for _, req := range reqs {
+			e := telemetry.Ev(finish, kind)
+			e.Req = int64(req.ID)
+			e.Job = j.ID
+			e.Node = node.node.ID
+			r.tel.Event(e)
+		}
+	}
 	for _, req := range reqs {
 		rec := metrics.Record{
 			Arrival:      req.Arrival,

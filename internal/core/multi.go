@@ -14,6 +14,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -47,6 +48,11 @@ type MultiConfig struct {
 
 	// InitialHardware overrides the warm-start node choice.
 	InitialHardware *hardware.Spec
+
+	// Telemetry, when set, receives every typed runtime event; per-request
+	// events carry the workload index in Event.Tenant. Nil disables the
+	// layer (one branch per emission site).
+	Telemetry telemetry.Sink
 }
 
 // MultiResult aggregates a multi-tenant run.
@@ -62,6 +68,7 @@ type MultiResult struct {
 }
 
 type tenant struct {
+	idx   int // workload index, stamped into Event.Tenant
 	w     Workload
 	bat   batch.Batcher
 	col   *metrics.Collector
@@ -101,6 +108,9 @@ type multiRunner struct {
 	switches int
 	lastSwap time.Duration
 	end      time.Duration
+
+	tel    telemetry.Sink
+	jobSeq int64
 }
 
 // RunMulti executes a multi-tenant simulation.
@@ -123,10 +133,11 @@ func RunMulti(cfg MultiConfig) MultiResult {
 	cfg.ObserveWindow = base.ObserveWindow
 	cfg.KeepAlive = base.KeepAlive
 
-	r := &multiRunner{cfg: cfg, eng: sim.NewEngine()}
+	r := &multiRunner{cfg: cfg, eng: sim.NewEngine(), tel: cfg.Telemetry}
 	r.clu = cluster.New(r.eng)
-	for _, w := range cfg.Workloads {
-		t := &tenant{w: w, col: metrics.NewCollector(cfg.SLO)}
+	r.clu.Sink = r.tel
+	for i, w := range cfg.Workloads {
+		t := &tenant{idx: i, w: w, col: metrics.NewCollector(cfg.SLO)}
 		r.setupPredictor(t)
 		if w.Trace.Duration > r.end {
 			r.end = w.Trace.Duration
@@ -159,6 +170,12 @@ func RunMulti(cfg MultiConfig) MultiResult {
 	}
 	for _, t := range r.tenants {
 		for _, req := range t.bat.TakeAll() {
+			if r.tel != nil {
+				e := telemetry.Ev(r.eng.Now(), telemetry.Failed)
+				e.Req = int64(req.ID)
+				e.Tenant = t.idx
+				r.tel.Event(e)
+			}
 			t.col.Add(metrics.Record{
 				Arrival: req.Arrival,
 				Latency: r.eng.Now() - req.Arrival,
@@ -257,6 +274,12 @@ func (r *multiRunner) wireNode(node *cluster.Node) *tenantNode {
 	}
 	for i := range r.tenants {
 		tn.pools[i] = container.NewPool(r.eng, cold, r.cfg.KeepAlive)
+		if r.tel != nil {
+			tn.pools[i].Sink = r.tel
+			tn.pools[i].NodeID = node.ID
+			tn.pools[i].Spec = node.Spec.Name
+			tn.pools[i].Tenant = i
+		}
 	}
 	return tn
 }
@@ -267,7 +290,15 @@ func (r *multiRunner) scheduleArrivals(t *tenant) {
 	next = func() {
 		now := r.eng.Now()
 		for t.arrivalIdx < len(arr) && arr[t.arrivalIdx] <= now {
-			t.bat.Add(arr[t.arrivalIdx])
+			req := t.bat.Add(arr[t.arrivalIdx])
+			if r.tel != nil {
+				e := telemetry.Ev(req.Arrival, telemetry.Arrived)
+				e.Req = int64(req.ID)
+				e.Tenant = t.idx
+				r.tel.Event(e)
+				e.Kind = telemetry.Batched
+				r.tel.Event(e)
+			}
 			t.onArrive(now)
 			t.observeArrival(now, r.cfg.ObserveWindow)
 			t.arrivalIdx++
@@ -447,9 +478,38 @@ func (r *multiRunner) dispatchJob(i int, t *tenant, entry profile.Entry,
 		Compute: profile.ComputeFraction(t.w.Model, spec, len(reqs)),
 		Mode:    mode,
 	}
+	if r.tel != nil {
+		r.jobSeq++
+		job.ID = r.jobSeq
+		for _, q := range reqs {
+			e := telemetry.Ev(now, telemetry.Dispatched)
+			e.Req = int64(q.ID)
+			e.Tenant = t.idx
+			e.Job = job.ID
+			e.Node = node.node.ID
+			e.Spec = spec.Name
+			e.N = len(reqs)
+			e.Detail = mode.String()
+			r.tel.Event(e)
+		}
+	}
 	var cold time.Duration
 	job.Done = func(j *device.Job) {
 		finish := r.eng.Now()
+		if r.tel != nil {
+			kind := telemetry.Completed
+			if j.Failed {
+				kind = telemetry.Failed
+			}
+			for _, req := range reqs {
+				e := telemetry.Ev(finish, kind)
+				e.Req = int64(req.ID)
+				e.Tenant = t.idx
+				e.Job = j.ID
+				e.Node = node.node.ID
+				r.tel.Event(e)
+			}
+		}
 		for _, req := range reqs {
 			t.col.Add(metrics.Record{
 				Arrival:      req.Arrival,
@@ -570,6 +630,12 @@ func (r *multiRunner) swapTo(tn *tenantNode) {
 	r.cur = tn
 	r.switches++
 	r.lastSwap = r.eng.Now()
+	if r.tel != nil {
+		e := telemetry.Ev(r.eng.Now(), telemetry.HWSwitch)
+		e.Node = tn.node.ID
+		e.Spec = tn.node.Spec.Name
+		r.tel.Event(e)
+	}
 	if old != nil {
 		r.retire(old)
 	}

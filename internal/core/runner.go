@@ -7,12 +7,14 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cluster"
 	"repro/internal/container"
+	"repro/internal/device"
 	"repro/internal/hardware"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/predict"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -111,15 +113,24 @@ type Config struct {
 	// InitialHardware overrides the warm-start node choice.
 	InitialHardware *hardware.Spec
 
-	// OnEvent, when set, receives runtime events (hardware switches, cold
-	// starts, failovers) for debugging and tracing.
+	// OnEvent, when set, receives coarse runtime events (hardware switches,
+	// cold starts, failovers) as strings. It is served through the typed
+	// telemetry bus via telemetry.AdaptOnEvent; new consumers should set
+	// Telemetry instead.
 	OnEvent func(t time.Duration, kind, detail string)
-}
 
-func (c *Config) event(t time.Duration, kind, detail string) {
-	if c.OnEvent != nil {
-		c.OnEvent(t, kind, detail)
-	}
+	// Telemetry, when set, receives every typed runtime event: per-request
+	// lifecycle (arrived/batched/dispatched/queued/exec/completed), container
+	// and node activity, hardware selection, and Sample observations when
+	// SampleEvery is set. Nil disables the layer at the cost of one branch
+	// per emission site.
+	Telemetry telemetry.Sink
+
+	// SampleEvery is the virtual-time cadence at which runtime gauges (queue
+	// depth, lane backlog, container counts, predicted vs observed RPS,
+	// accrued cost, ...) are sampled into the Telemetry sink. Zero disables
+	// sampling.
+	SampleEvery time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -208,6 +219,13 @@ type runner struct {
 	bat batch.Batcher
 	col *metrics.Collector
 
+	// tel is the combined telemetry sink (Config.Telemetry plus the adapted
+	// legacy OnEvent); nil when both are unset. jobSeq numbers device jobs
+	// from 1 so spans can be joined to job-level events; it stays 0 (all jobs
+	// untracked) when telemetry is off.
+	tel    telemetry.Sink
+	jobSeq int64
+
 	cur      *servingNode
 	procured bool // a primary procurement is in flight
 
@@ -248,8 +266,13 @@ func Run(cfg Config) Result {
 		end: cfg.Trace.Duration,
 	}
 	r.clu = cluster.New(r.eng)
+	r.tel = telemetry.Combine(cfg.Telemetry, telemetry.AdaptOnEvent(cfg.OnEvent))
+	r.clu.Sink = r.tel
 	r.setupPredictor()
 	r.warmStart()
+	if r.tel != nil && cfg.SampleEvery > 0 {
+		telemetry.NewSampler(r.eng, r.tel, cfg.SampleEvery, r.gauges()).Start()
+	}
 	r.scheduleArrivals()
 	r.eng.Schedule(cfg.DispatchWindow, r.dispatchTick)
 	r.eng.Schedule(cfg.MonitorInterval, r.monitorTick)
@@ -272,6 +295,11 @@ func Run(cfg Config) Result {
 	// recorded as failed.
 	for _, req := range r.bat.TakeAll() {
 		r.failedRq++
+		if r.tel != nil {
+			e := telemetry.Ev(r.eng.Now(), telemetry.Failed)
+			e.Req = int64(req.ID)
+			r.tel.Event(e)
+		}
 		r.col.Add(metrics.Record{
 			Arrival: req.Arrival,
 			Latency: r.eng.Now() - req.Arrival,
@@ -338,9 +366,10 @@ func (r *runner) wireNode(node *cluster.Node) *servingNode {
 		pool:  container.NewPool(r.eng, cold, r.cfg.KeepAlive),
 		entry: profile.Lookup(r.cfg.Model, node.Spec),
 	}
-	if r.cfg.OnEvent != nil {
-		spec := node.Spec.Name
-		sn.pool.Trace = func(kind string) { r.cfg.event(r.eng.Now(), kind, spec) }
+	if r.tel != nil {
+		sn.pool.Sink = r.tel
+		sn.pool.NodeID = node.ID
+		sn.pool.Spec = node.Spec.Name
 	}
 	// Containers are sized for the batches resident at once: a batch
 	// occupies its container for its (possibly inflated) execution time, so
@@ -352,7 +381,84 @@ func (r *runner) wireNode(node *cluster.Node) *servingNode {
 		func(now time.Duration) float64 { return r.predictRPS(now) },
 		func() int { return sn.entry.PreferredBatch },
 		residenceOf(sn.entry))
+	if r.tel != nil {
+		sn.ctl.Sink = r.tel
+		sn.ctl.NodeID = node.ID
+		sn.ctl.Spec = node.Spec.Name
+	}
 	return sn
+}
+
+// emit sends one control-plane telemetry event; a no-op without a sink.
+func (r *runner) emit(kind telemetry.Kind, nodeID int, spec, detail string) {
+	if r.tel == nil {
+		return
+	}
+	e := telemetry.Ev(r.eng.Now(), kind)
+	e.Node = nodeID
+	e.Spec = spec
+	e.Detail = detail
+	r.tel.Event(e)
+}
+
+// curStats reads the primary device's state without perturbing it (see
+// device.SampleStats); ok is false when no healthy device is serving.
+func (r *runner) curStats() (device.Stats, bool) {
+	if r.cur == nil || r.cur.node.Device == nil {
+		return device.Stats{}, false
+	}
+	return r.cur.node.Device.SampleStats(), true
+}
+
+// gauges is the sampled-series catalogue for single-workload runs. Every
+// reader is side-effect-free so sampling never changes the run's trajectory.
+func (r *runner) gauges() []telemetry.Gauge {
+	devGauge := func(read func(device.Stats) float64) func() float64 {
+		return func() float64 {
+			s, ok := r.curStats()
+			if !ok {
+				return 0
+			}
+			return read(s)
+		}
+	}
+	return []telemetry.Gauge{
+		{Name: "pending_requests", Read: func() float64 { return float64(r.bat.Pending()) }},
+		{Name: "predicted_rps", Read: func() float64 { return r.predictRPS(r.eng.Now()) }},
+		{Name: "observed_rps", Read: func() float64 { return r.observedRPS(r.eng.Now()) }},
+		{Name: "active_jobs", Read: devGauge(func(s device.Stats) float64 { return float64(s.ActiveJobs) })},
+		{Name: "lane_queued", Read: devGauge(func(s device.Stats) float64 { return float64(s.LaneQueued) })},
+		{Name: "lane_outstanding", Read: func() float64 {
+			if r.cur == nil {
+				return 0
+			}
+			return float64(r.cur.queuedOutstanding)
+		}},
+		{Name: "lane_cap", Read: func() float64 { return laneCap }},
+		{Name: "lane_backlog_s", Read: devGauge(func(s device.Stats) float64 { return s.LaneBacklogSolo.Seconds() })},
+		{Name: "backlog_s", Read: devGauge(func(s device.Stats) float64 { return s.BacklogSolo.Seconds() })},
+		{Name: "fbr_demand", Read: devGauge(func(s device.Stats) float64 { return s.ActiveDemand })},
+		{Name: "containers_idle", Read: func() float64 {
+			if r.cur == nil {
+				return 0
+			}
+			return float64(r.cur.pool.Idle())
+		}},
+		{Name: "containers_busy", Read: func() float64 {
+			if r.cur == nil {
+				return 0
+			}
+			return float64(r.cur.pool.Busy())
+		}},
+		{Name: "containers_total", Read: func() float64 {
+			if r.cur == nil {
+				return 0
+			}
+			return float64(r.cur.pool.Total())
+		}},
+		{Name: "cost_usd", Read: func() float64 { return r.clu.TotalCost() }},
+		{Name: "nodes", Read: func() float64 { return float64(len(r.clu.ActiveNodes())) }},
+	}
 }
 
 // residenceOf estimates how long one batch holds a container: the solo
@@ -388,7 +494,14 @@ func (r *runner) scheduleArrivals() {
 	next = func() {
 		now := r.eng.Now()
 		for r.arrivalIdx < len(arr) && arr[r.arrivalIdx] <= now {
-			r.bat.Add(arr[r.arrivalIdx])
+			req := r.bat.Add(arr[r.arrivalIdx])
+			if r.tel != nil {
+				e := telemetry.Ev(req.Arrival, telemetry.Arrived)
+				e.Req = int64(req.ID)
+				r.tel.Event(e)
+				e.Kind = telemetry.Batched
+				r.tel.Event(e)
+			}
 			r.onArrive(now)
 			r.observeArrival(now)
 			r.arrivalIdx++

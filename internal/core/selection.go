@@ -15,6 +15,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/hardware"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 // --- hardware selection ------------------------------------------------------
@@ -123,7 +124,7 @@ func (r *runner) manageScaleOut(rate float64) {
 				r.replicas = append(r.replicas, sn)
 				sn.ctl.Start()
 				r.lastScale = r.eng.Now()
-				r.cfg.event(r.eng.Now(), "scale-out", node.Spec.Name)
+				r.emit(telemetry.ScaleOut, node.ID, node.Spec.Name, "")
 			})
 		})
 		r.lastScale = now
@@ -134,7 +135,7 @@ func (r *runner) manageScaleOut(rate float64) {
 		r.replicas = r.replicas[:len(r.replicas)-1]
 		r.retire(last)
 		r.lastScale = now
-		r.cfg.event(now, "scale-in", last.node.Spec.Name)
+		r.emit(telemetry.ScaleIn, last.node.ID, last.node.Spec.Name, "")
 	}
 }
 
@@ -151,7 +152,7 @@ func (r *runner) swapTo(sn *servingNode) {
 		r.retire(rep)
 	}
 	r.replicas = nil
-	r.cfg.event(r.eng.Now(), "swap", sn.node.Spec.Name)
+	r.emit(telemetry.HWSwitch, sn.node.ID, sn.node.Spec.Name, "")
 	if old != nil {
 		r.retire(old)
 	}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// telemetryRun executes one seeded run with a fresh recorder attached. The
+// trace is realized from the seed inside, so two calls are fully
+// independent end to end.
+func telemetryRun(t *testing.T, seed uint64) (*telemetry.Recorder, Result) {
+	t.Helper()
+	rec := telemetry.NewRecorder()
+	res := Run(Config{
+		Model:       model.MustByName("ResNet 50"),
+		Trace:       trace.Azure(sim.NewRNG(seed), 300, 90*time.Second),
+		Scheme:      NewPaldia(),
+		Seed:        seed,
+		Telemetry:   rec,
+		SampleEvery: time.Second,
+	})
+	return rec, res
+}
+
+// Two identically seeded runs must produce byte-identical exports — the
+// determinism contract every telemetry artifact advertises.
+func TestTelemetryExportsAreDeterministic(t *testing.T) {
+	type export struct {
+		spans, events, series, chrome bytes.Buffer
+	}
+	dump := func() *export {
+		rec, _ := telemetryRun(t, 42)
+		var e export
+		if err := rec.WriteSpansJSONL(&e.spans); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteEventsJSONL(&e.events); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Series().WriteCSV(&e.series); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(&e.chrome); err != nil {
+			t.Fatal(err)
+		}
+		return &e
+	}
+	a, b := dump(), dump()
+	if !bytes.Equal(a.spans.Bytes(), b.spans.Bytes()) {
+		t.Error("spans JSONL differs between identically seeded runs")
+	}
+	if !bytes.Equal(a.events.Bytes(), b.events.Bytes()) {
+		t.Error("events JSONL differs between identically seeded runs")
+	}
+	if !bytes.Equal(a.series.Bytes(), b.series.Bytes()) {
+		t.Error("series CSV differs between identically seeded runs")
+	}
+	if !bytes.Equal(a.chrome.Bytes(), b.chrome.Bytes()) {
+		t.Error("Chrome trace differs between identically seeded runs")
+	}
+	if a.spans.Len() == 0 || a.series.Len() == 0 {
+		t.Fatalf("exports empty: spans=%d series=%d bytes", a.spans.Len(), a.series.Len())
+	}
+}
+
+// Spans must agree with the metrics.Collector's ground truth request by
+// request: same population, same latency decomposition, components
+// telescoping exactly to the end-to-end latency.
+func TestTelemetrySpansMatchCollector(t *testing.T) {
+	rec, res := telemetryRun(t, 7)
+	spans := rec.Spans()
+	if len(spans) != res.Requests {
+		t.Fatalf("%d spans vs %d collector records", len(spans), res.Requests)
+	}
+
+	type key struct {
+		arrival, latency, batchWait, cold, queue time.Duration
+		failed                                   bool
+	}
+	seen := make(map[key]int, len(spans))
+	for _, rc := range res.Collector.Records() {
+		seen[key{rc.Arrival, rc.Latency, rc.BatchWait, rc.ColdStart, rc.QueueDelay, rc.Failed}]++
+	}
+	for _, s := range spans {
+		if !s.Done() {
+			t.Fatalf("span req=%d still open after the run", s.Req)
+		}
+		if sum := s.BatchWait() + s.ColdStart() + s.QueueDelay() + s.Exec(); sum != s.Latency() {
+			t.Fatalf("req=%d components %v do not telescope to latency %v", s.Req, sum, s.Latency())
+		}
+		k := key{s.Arrived, s.Latency(), s.BatchWait(), s.ColdStart(), s.QueueDelay(), s.Failed}
+		if seen[k] == 0 {
+			t.Fatalf("span req=%d (%+v) has no matching collector record", s.Req, k)
+		}
+		seen[k]--
+	}
+}
+
+// Attaching telemetry must not change the simulation trajectory at all:
+// gauges read state through side-effect-free accessors, so every headline
+// result is identical with the layer on or off.
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	run := func(tel telemetry.Sink, every time.Duration) Result {
+		return Run(Config{
+			Model:       model.MustByName("ResNet 50"),
+			Trace:       trace.Azure(sim.NewRNG(11), 300, 90*time.Second),
+			Scheme:      NewPaldia(),
+			Seed:        11,
+			Telemetry:   tel,
+			SampleEvery: every,
+		})
+	}
+	plain := run(nil, 0)
+	instr := run(telemetry.NewRecorder(), 250*time.Millisecond)
+
+	if plain.Requests != instr.Requests || plain.FailedRequests != instr.FailedRequests {
+		t.Fatalf("request counts differ: %d/%d vs %d/%d",
+			plain.Requests, plain.FailedRequests, instr.Requests, instr.FailedRequests)
+	}
+	if plain.SLOCompliance != instr.SLOCompliance || plain.P50 != instr.P50 || plain.P99 != instr.P99 {
+		t.Fatalf("latency stats differ: %v/%v/%v vs %v/%v/%v",
+			plain.SLOCompliance, plain.P50, plain.P99, instr.SLOCompliance, instr.P50, instr.P99)
+	}
+	if plain.Cost != instr.Cost || plain.Boots != instr.Boots || plain.Switches != instr.Switches {
+		t.Fatalf("cost/boots/switches differ: %v/%d/%d vs %v/%d/%d",
+			plain.Cost, plain.Boots, plain.Switches, instr.Cost, instr.Boots, instr.Switches)
+	}
+}
+
+// Node failures flow through spans: lost requests carry Failed and the
+// span population still matches the collector exactly.
+func TestTelemetrySpansUnderFailures(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	res := Run(Config{
+		Model:           model.MustByName("ResNet 50"),
+		Trace:           trace.Azure(sim.NewRNG(3), 200, 60*time.Second),
+		Scheme:          NewPaldia(),
+		Seed:            3,
+		Telemetry:       rec,
+		FailureEvery:    25 * time.Second,
+		FailureDuration: 10 * time.Second,
+	})
+	if res.FailuresInjected == 0 {
+		t.Fatal("failure study injected nothing")
+	}
+	failed := 0
+	for _, s := range rec.Spans() {
+		if s.Failed {
+			failed++
+		}
+	}
+	if failed != res.FailedRequests {
+		t.Fatalf("%d failed spans vs %d failed requests", failed, res.FailedRequests)
+	}
+	if len(rec.Spans()) != res.Requests {
+		t.Fatalf("%d spans vs %d records", len(rec.Spans()), res.Requests)
+	}
+}
+
+// Multi-tenant runs label spans with the workload index and keep the same
+// span population per tenant as the per-tenant collectors.
+func TestMultiTelemetrySpansPerTenant(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	mres := RunMulti(MultiConfig{
+		Workloads: []Workload{
+			{Model: model.MustByName("ResNet 50"), Trace: trace.Azure(sim.NewRNG(5), 150, 45*time.Second)},
+			{Model: model.MustByName("MobileNet"), Trace: trace.Azure(sim.NewRNG(6), 150, 45*time.Second)},
+		},
+		Scheme:    NewPaldia(),
+		Telemetry: rec,
+	})
+	perTenant := map[int]int{}
+	for _, s := range rec.Spans() {
+		if !s.Done() {
+			t.Fatalf("open span req=%d tenant=%d", s.Req, s.Tenant)
+		}
+		perTenant[s.Tenant]++
+	}
+	for i, col := range mres.PerWorkload {
+		if perTenant[i] != col.Count() {
+			t.Fatalf("tenant %d: %d spans vs %d records", i, perTenant[i], col.Count())
+		}
+	}
+}
+
+// The legacy OnEvent callback keeps working, served through the adapter.
+func TestOnEventStillServed(t *testing.T) {
+	kinds := map[string]int{}
+	Run(Config{
+		Model:  model.MustByName("ResNet 50"),
+		Trace:  trace.Azure(sim.NewRNG(9), 300, 60*time.Second),
+		Scheme: NewPaldia(),
+		Seed:   9,
+		OnEvent: func(ts time.Duration, kind, detail string) {
+			kinds[kind]++
+		},
+	})
+	if len(kinds) == 0 {
+		t.Fatal("OnEvent never fired")
+	}
+	for kind := range kinds {
+		switch kind {
+		case "arrived", "batched", "dispatched", "completed", "sample":
+			t.Fatalf("legacy OnEvent received fine-grained kind %q", kind)
+		}
+	}
+}

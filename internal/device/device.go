@@ -29,6 +29,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Mode selects the GPU sharing mechanism for a job.
@@ -50,6 +51,9 @@ func (m Mode) String() string {
 
 // Job is one batch execution on a device.
 type Job struct {
+	// ID identifies the job in telemetry spans; 0 means untracked (job IDs
+	// are assigned from 1 by the dispatcher when telemetry is enabled).
+	ID int64
 	// Batch is the number of requests in the job.
 	Batch int
 	// Solo is the profiled isolated execution latency of this batch on this
@@ -115,6 +119,11 @@ type Device struct {
 	// serverless workloads stealing host CPU (Table III).
 	hostFactor float64
 
+	// sink receives job lifecycle events; nodeID labels them. A nil sink
+	// costs one branch per lifecycle transition.
+	sink   telemetry.Sink
+	nodeID int
+
 	failed bool
 
 	lastAdvance time.Duration
@@ -139,6 +148,24 @@ func New(eng *sim.Engine, spec hardware.Spec, maxResident int) *Device {
 
 // Spec returns the node type the device belongs to.
 func (d *Device) Spec() hardware.Spec { return d.spec }
+
+// SetTelemetry wires the device's job lifecycle events to a sink, labelled
+// with the owning node's ID.
+func (d *Device) SetTelemetry(s telemetry.Sink, nodeID int) {
+	d.sink = s
+	d.nodeID = nodeID
+}
+
+// jobEvent emits one job lifecycle event; call sites guard sink != nil.
+func (d *Device) jobEvent(kind telemetry.Kind, j *Job) {
+	e := telemetry.Ev(d.eng.Now(), kind)
+	e.Job = j.ID
+	e.Node = d.nodeID
+	e.Spec = d.spec.Name
+	e.N = j.Batch
+	e.Detail = j.Mode.String()
+	d.sink.Event(e)
+}
 
 // SetHostFactor sets the host-contention execution inflation (>= 1).
 func (d *Device) SetHostFactor(f float64) {
@@ -243,6 +270,9 @@ func (d *Device) Submit(j *Job) {
 	if !d.spec.IsGPU() {
 		j.Mode = Queued
 	}
+	if d.sink != nil {
+		d.jobEvent(telemetry.Queued, j)
+	}
 	switch j.Mode {
 	case Spatial:
 		if d.hasRoom() {
@@ -292,6 +322,9 @@ func (d *Device) failJob(j *Job) {
 	if j.Started == 0 && !j.running {
 		j.Started = d.eng.Now()
 	}
+	if d.sink != nil {
+		d.jobEvent(telemetry.ExecEnd, j)
+	}
 	if j.Done != nil {
 		j.Done(j)
 	}
@@ -322,6 +355,9 @@ func (d *Device) start(j *Job) {
 	j.running = true
 	j.remainingSec = j.Solo.Seconds()
 	d.active = append(d.active, j)
+	if d.sink != nil {
+		d.jobEvent(telemetry.ExecStart, j)
+	}
 }
 
 // rate returns the current progress rate (solo-seconds per second) of job j
@@ -402,6 +438,9 @@ func (d *Device) finish(j *Job) {
 	d.admitLane()
 	d.reschedule()
 
+	if d.sink != nil {
+		d.jobEvent(telemetry.ExecEnd, j)
+	}
 	if j.Done != nil {
 		j.Done(j)
 	}
@@ -414,6 +453,61 @@ func (d *Device) removeActive(j *Job) {
 			return
 		}
 	}
+}
+
+// Stats is a read-only snapshot of the device for telemetry sampling.
+type Stats struct {
+	// ActiveJobs, LaneQueued and PendingSpatial count executing jobs and
+	// the two waiting queues.
+	ActiveJobs, LaneQueued, PendingSpatial int
+	// ActiveDemand and ActiveCompute aggregate FBR and compute occupancy
+	// over executing jobs.
+	ActiveDemand, ActiveCompute float64
+	// BacklogSolo and LaneBacklogSolo are the solo-equivalent work totals
+	// (see BacklogSolo / LaneBacklogSolo).
+	BacklogSolo, LaneBacklogSolo time.Duration
+	// Failed mirrors the failure flag.
+	Failed bool
+}
+
+// SampleStats computes Stats without mutating the device: unlike
+// BacklogSolo and friends it does not fold progress into remainingSec, so
+// sampling on any cadence leaves the simulation trajectory — including its
+// floating-point rounding — bit-identical to an unsampled run.
+func (d *Device) SampleStats() Stats {
+	st := Stats{
+		ActiveJobs:     len(d.active),
+		LaneQueued:     len(d.lane),
+		PendingSpatial: len(d.pendingSpat),
+		Failed:         d.failed,
+	}
+	dt := (d.eng.Now() - d.lastAdvance).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	remaining := func(j *Job) time.Duration {
+		rem := j.remainingSec - dt*d.rate(j)
+		if rem < 0 {
+			rem = 0
+		}
+		return time.Duration(rem * float64(time.Second))
+	}
+	for _, j := range d.active {
+		st.ActiveDemand += j.FBR
+		st.ActiveCompute += j.Compute
+		st.BacklogSolo += remaining(j)
+	}
+	if d.laneRunning != nil {
+		st.LaneBacklogSolo += remaining(d.laneRunning)
+	}
+	for _, j := range d.lane {
+		st.BacklogSolo += j.Solo
+		st.LaneBacklogSolo += j.Solo
+	}
+	for _, j := range d.pendingSpat {
+		st.BacklogSolo += j.Solo
+	}
+	return st
 }
 
 // WorkDone returns the cumulative solo-equivalent work completed, for

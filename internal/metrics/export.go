@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/csv"
+	"fmt"
 	"io"
 	"strconv"
 	"time"
@@ -40,7 +41,9 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV parses records previously written with WriteCSV into a collector
-// with the given SLO (the slo_ok column is recomputed, not trusted).
+// with the given SLO (the slo_ok column is recomputed, not trusted). A
+// malformed cell is an error naming the offending row and column, never a
+// silently coerced zero.
 func ReadCSV(r io.Reader, slo time.Duration) (*Collector, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
@@ -49,30 +52,43 @@ func ReadCSV(r io.Reader, slo time.Duration) (*Collector, error) {
 	}
 	c := NewCollector(slo)
 	for i, row := range rows {
+		line := i + 1
 		if i == 0 && len(row) > 0 && row[0] == csvHeader[0] {
 			continue // header
 		}
 		if len(row) < 8 {
-			continue
+			return nil, fmt.Errorf("metrics: row %d has %d columns, want at least 8", line, len(row))
 		}
-		f := func(s string) float64 {
-			v, _ := strconv.ParseFloat(s, 64)
+		var rowErr error
+		f := func(col int) float64 {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil && rowErr == nil {
+				rowErr = fmt.Errorf("metrics: row %d column %s: %q is not a number",
+					line, csvHeader[col], row[col])
+			}
 			return v
 		}
-		ms := func(s string) time.Duration {
-			return time.Duration(f(s) * float64(time.Millisecond))
+		ms := func(col int) time.Duration {
+			return time.Duration(f(col) * float64(time.Millisecond))
 		}
-		failed, _ := strconv.ParseBool(row[7])
-		c.Add(Record{
-			Arrival:      time.Duration(f(row[0]) * float64(time.Second)),
-			Latency:      ms(row[1]),
-			BatchWait:    ms(row[2]),
-			QueueDelay:   ms(row[3]),
-			Interference: ms(row[4]),
-			ColdStart:    ms(row[5]),
-			MinExec:      ms(row[6]),
-			Failed:       failed,
-		})
+		rec := Record{
+			Arrival:      time.Duration(f(0) * float64(time.Second)),
+			Latency:      ms(1),
+			BatchWait:    ms(2),
+			QueueDelay:   ms(3),
+			Interference: ms(4),
+			ColdStart:    ms(5),
+			MinExec:      ms(6),
+		}
+		rec.Failed, err = strconv.ParseBool(row[7])
+		if err != nil {
+			return nil, fmt.Errorf("metrics: row %d column %s: %q is not a bool",
+				line, csvHeader[7], row[7])
+		}
+		if rowErr != nil {
+			return nil, rowErr
+		}
+		c.Add(rec)
 	}
 	return c, nil
 }

@@ -266,13 +266,39 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVMalformedRows(t *testing.T) {
-	in := "arrival_s,latency_ms,batch_wait_ms,queue_delay_ms,interference_ms,cold_start_ms,min_exec_ms,failed,slo_ok\n" +
-		"1.0,50,0,0,0,0,40,false,true\n"
-	c, err := ReadCSV(strings.NewReader(in), msec(200))
+	header := "arrival_s,latency_ms,batch_wait_ms,queue_delay_ms,interference_ms,cold_start_ms,min_exec_ms,failed,slo_ok\n"
+	c, err := ReadCSV(strings.NewReader(header+"1.0,50,0,0,0,0,40,false,true\n"), msec(200))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Count() != 1 {
 		t.Fatalf("count = %d, want 1", c.Count())
+	}
+
+	// A corrupt numeric cell must be a labelled error, not a silent zero.
+	cases := []struct {
+		name, row, want string
+	}{
+		{"bad latency", "1.0,oops,0,0,0,0,40,false,true", "row 2 column latency_ms"},
+		{"bad arrival", "NaN?,50,0,0,0,0,40,false,true", "row 2 column arrival_s"},
+		{"bad failed", "1.0,50,0,0,0,0,40,maybe,true", "row 2 column failed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(header+tc.row+"\n"), msec(200))
+			if err == nil {
+				t.Fatalf("corrupt row accepted: %q", tc.row)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+
+	// A second corrupt row is still labelled with its own line number.
+	in := header + "1.0,50,0,0,0,0,40,false,true\n" + "2.0,50,0,bogus,0,0,40,false,true\n"
+	if _, err := ReadCSV(strings.NewReader(in), msec(200)); err == nil ||
+		!strings.Contains(err.Error(), "row 3 column queue_delay_ms") {
+		t.Fatalf("error %v does not name row 3 column queue_delay_ms", err)
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -281,4 +282,80 @@ func BenchmarkEngineScheduleStep(b *testing.B) {
 		}
 	}
 	e.RunAll()
+}
+
+func TestCancelAlreadyFiredIsNoOp(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	ev := e.Schedule(time.Second, func() { fired++ })
+	e.Schedule(2*time.Second, func() { fired++ })
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	// Cancelling after the fact must not panic, unfire, or disturb the queue.
+	ev.Cancel()
+	ev.Cancel()
+	if fired != 2 || e.Pending() != 0 {
+		t.Fatalf("post-fire Cancel changed state: fired=%d pending=%d", fired, e.Pending())
+	}
+	// The engine must still schedule and run normally afterwards.
+	e.Schedule(time.Second, func() { fired++ })
+	e.RunAll()
+	if fired != 3 {
+		t.Fatalf("fired = %d after post-cancel schedule, want 3", fired)
+	}
+}
+
+func TestRunUntilFiresEventExactlyAtBound(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	e.Schedule(time.Second, func() { log = append(log, "before") })
+	e.Schedule(2*time.Second, func() { log = append(log, "at") })
+	e.ScheduleAt(2*time.Second, func() { log = append(log, "at2") })
+	e.Schedule(2*time.Second+time.Nanosecond, func() { log = append(log, "after") })
+
+	e.Run(2 * time.Second)
+	if got, want := fmt.Sprint(log), "[before at at2]"; got != want {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want exactly 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the 2s+1ns event still queued", e.Pending())
+	}
+	e.RunAll()
+	if got, want := fmt.Sprint(log), "[before at at2 after]"; got != want {
+		t.Fatalf("fired %v after RunAll, want %v", got, want)
+	}
+}
+
+func TestFIFOUnderInterleavedScheduleAndScheduleAt(t *testing.T) {
+	e := NewEngine()
+	const at = 5 * time.Second
+	var order []int
+	// Same instant reached through both APIs, interleaved: firing order must
+	// be pure scheduling order regardless of which call queued each event.
+	for i := 0; i < 10; i++ {
+		i := i
+		if i%2 == 0 {
+			e.Schedule(at, func() { order = append(order, i) })
+		} else {
+			e.ScheduleAt(at, func() { order = append(order, i) })
+		}
+	}
+	// An event at the same instant scheduled from inside a callback still
+	// fires after everything queued earlier for that instant.
+	e.ScheduleAt(at, func() {
+		e.ScheduleAt(at, func() { order = append(order, 100) })
+	})
+	e.RunAll()
+	want := "[0 1 2 3 4 5 6 7 8 9 100]"
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+	if e.Now() != at {
+		t.Fatalf("clock = %v, want %v", e.Now(), at)
+	}
 }

@@ -1,0 +1,108 @@
+package telemetry
+
+// Recorder is the in-memory Sink: it retains every event in emission
+// order, assembles per-request spans from lifecycle events, and collects
+// Sample events into time series. All output orderings are insertion
+// orderings, so a deterministic simulation yields byte-identical exports.
+type Recorder struct {
+	events []Event
+	spans  []*Span
+	open   map[spanKey]*Span
+	jobs   map[int64][]*Span // job ID -> member spans awaiting exec stamps
+	series *SeriesSet
+
+	nodes     []nodeInfo // node ID -> spec, in first-seen order
+	nodeIndex map[int]int
+}
+
+type spanKey struct {
+	tenant int
+	req    int64
+}
+
+type nodeInfo struct {
+	id   int
+	spec string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		open:      make(map[spanKey]*Span),
+		jobs:      make(map[int64][]*Span),
+		series:    NewSeriesSet(),
+		nodeIndex: make(map[int]int),
+	}
+}
+
+// Event implements Sink.
+func (r *Recorder) Event(e Event) {
+	r.events = append(r.events, e)
+	if e.Node >= 0 && e.Spec != "" {
+		if _, ok := r.nodeIndex[e.Node]; !ok {
+			r.nodeIndex[e.Node] = len(r.nodes)
+			r.nodes = append(r.nodes, nodeInfo{id: e.Node, spec: e.Spec})
+		}
+	}
+	switch e.Kind {
+	case Arrived:
+		s := r.span(e)
+		s.Arrived = e.At
+	case Batched:
+		r.span(e).Batched = e.At
+	case Dispatched:
+		s := r.span(e)
+		s.Dispatched = e.At
+		s.Job = e.Job
+		s.Node = e.Node
+		s.Spec = e.Spec
+		s.BatchSize = e.N
+		s.Mode = e.Detail
+		if e.Job > 0 {
+			r.jobs[e.Job] = append(r.jobs[e.Job], s)
+		}
+	case Queued:
+		for _, s := range r.jobs[e.Job] {
+			s.Queued = e.At
+		}
+	case ExecStart:
+		for _, s := range r.jobs[e.Job] {
+			s.ExecStart = e.At
+		}
+	case ExecEnd:
+		for _, s := range r.jobs[e.Job] {
+			s.ExecEnd = e.At
+		}
+		delete(r.jobs, e.Job)
+	case Completed, Failed:
+		s := r.span(e)
+		s.Completed = e.At
+		s.Failed = e.Kind == Failed
+		delete(r.open, spanKey{e.Tenant, e.Req})
+	case Sample:
+		r.series.Observe(e.Detail, e.At, e.Value)
+	}
+}
+
+// span returns the open span for the event's request, creating one on
+// first sight (events may arrive without a prior Arrived in unit tests).
+func (r *Recorder) span(e Event) *Span {
+	k := spanKey{e.Tenant, e.Req}
+	if s, ok := r.open[k]; ok {
+		return s
+	}
+	s := newSpan(e.Req, e.Tenant)
+	r.open[k] = s
+	r.spans = append(r.spans, s)
+	return s
+}
+
+// Events returns every recorded event in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Spans returns every span in request-arrival order, including any still
+// open (requests that never completed).
+func (r *Recorder) Spans() []*Span { return r.spans }
+
+// Series returns the time series collected from Sample events.
+func (r *Recorder) Series() *SeriesSet { return r.series }

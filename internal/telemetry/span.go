@@ -1,0 +1,73 @@
+package telemetry
+
+import "time"
+
+// unset marks a lifecycle timestamp that never happened. All real virtual
+// times are >= 0.
+const unset = time.Duration(-1)
+
+// Span is the assembled lifecycle of one request: every timestamp the
+// runtime stamped on its way through the system. Timestamps are unset (-1)
+// for stages the request never reached (e.g. a request flushed as failed
+// before dispatch).
+type Span struct {
+	// Req is the request ID; Tenant the workload index (multi-tenant runs).
+	Req    int64
+	Tenant int
+
+	// Arrived through Completed are the lifecycle instants.
+	Arrived    time.Duration
+	Batched    time.Duration
+	Dispatched time.Duration
+	Queued     time.Duration // submitted to the device (after container wait)
+	ExecStart  time.Duration
+	ExecEnd    time.Duration
+	Completed  time.Duration
+
+	// Job, Node, Spec, BatchSize and Mode identify how the request was
+	// served: the batch job it joined, the node and node type that executed
+	// it, and the sharing mode ("spatial" or "queued").
+	Job       int64
+	Node      int
+	Spec      string
+	BatchSize int
+	Mode      string
+
+	// Failed marks requests lost to node failures or the final flush.
+	Failed bool
+}
+
+func newSpan(req int64, tenant int) *Span {
+	return &Span{
+		Req: req, Tenant: tenant, Job: 0, Node: -1,
+		Arrived: unset, Batched: unset, Dispatched: unset, Queued: unset,
+		ExecStart: unset, ExecEnd: unset, Completed: unset,
+	}
+}
+
+// gap returns to-from clamped to zero, or zero when either end is unset.
+func gap(from, to time.Duration) time.Duration {
+	if from < 0 || to < 0 || to < from {
+		return 0
+	}
+	return to - from
+}
+
+// BatchWait is the time spent in the batcher before dispatch.
+func (s *Span) BatchWait() time.Duration { return gap(s.Arrived, s.Dispatched) }
+
+// ColdStart is the container wait serialized between dispatch and device
+// submission.
+func (s *Span) ColdStart() time.Duration { return gap(s.Dispatched, s.Queued) }
+
+// QueueDelay is the on-device wait between submission and execution.
+func (s *Span) QueueDelay() time.Duration { return gap(s.Queued, s.ExecStart) }
+
+// Exec is the execution time, including co-location interference.
+func (s *Span) Exec() time.Duration { return gap(s.ExecStart, s.ExecEnd) }
+
+// Latency is the end-to-end response time; zero while the span is open.
+func (s *Span) Latency() time.Duration { return gap(s.Arrived, s.Completed) }
+
+// Done reports whether the request reached a terminal state.
+func (s *Span) Done() bool { return s.Completed >= 0 }

@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// feedLifecycle pushes one request's full lifecycle into the sink.
+func feedLifecycle(s Sink) {
+	arr := Ev(ms(0), Arrived)
+	arr.Req = 7
+	s.Event(arr)
+	arr.Kind = Batched
+	s.Event(arr)
+
+	d := Ev(ms(10), Dispatched)
+	d.Req, d.Job, d.Node, d.Spec, d.N, d.Detail = 7, 3, 1, "p3.2xlarge", 4, "spatial"
+	s.Event(d)
+
+	q := Ev(ms(12), Queued)
+	q.Job, q.Node = 3, 1
+	s.Event(q)
+	q.Kind, q.At = ExecStart, ms(15)
+	s.Event(q)
+	q.Kind, q.At = ExecEnd, ms(40)
+	s.Event(q)
+
+	c := Ev(ms(40), Completed)
+	c.Req, c.Job, c.Node = 7, 3, 1
+	s.Event(c)
+}
+
+func TestRecorderAssemblesSpan(t *testing.T) {
+	r := NewRecorder()
+	feedLifecycle(r)
+
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Req != 7 || s.Job != 3 || s.Node != 1 || s.Spec != "p3.2xlarge" ||
+		s.BatchSize != 4 || s.Mode != "spatial" || s.Failed {
+		t.Fatalf("span identity wrong: %+v", s)
+	}
+	if !s.Done() {
+		t.Fatal("span not done after Completed")
+	}
+	if s.BatchWait() != ms(10) || s.ColdStart() != ms(2) ||
+		s.QueueDelay() != ms(3) || s.Exec() != ms(25) || s.Latency() != ms(40) {
+		t.Fatalf("components wrong: batch=%v cold=%v queue=%v exec=%v lat=%v",
+			s.BatchWait(), s.ColdStart(), s.QueueDelay(), s.Exec(), s.Latency())
+	}
+	// The invariant the exports rely on: components telescope to latency.
+	if s.BatchWait()+s.ColdStart()+s.QueueDelay()+s.Exec() != s.Latency() {
+		t.Fatal("components do not sum to latency")
+	}
+}
+
+func TestRecorderFailedFlushSpan(t *testing.T) {
+	r := NewRecorder()
+	a := Ev(ms(5), Arrived)
+	a.Req = 1
+	r.Event(a)
+	f := Ev(ms(500), Failed)
+	f.Req = 1
+	r.Event(f)
+
+	s := r.Spans()[0]
+	if !s.Failed || !s.Done() {
+		t.Fatalf("flushed request not failed+done: %+v", s)
+	}
+	if s.Latency() != ms(495) {
+		t.Fatalf("latency = %v, want 495ms", s.Latency())
+	}
+	// Never dispatched: every component is zero.
+	if s.BatchWait() != 0 || s.ColdStart() != 0 || s.QueueDelay() != 0 || s.Exec() != 0 {
+		t.Fatalf("undispatched request has nonzero components: %+v", s)
+	}
+}
+
+func TestRecorderTenantsKeepSeparateSpans(t *testing.T) {
+	r := NewRecorder()
+	for tenant := 0; tenant < 2; tenant++ {
+		a := Ev(ms(tenant), Arrived)
+		a.Req, a.Tenant = 0, tenant
+		r.Event(a)
+	}
+	if len(r.Spans()) != 2 {
+		t.Fatalf("same req ID in two tenants collapsed: %d spans", len(r.Spans()))
+	}
+}
+
+func TestCombineAndAdapter(t *testing.T) {
+	if Combine() != nil || Combine(nil, nil) != nil {
+		t.Fatal("Combine of no sinks must be nil (fast path)")
+	}
+	if AdaptOnEvent(nil) != nil {
+		t.Fatal("AdaptOnEvent(nil) must be nil")
+	}
+	rec := NewRecorder()
+	if Combine(nil, rec) != Sink(rec) {
+		t.Fatal("Combine with one sink must return it unchanged")
+	}
+
+	var legacy []string
+	fan := Combine(rec, AdaptOnEvent(func(ts time.Duration, kind, detail string) {
+		legacy = append(legacy, kind+" "+detail)
+	}))
+	feedLifecycle(fan)
+	sw := Ev(ms(50), HWSwitch)
+	sw.Node, sw.Spec = 2, "p2.xlarge"
+	fan.Event(sw)
+	smp := Ev(ms(60), Sample)
+	smp.Detail, smp.Value = "cost_usd", 1.5
+	fan.Event(smp)
+
+	if len(rec.Spans()) != 1 || len(rec.Events()) != 9 {
+		t.Fatalf("recorder saw %d spans / %d events", len(rec.Spans()), len(rec.Events()))
+	}
+	// The legacy callback gets only coarse runtime events: no per-request
+	// lifecycle, no samples — here, the job events and the switch.
+	joined := strings.Join(legacy, ";")
+	if strings.Contains(joined, "arrived") || strings.Contains(joined, "sample") {
+		t.Fatalf("legacy adapter leaked per-request or sample events: %v", legacy)
+	}
+	if !strings.Contains(joined, "swap p2.xlarge") {
+		t.Fatalf("legacy adapter missed the switch: %v", legacy)
+	}
+}
+
+func TestSamplerCadenceAndSeries(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := NewRecorder()
+	v := 0.0
+	s := NewSampler(eng, rec, time.Second, []Gauge{
+		{Name: "x", Read: func() float64 { v++; return v }},
+	})
+	s.Start()
+	eng.Run(3500 * time.Millisecond)
+
+	series := rec.Series().Get("x")
+	if series == nil {
+		t.Fatal("series x missing")
+	}
+	// Samples at 0s, 1s, 2s, 3s.
+	if len(series.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(series.Points))
+	}
+	for i, p := range series.Points {
+		if p.At != time.Duration(i)*time.Second || p.Value != float64(i+1) {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+	s.Stop()
+	eng.Run(10 * time.Second)
+	if len(rec.Series().Get("x").Points) != 4 {
+		t.Fatal("sampler kept ticking after Stop")
+	}
+
+	// Nil sink and zero cadence are inert.
+	NewSampler(eng, nil, time.Second, nil).Start()
+	NewSampler(eng, rec, 0, nil).Start()
+	if eng.Pending() != 0 {
+		t.Fatalf("inert samplers queued events: %d", eng.Pending())
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	ss := NewSeriesSet()
+	ss.Observe("a", ms(0), 1)
+	ss.Observe("b", ms(0), 0.25)
+	ss.Observe("a", ms(1000), 2.5)
+	// b misses the 1s tick; a misses the 2s tick — cells stay empty.
+	ss.Observe("b", ms(2000), 3)
+
+	var buf bytes.Buffer
+	if err := ss.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSeriesCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(back.Names(), ","), "a,b"; got != want {
+		t.Fatalf("names %q, want %q", got, want)
+	}
+	a, b := back.Get("a"), back.Get("b")
+	if len(a.Points) != 2 || len(b.Points) != 2 {
+		t.Fatalf("points a=%d b=%d, want 2 and 2", len(a.Points), len(b.Points))
+	}
+	if a.Points[1].At != time.Second || a.Points[1].Value != 2.5 {
+		t.Fatalf("a[1] = %+v", a.Points[1])
+	}
+	if b.Last().At != 2*time.Second || b.Last().Value != 3 {
+		t.Fatalf("b last = %+v", b.Last())
+	}
+
+	// Corruption is a labelled error, not a zero.
+	bad := strings.Replace(buf.String(), "2.5", "2.5oops", 1)
+	if _, err := ReadSeriesCSV(strings.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "column a") {
+		t.Fatalf("corrupt cell error = %v, want one naming column a", err)
+	}
+	if _, err := ReadSeriesCSV(strings.NewReader("x,y\n1,2\n")); err == nil {
+		t.Fatal("missing t_s header accepted")
+	}
+}
+
+func TestSpansJSONLRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	feedLifecycle(rec)
+	var buf bytes.Buffer
+	if err := rec.WriteSpansJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpansJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("got %d spans", len(back))
+	}
+	s, o := back[0], rec.Spans()[0]
+	if s.Req != o.Req || s.Latency() != o.Latency() || s.BatchWait() != o.BatchWait() ||
+		s.ColdStart() != o.ColdStart() || s.QueueDelay() != o.QueueDelay() ||
+		s.Exec() != o.Exec() || s.Mode != o.Mode || s.BatchSize != o.BatchSize {
+		t.Fatalf("round trip changed span:\n got %+v\nwant %+v", s, o)
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	rec := NewRecorder()
+	na := Ev(0, NodeAcquired)
+	na.Node, na.Spec = 1, "p3.2xlarge"
+	rec.Event(na)
+	feedLifecycle(rec)
+	smp := Ev(ms(20), Sample)
+	smp.Detail, smp.Value = "pending_requests", 4
+	rec.Event(smp)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	var reqOpen, reqClose int
+	for _, e := range doc.TraceEvents {
+		ph := e["ph"].(string)
+		phases[ph]++
+		if e["name"] == "request" {
+			switch ph {
+			case "b":
+				reqOpen++
+			case "e":
+				reqClose++
+			}
+		}
+	}
+	// Thread metadata, async slices (balanced), a counter sample.
+	if phases["M"] < 2 {
+		t.Fatalf("missing metadata events: %v", phases)
+	}
+	if phases["b"] == 0 || phases["b"] != phases["e"] {
+		t.Fatalf("unbalanced async events: %v", phases)
+	}
+	if phases["C"] != 1 {
+		t.Fatalf("want 1 counter event: %v", phases)
+	}
+	if reqOpen != 1 || reqClose != 1 {
+		t.Fatalf("request track open/close = %d/%d", reqOpen, reqClose)
+	}
+}
+
+func TestEventStringAndKindNames(t *testing.T) {
+	e := Ev(ms(1500), Dispatched)
+	e.Req, e.Job, e.Node, e.Spec, e.N, e.Detail = 9, 2, 0, "M60", 3, "queued"
+	s := e.String()
+	for _, want := range []string{"dispatched", "req=9", "job=2", "node=0", "spec=M60", "n=3", "queued"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("out-of-range kind must still format")
+	}
+	for k := Arrived; k <= Sample; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
