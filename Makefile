@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench experiments figures fuzz clean
+.PHONY: build test vet race bench bench-smoke experiments figures fuzz clean
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,21 @@ vet:
 test: vet
 	$(GO) test ./...
 
-# The simulator is single-goroutine by design; -race guards the few places
-# that could grow concurrency (exporters, CLI plumbing).
+# Each simulation is single-goroutine, but the experiment runner fans cells
+# out over a worker pool; -race plus the -cpu 1,4 equality run guard the
+# collection-by-index determinism contract.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -cpu 1,4 -run 'SerialParallel|SharedPool' ./internal/experiments/
 
-# One benchmark per paper figure/table (+ ablations), reduced scale.
+# Benchstat-comparable benchmark pass (3 counts): one benchmark per paper
+# figure/table plus the serial-vs-parallel grid pair. Compare runs with
+#   benchstat old.txt BENCH_parallel.txt
 bench:
+	$(GO) test -bench=. -benchmem -count=3 -run '^$$' . | tee BENCH_parallel.txt
+
+# One iteration of every benchmark, as a CI smoke test.
+bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
 
 # Full-scale regeneration of the evaluation (writes results + SVG figures).

@@ -5,6 +5,13 @@
 //	paldia-experiments -run fig3,fig4   # selected experiments
 //	paldia-experiments -reps 5 -scale 1 # the paper's repetition count
 //	paldia-experiments -scale 0.2       # quick pass (shorter traces)
+//	paldia-experiments -j 1             # serial run (results are identical)
+//
+// With -j > 1 (default: one worker per CPU) every simulation cell — each
+// (model, trace, scheme, repetition) point — fans out over a worker pool
+// shared across experiments, and whole experiments execute concurrently.
+// Results are collected indexed by cell and printed in registry order, so the
+// output is byte-identical at every -j value.
 package main
 
 import (
@@ -12,7 +19,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -27,10 +36,16 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "root random seed")
 		md     = flag.Bool("md", false, "emit markdown instead of aligned text")
 		svgDir = flag.String("svg", "", "also write each experiment's figures as SVG files into this directory")
+		jobs   = flag.Int("j", runtime.NumCPU(), "simulations to run concurrently (1 = serial; output is identical at any value)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Reps: *reps, Scale: *scale}
+	opts := experiments.Options{Seed: *seed, Reps: *reps, Scale: *scale, Parallelism: *jobs}
+	if *jobs > 1 {
+		// One pool shared by every experiment bounds total concurrency even
+		// when experiments themselves run concurrently below.
+		opts.Pool = experiments.NewPool(*jobs)
+	}
 	reg := experiments.Registry()
 
 	var ids []string
@@ -48,9 +63,34 @@ func main() {
 		}
 	}
 
-	for _, id := range ids {
+	// Experiments execute concurrently (their goroutines hold no pool tokens
+	// — only leaf simulation cells acquire them, so sharing one pool cannot
+	// deadlock), but tables buffer and print strictly in registry order.
+	tables := make([]*experiments.Table, len(ids))
+	elapsed := make([]time.Duration, len(ids))
+	runOne := func(i int, id string) {
 		start := time.Now()
-		t := reg[id](opts)
+		tables[i] = reg[id](opts)
+		elapsed[i] = time.Since(start)
+	}
+	if *jobs > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(ids))
+		for i, id := range ids {
+			go func(i int, id string) {
+				defer wg.Done()
+				runOne(i, id)
+			}(i, id)
+		}
+		wg.Wait()
+	} else {
+		for i, id := range ids {
+			runOne(i, id)
+		}
+	}
+
+	for i, id := range ids {
+		t := tables[i]
 		if *md {
 			fmt.Println(t.Markdown())
 		} else {
@@ -62,7 +102,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, elapsed[i].Round(time.Millisecond))
 	}
 }
 

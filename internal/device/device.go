@@ -80,7 +80,8 @@ type Job struct {
 
 	remainingSec float64 // solo-equivalent work left, in seconds
 	running      bool
-	finishEv     *sim.Event
+	finishEv     sim.Timer
+	finishFn     func() // bound once at start; reused across every re-arm
 }
 
 // QueueDelay is the time the job spent waiting before execution began.
@@ -302,10 +303,8 @@ func (d *Device) Fail() {
 	d.active, d.lane, d.pendingSpat = nil, nil, nil
 	d.laneRunning = nil
 	for _, j := range jobs {
-		if j.finishEv != nil {
-			j.finishEv.Cancel()
-			j.finishEv = nil
-		}
+		j.finishEv.Cancel()
+		j.finishEv = sim.Timer{}
 		d.failJob(j)
 	}
 }
@@ -354,29 +353,44 @@ func (d *Device) start(j *Job) {
 	j.Started = d.eng.Now()
 	j.running = true
 	j.remainingSec = j.Solo.Seconds()
+	job := j
+	j.finishFn = func() { d.finish(job) }
 	d.active = append(d.active, j)
 	if d.sink != nil {
 		d.jobEvent(telemetry.ExecStart, j)
 	}
 }
 
-// rate returns the current progress rate (solo-seconds per second) of job j
-// given the active pool: the binding bottleneck is either the aggregate
-// compute occupancy (co-located saturating kernels split the device
-// proportionally) or the bandwidth contention penalty, inflated by any host
-// contention.
-func (d *Device) rate(j *Job) float64 {
-	bw, compute := 0.0, 0.0
+// poolDemand sums the active pool's bandwidth and compute occupancy. The
+// per-job rate depends on the pool only through these aggregates, so callers
+// that recompute every active job's rate (advance, reschedule, SampleStats)
+// compute them once instead of once per job.
+func (d *Device) poolDemand() (bw, compute float64) {
 	for _, a := range d.active {
 		bw += a.FBR
 		compute += a.Compute
 	}
+	return bw, compute
+}
+
+// rateWith returns the progress rate (solo-seconds per second) of job j
+// given the precomputed pool aggregates: the binding bottleneck is either
+// the aggregate compute occupancy (co-located saturating kernels split the
+// device proportionally) or the bandwidth contention penalty, inflated by
+// any host contention.
+func (d *Device) rateWith(j *Job, bw, compute float64) float64 {
 	slow := profile.Slowdown(bw, j.FBR)
 	if compute > 1 && compute > slow {
 		slow = compute
 	}
 	slow *= profile.ClientOverhead(len(d.active))
 	return 1 / (slow * d.hostFactor)
+}
+
+// rate is the single-job convenience form of rateWith.
+func (d *Device) rate(j *Job) float64 {
+	bw, compute := d.poolDemand()
+	return d.rateWith(j, bw, compute)
 }
 
 // advance applies progress to all active jobs up to the current instant.
@@ -390,8 +404,9 @@ func (d *Device) advance() {
 	if len(d.active) > 0 {
 		d.busy += now - d.lastAdvance
 	}
+	bw, compute := d.poolDemand()
 	for _, j := range d.active {
-		done := dt * d.rate(j)
+		done := dt * d.rateWith(j, bw, compute)
 		j.remainingSec -= done
 		if j.remainingSec < 0 {
 			j.remainingSec = 0
@@ -404,22 +419,19 @@ func (d *Device) advance() {
 // reschedule recomputes every active job's projected finish and re-arms the
 // finish events. Called after any membership or rate change.
 func (d *Device) reschedule() {
+	bw, compute := d.poolDemand()
 	for _, j := range d.active {
-		if j.finishEv != nil {
-			j.finishEv.Cancel()
-			j.finishEv = nil
-		}
-		r := d.rate(j)
+		j.finishEv.Cancel()
+		r := d.rateWith(j, bw, compute)
 		delay := time.Duration(j.remainingSec / r * float64(time.Second))
-		job := j
-		j.finishEv = d.eng.Schedule(delay, func() { d.finish(job) })
+		j.finishEv = d.eng.Schedule(delay, j.finishFn)
 	}
 }
 
 // finish completes a job, admits successors, and recomputes the pool.
 func (d *Device) finish(j *Job) {
 	d.advance()
-	j.finishEv = nil
+	j.finishEv = sim.Timer{}
 	j.running = false
 	j.Finished = d.eng.Now()
 	d.removeActive(j)
@@ -485,8 +497,9 @@ func (d *Device) SampleStats() Stats {
 	if dt < 0 {
 		dt = 0
 	}
+	bw, compute := d.poolDemand()
 	remaining := func(j *Job) time.Duration {
-		rem := j.remainingSec - dt*d.rate(j)
+		rem := j.remainingSec - dt*d.rateWith(j, bw, compute)
 		if rem < 0 {
 			rem = 0
 		}

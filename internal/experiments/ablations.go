@@ -54,9 +54,16 @@ func AblationPrediction(o Options) *Table {
 			return trace.Twitter(rng, 5*azureMean, o.dur(trace.TwitterDuration))
 		}},
 	}
+	var cells []cell
 	for _, c := range cases {
 		for _, v := range variants {
-			a := runRepeated(o, c.m, c.gen, v.s, nil)
+			cells = append(cells, cell{m: c.m, gen: c.gen, scheme: v.s})
+		}
+	}
+	aggs := runCells(o, cells)
+	for ci, c := range cases {
+		for vi, v := range variants {
+			a := aggs[ci*len(variants)+vi]
 			switches := 0
 			for _, r := range a.Results {
 				switches += r.Switches
@@ -98,9 +105,12 @@ func AblationHybrid(o Options) *Table {
 		{"all spatial (MPS only)", core.NewMPSOnly(v100, "(V100)")},
 		{"all queued (time only)", core.NewTimeSharedOnly(v100, "(V100)")},
 	}
+	var cells []cell
 	for _, v := range variants {
-		a := runRepeated(o, m, gen, v.s, pin)
-		t.Rows = append(t.Rows, []string{v.name, pct(a.Compliance), msec(a.P99)})
+		cells = append(cells, cell{m: m, gen: gen, scheme: v.s, mut: pin})
+	}
+	for i, a := range runCells(o, cells) {
+		t.Rows = append(t.Rows, []string{variants[i].name, pct(a.Compliance), msec(a.P99)})
 	}
 	return t
 }
@@ -115,15 +125,18 @@ func AblationWaitLimit(o Options) *Table {
 		Title:   "Ablation: Algorithm 1 wait_limit debounce (ResNet 50, Azure trace)",
 		Columns: []string{"wait_limit", "SLO compliance", "cost", "hw switches"},
 	}
-	for _, wl := range []int{1, 3, 6, 12} {
-		s := core.NewPaldiaWithWaitLimit(wl)
-		a := runRepeated(o, m, azureGen(o, m), s, nil)
+	limits := []int{1, 3, 6, 12}
+	var cells []cell
+	for _, wl := range limits {
+		cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: core.NewPaldiaWithWaitLimit(wl)})
+	}
+	for i, a := range runCells(o, cells) {
 		switches := 0
 		for _, r := range a.Results {
 			switches += r.Switches
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(wl), pct(a.Compliance), dollars(a.Cost),
+			fmt.Sprint(limits[i]), pct(a.Compliance), dollars(a.Cost),
 			fmt.Sprint(switches / len(a.Results)),
 		})
 	}
@@ -140,17 +153,22 @@ func AblationKeepAlive(o Options) *Table {
 		Title:   "Ablation: container keep-alive window (ResNet 50, Azure trace)",
 		Columns: []string{"keep-alive", "container boots", "blocking cold starts", "SLO compliance"},
 	}
-	for _, ka := range []time.Duration{time.Nanosecond, time.Minute, 10 * time.Minute, time.Hour} {
+	kas := []time.Duration{time.Nanosecond, time.Minute, 10 * time.Minute, time.Hour}
+	var cells []cell
+	for _, ka := range kas {
+		ka := ka
 		mut := func(cfg *core.Config) { cfg.KeepAlive = ka }
-		a := runRepeated(o, m, azureGen(o, m), core.NewPaldia(), mut)
+		cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: core.NewPaldia(), mut: mut})
+	}
+	for i, a := range runCells(o, cells) {
 		var boots, colds uint64
 		for _, r := range a.Results {
 			boots += r.Boots
 			colds += r.SyncColdStarts
 		}
 		n := uint64(len(a.Results))
-		label := ka.String()
-		if ka == time.Nanosecond {
+		label := kas[i].String()
+		if kas[i] == time.Nanosecond {
 			label = "immediate"
 		}
 		t.Rows = append(t.Rows, []string{
@@ -169,12 +187,17 @@ func AblationDispatchWindow(o Options) *Table {
 		Title:   "Ablation: dispatch window (ResNet 50, Azure trace)",
 		Columns: []string{"window", "SLO compliance", "P99", "GPU util"},
 	}
-	for _, w := range []time.Duration{10 * time.Millisecond, 25 * time.Millisecond,
-		50 * time.Millisecond, 100 * time.Millisecond} {
+	windows := []time.Duration{10 * time.Millisecond, 25 * time.Millisecond,
+		50 * time.Millisecond, 100 * time.Millisecond}
+	var cells []cell
+	for _, w := range windows {
+		w := w
 		mut := func(cfg *core.Config) { cfg.DispatchWindow = w }
-		a := runRepeated(o, m, azureGen(o, m), core.NewPaldia(), mut)
+		cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: core.NewPaldia(), mut: mut})
+	}
+	for i, a := range runCells(o, cells) {
 		t.Rows = append(t.Rows, []string{
-			w.String(), pct(a.Compliance), msec(a.P99), pct(a.UtilGPU),
+			windows[i].String(), pct(a.Compliance), msec(a.P99), pct(a.UtilGPU),
 		})
 	}
 	t.Notes = append(t.Notes,

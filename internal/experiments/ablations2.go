@@ -20,6 +20,13 @@ func AblationBatching(o Options) *Table {
 		Title:   "Ablation: flexible vs uniform batching (Paldia, Azure trace)",
 		Columns: []string{"model", "SLO", "batching", "SLO compliance", "P50", "P99"},
 	}
+	type variant struct {
+		m     model.Spec
+		slo   time.Duration
+		label string
+	}
+	var cells []cell
+	var variants []variant
 	for _, name := range []string{"ResNet 50", "VGG 19"} {
 		m := model.MustByName(name)
 		for _, slo := range []time.Duration{200 * time.Millisecond, 120 * time.Millisecond} {
@@ -30,20 +37,25 @@ func AblationBatching(o Options) *Table {
 				{"flexible (paper)", false},
 				{"uniform (full batches)", true},
 			} {
+				slo, uniform := slo, c.uniform
 				mut := func(cfg *core.Config) {
-					cfg.UniformBatching = c.uniform
+					cfg.UniformBatching = uniform
 					cfg.SLO = slo
 				}
-				a := runRepeated(o, m, azureGen(o, m), core.NewPaldia(), mut)
-				p50 := time.Duration(0)
-				if len(a.Results) > 0 {
-					p50 = a.Results[0].P50
-				}
-				t.Rows = append(t.Rows, []string{
-					m.Name, slo.String(), c.label, pct(a.Compliance), msec(p50), msec(a.P99),
-				})
+				cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: core.NewPaldia(), mut: mut})
+				variants = append(variants, variant{m: m, slo: slo, label: c.label})
 			}
 		}
+	}
+	for i, a := range runCells(o, cells) {
+		v := variants[i]
+		p50 := time.Duration(0)
+		if len(a.Results) > 0 {
+			p50 = a.Results[0].P50
+		}
+		t.Rows = append(t.Rows, []string{
+			v.m.Name, v.slo.String(), v.label, pct(a.Compliance), msec(p50), msec(a.P99),
+		})
 	}
 	t.Notes = append(t.Notes,
 		"uniform batching spends up to SLO/4 of every request's budget waiting for the batch "+
@@ -65,13 +77,21 @@ func AblationSLO(o Options) *Table {
 	schemes := []core.Scheme{
 		core.NewPaldia(), core.NewMoleculeCost(), core.NewINFlessLlamaPerf(),
 	}
-	for _, slo := range []time.Duration{100 * time.Millisecond, 150 * time.Millisecond,
-		200 * time.Millisecond, 300 * time.Millisecond} {
-		row := []string{fmt.Sprint(slo)}
+	slos := []time.Duration{100 * time.Millisecond, 150 * time.Millisecond,
+		200 * time.Millisecond, 300 * time.Millisecond}
+	var cells []cell
+	for _, slo := range slos {
+		slo := slo
+		mut := func(cfg *core.Config) { cfg.SLO = slo }
 		for _, s := range schemes {
-			mut := func(cfg *core.Config) { cfg.SLO = slo }
-			a := runRepeated(o, m, azureGen(o, m), s, mut)
-			row = append(row, pct(a.Compliance))
+			cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s, mut: mut})
+		}
+	}
+	aggs := runCells(o, cells)
+	for si, slo := range slos {
+		row := []string{fmt.Sprint(slo)}
+		for i := range schemes {
+			row = append(row, pct(aggs[si*len(schemes)+i].Compliance))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -17,14 +17,13 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/svgplot"
 	"repro/internal/trace"
 )
 
-// Options control experiment scale and reproducibility.
+// Options control experiment scale, reproducibility and parallelism.
 type Options struct {
 	// Seed roots all randomness.
 	Seed uint64
@@ -34,6 +33,16 @@ type Options struct {
 	Reps int
 	// Scale shrinks trace durations for quick runs (1 = paper scale).
 	Scale float64
+	// Parallelism is the number of simulations run concurrently: every
+	// (model, trace, scheme, repetition) cell is an independent run, and
+	// results are collected indexed by cell, so tables are byte-identical at
+	// any value. 0 means one worker per CPU; 1 runs serially with no
+	// goroutines.
+	Parallelism int
+	// Pool, when set, overrides the per-experiment worker pool with a shared
+	// one, bounding total concurrency across experiments running at the same
+	// time (see cmd/paldia-experiments -j).
+	Pool *Pool
 }
 
 // Default returns paper-like options at a tractable repetition count.
@@ -196,40 +205,11 @@ type traceGen func(rng *sim.RNG) *trace.Trace
 type mutator func(cfg *core.Config)
 
 // runRepeated executes Reps repetitions of (model, trace, scheme) and
-// aggregates with the paper's outlier rule.
+// aggregates with the paper's outlier rule. Repetitions fan out over the
+// worker pool; grid experiments batch whole (model, scheme) grids through
+// runCells instead so every cell parallelizes.
 func runRepeated(o Options, m model.Spec, gen traceGen, scheme core.Scheme, mut mutator) aggregate {
-	var compl, cost, p99, power, ucpu, ugpu []float64
-	var results []core.Result
-	for rep := 0; rep < o.Reps; rep++ {
-		rng := sim.NewRNG(o.Seed).Child(fmt.Sprintf("rep-%d", rep))
-		cfg := core.Config{
-			Model:  m,
-			Trace:  gen(rng),
-			Scheme: scheme,
-			Seed:   rng.Seed(),
-		}
-		if mut != nil {
-			mut(&cfg)
-		}
-		res := core.Run(cfg)
-		results = append(results, res)
-		compl = append(compl, res.SLOCompliance)
-		cost = append(cost, res.Cost)
-		p99 = append(p99, float64(res.P99))
-		power = append(power, res.AvgPowerW)
-		ucpu = append(ucpu, res.UtilCPU)
-		ugpu = append(ugpu, res.UtilGPU)
-	}
-	const k = 2.5
-	return aggregate{
-		Compliance: metrics.MeanDropOutliers(compl, k),
-		Cost:       metrics.MeanDropOutliers(cost, k),
-		P99:        time.Duration(metrics.MeanDropOutliers(p99, k)),
-		Power:      metrics.MeanDropOutliers(power, k),
-		UtilCPU:    metrics.MeanDropOutliers(ucpu, k),
-		UtilGPU:    metrics.MeanDropOutliers(ugpu, k),
-		Results:    results,
-	}
+	return runCells(o, []cell{{m: m, gen: gen, scheme: scheme, mut: mut}})[0]
 }
 
 // azureGen returns the standard Azure trace generator for a model.

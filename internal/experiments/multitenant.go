@@ -33,12 +33,19 @@ func MultiTenant(o Options) *Table {
 		Columns: []string{"scheme", "combined SLO compliance", "SENet 18", "DenseNet 121",
 			"MobileNet", "cost"},
 	}
-	for _, s := range standardSchemes() {
+	schemes := standardSchemes()
+	results := make([]core.MultiResult, len(schemes)*o.Reps)
+	o.parRange(len(results), func(i int) {
+		s := schemes[i/o.Reps]
+		rep := i % o.Reps
+		rng := sim.NewRNG(o.Seed).Child(fmt.Sprintf("mt-rep-%d", rep))
+		results[i] = core.RunMulti(core.MultiConfig{Workloads: mkWorkloads(rng), Scheme: s})
+	})
+	for si, s := range schemes {
 		var combined, cost []float64
 		per := make([][]float64, 3)
 		for rep := 0; rep < o.Reps; rep++ {
-			rng := sim.NewRNG(o.Seed).Child(fmt.Sprintf("mt-rep-%d", rep))
-			res := core.RunMulti(core.MultiConfig{Workloads: mkWorkloads(rng), Scheme: s})
+			res := results[si*o.Reps+rep]
 			combined = append(combined, res.SLOCompliance)
 			cost = append(cost, res.Cost)
 			for i, c := range res.PerWorkload {

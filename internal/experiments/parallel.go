@@ -1,0 +1,164 @@
+package experiments
+
+// Parallel execution of the experiment grid.
+//
+// The paper's evaluation is embarrassingly parallel: every (model, trace,
+// scheme, repetition) cell is an independent core.Run whose randomness
+// derives from Seed.Child("rep-N") and whose simulation state (engine,
+// cluster, collector) is created inside the run. Nothing is shared between
+// cells, so cells can execute on any number of workers in any order — as
+// long as results are collected *indexed by cell*, every aggregate, table,
+// terminal plot and SVG is byte-identical to a serial run.
+//
+// Three layers cooperate:
+//
+//   - Pool: a token bucket bounding how many simulations execute at once.
+//     cmd/paldia-experiments shares one Pool across concurrently running
+//     figures so nested fan-out never oversubscribes the machine.
+//   - Options.parRange: the indexed fan-out primitive. Serial runs
+//     (Parallelism 1, no shared Pool) use a plain loop — no goroutines at
+//     all — so the determinism guarantee is testable against a true serial
+//     baseline.
+//   - runCells: the grid executor every experiment funnels through.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Pool bounds the number of simulations executing at once. A single Pool may
+// be shared by many concurrently running experiments; callers must never
+// hold a token while waiting on work that itself needs tokens (the
+// experiment runner only acquires around leaf core.Run calls, so figures
+// sharing a Pool cannot deadlock).
+type Pool struct{ tokens chan struct{} }
+
+// NewPool returns a pool admitting n simulations at once (minimum 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+func (p *Pool) acquire() { <-p.tokens }
+func (p *Pool) release() { p.tokens <- struct{}{} }
+
+// workers resolves the effective parallelism: 0 means one worker per CPU,
+// anything below 1 means serial.
+func (o Options) workers() int {
+	if o.Parallelism == 0 {
+		return runtime.NumCPU()
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// parRange runs fn(i) for every i in [0, n). With Parallelism <= 1 and no
+// shared Pool it is a plain loop; otherwise the calls fan out over the pool
+// in unspecified order. fn must write its result to an i-indexed slot and
+// touch no other shared state; parRange returns only after all n calls
+// finished, so the caller reads the slots back in index order and the
+// assembled output is identical at any parallelism.
+func (o Options) parRange(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	pool := o.Pool
+	if pool == nil {
+		w := o.workers()
+		if w == 1 || n == 1 {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			return
+		}
+		pool = NewPool(w)
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			pool.acquire()
+			defer pool.release()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// cell is one (model, trace, scheme, mutator) grid point of an experiment.
+type cell struct {
+	m      model.Spec
+	gen    traceGen
+	scheme core.Scheme
+	mut    mutator
+}
+
+// runCells executes every (cell, repetition) pair — each an independent
+// core.Run — across the worker pool and aggregates per cell with the
+// paper's outlier rule. Results are indexed by (cell, rep), never by
+// completion order: aggregates come back in cell order with repetitions in
+// rep order, exactly as a serial nested loop would produce them.
+func runCells(o Options, cells []cell) []aggregate {
+	reps := o.Reps
+	results := make([]core.Result, len(cells)*reps)
+	o.parRange(len(results), func(i int) {
+		c := cells[i/reps]
+		rep := i % reps
+		rng := sim.NewRNG(o.Seed).Child(fmt.Sprintf("rep-%d", rep))
+		cfg := core.Config{
+			Model:  c.m,
+			Trace:  c.gen(rng),
+			Scheme: c.scheme,
+			Seed:   rng.Seed(),
+		}
+		if c.mut != nil {
+			c.mut(&cfg)
+		}
+		results[i] = core.Run(cfg)
+	})
+	out := make([]aggregate, len(cells))
+	for ci := range cells {
+		out[ci] = aggregateResults(results[ci*reps : (ci+1)*reps])
+	}
+	return out
+}
+
+// aggregateResults folds one cell's repetitions with the paper's 2.5 sigma
+// outlier rule, in repetition order.
+func aggregateResults(results []core.Result) aggregate {
+	var compl, cost, p99, power, ucpu, ugpu []float64
+	for _, res := range results {
+		compl = append(compl, res.SLOCompliance)
+		cost = append(cost, res.Cost)
+		p99 = append(p99, float64(res.P99))
+		power = append(power, res.AvgPowerW)
+		ucpu = append(ucpu, res.UtilCPU)
+		ugpu = append(ugpu, res.UtilGPU)
+	}
+	const k = 2.5
+	return aggregate{
+		Compliance: metrics.MeanDropOutliers(compl, k),
+		Cost:       metrics.MeanDropOutliers(cost, k),
+		P99:        time.Duration(metrics.MeanDropOutliers(p99, k)),
+		Power:      metrics.MeanDropOutliers(power, k),
+		UtilCPU:    metrics.MeanDropOutliers(ucpu, k),
+		UtilGPU:    metrics.MeanDropOutliers(ugpu, k),
+		Results:    results,
+	}
+}

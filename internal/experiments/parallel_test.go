@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// equalityOptions is a reduced-scale configuration that still exercises
+// repetition indexing (Reps > 1) and a full (model x scheme) grid.
+func equalityOptions() Options {
+	return Options{Seed: 7, Reps: 2, Scale: 0.02}
+}
+
+// renderSVGs renders every SVG figure of a table to bytes.
+func renderSVGs(t *testing.T, tb *Table) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for _, fig := range tb.SVGs {
+		var buf bytes.Buffer
+		if err := fig.Render(&buf); err != nil {
+			t.Fatalf("render %s: %v", fig.Name, err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+// assertTablesIdentical requires two tables to be deeply equal in every
+// rendered respect: rows, notes, terminal plot, and SVG bytes.
+func assertTablesIdentical(t *testing.T, serial, parallel *Table) {
+	t.Helper()
+	if serial.ID != parallel.ID || serial.Title != parallel.Title {
+		t.Fatalf("header differs: %q/%q vs %q/%q",
+			serial.ID, serial.Title, parallel.ID, parallel.Title)
+	}
+	if !reflect.DeepEqual(serial.Columns, parallel.Columns) {
+		t.Fatalf("columns differ:\nserial:   %v\nparallel: %v", serial.Columns, parallel.Columns)
+	}
+	if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+		t.Fatalf("rows differ:\nserial:   %v\nparallel: %v", serial.Rows, parallel.Rows)
+	}
+	if !reflect.DeepEqual(serial.Notes, parallel.Notes) {
+		t.Fatalf("notes differ:\nserial:   %v\nparallel: %v", serial.Notes, parallel.Notes)
+	}
+	if serial.Plot != parallel.Plot {
+		t.Fatalf("plots differ:\nserial:\n%s\nparallel:\n%s", serial.Plot, parallel.Plot)
+	}
+	ss, ps := renderSVGs(t, serial), renderSVGs(t, parallel)
+	if len(ss) != len(ps) {
+		t.Fatalf("SVG count differs: %d vs %d", len(ss), len(ps))
+	}
+	for i := range ss {
+		if !bytes.Equal(ss[i], ps[i]) {
+			t.Fatalf("SVG %q differs between serial and parallel runs", serial.SVGs[i].Name)
+		}
+	}
+}
+
+// TestSerialParallelEquality is the determinism guarantee: a representative
+// grid experiment (reduced-scale Fig3: 12 models x 5 schemes x 2 reps) must
+// render byte-identically whether cells run serially or fanned out over 4
+// workers. Run under -race with -cpu 1,4 in CI.
+func TestSerialParallelEquality(t *testing.T) {
+	serialOpts := equalityOptions()
+	serialOpts.Parallelism = 1
+	parOpts := equalityOptions()
+	parOpts.Parallelism = 4
+
+	serial := Fig3(serialOpts)
+	parallel := Fig3(parOpts)
+	assertTablesIdentical(t, serial, parallel)
+}
+
+// TestSharedPoolAcrossExperiments mirrors cmd/paldia-experiments -j: several
+// experiments running concurrently over one shared pool must neither deadlock
+// nor perturb results.
+func TestSharedPoolAcrossExperiments(t *testing.T) {
+	serialOpts := equalityOptions()
+	serialOpts.Parallelism = 1
+	wantFig5 := Fig5(serialOpts)
+	wantFig8 := Fig8(serialOpts)
+
+	parOpts := equalityOptions()
+	parOpts.Parallelism = 2
+	parOpts.Pool = NewPool(2)
+	var gotFig5, gotFig8 *Table
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); gotFig5 = Fig5(parOpts) }()
+	go func() { defer wg.Done(); gotFig8 = Fig8(parOpts) }()
+	wg.Wait()
+
+	assertTablesIdentical(t, wantFig5, gotFig5)
+	assertTablesIdentical(t, wantFig8, gotFig8)
+}
+
+// TestParRangeIndexing checks the fan-out primitive delivers every index
+// exactly once at any parallelism.
+func TestParRangeIndexing(t *testing.T) {
+	for _, par := range []int{1, 3, 16} {
+		o := Options{Parallelism: par}
+		hits := make([]int, 100)
+		o.parRange(len(hits), func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", par, i, h)
+			}
+		}
+	}
+	// n = 0 must be a no-op.
+	(Options{Parallelism: 4}).parRange(0, func(int) { t.Fatal("called for n=0") })
+}
+
+// TestWorkersResolution pins the Parallelism contract: 0 means one worker per
+// CPU, negatives clamp to serial.
+func TestWorkersResolution(t *testing.T) {
+	if w := (Options{Parallelism: -3}).workers(); w != 1 {
+		t.Fatalf("negative parallelism resolves to %d workers, want 1", w)
+	}
+	if w := (Options{}).workers(); w < 1 {
+		t.Fatalf("default parallelism resolves to %d workers", w)
+	}
+	if w := (Options{Parallelism: 5}).workers(); w != 5 {
+		t.Fatalf("explicit parallelism resolves to %d workers, want 5", w)
+	}
+}

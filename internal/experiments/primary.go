@@ -27,14 +27,22 @@ func Fig3(o Options) *Table {
 	for _, s := range schemes {
 		t.Columns = append(t.Columns, s.Name())
 	}
+	models := model.VisionModels()
+	var cells []cell
+	for _, m := range models {
+		for _, s := range schemes {
+			cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
+		}
+	}
+	aggs := runCells(o, cells)
 	sums := make([]float64, len(schemes))
 	var groups []string
 	var values [][]float64
-	for _, m := range model.VisionModels() {
+	for mi, m := range models {
 		row := []string{m.Name}
 		vals := make([]float64, len(schemes))
-		for i, s := range schemes {
-			a := runRepeated(o, m, azureGen(o, m), s, nil)
+		for i := range schemes {
+			a := aggs[mi*len(schemes)+i]
 			row = append(row, pct(a.Compliance))
 			sums[i] += a.Compliance
 			vals[i] = a.Compliance * 100
@@ -66,21 +74,25 @@ func Fig4(o Options) *Table {
 		Columns: []string{"model", "scheme", "P99 total", "min possible",
 			"queueing", "interference", "cold start", "SLO compliance"},
 	}
+	var cells []cell
 	for _, name := range []string{"ResNet 50", "VGG 19"} {
 		m := model.MustByName(name)
 		for _, s := range standardSchemes() {
-			a := runRepeated(o, m, azureGen(o, m), s, nil)
-			// Breakdown from the first repetition's collector (the paper
-			// plots one representative run's P99 decomposition).
-			b := a.Results[0].Collector.TailBreakdown(99, 99.9)
-			t.Rows = append(t.Rows, []string{
-				m.Name, s.Name(),
-				msec(b.Total), msec(b.MinExec),
-				msec(b.QueueDelay + b.BatchWait),
-				msec(b.Interference), msec(b.ColdStart),
-				pct(a.Compliance),
-			})
+			cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
 		}
+	}
+	for _, a := range runCells(o, cells) {
+		// Breakdown from the first repetition's collector (the paper
+		// plots one representative run's P99 decomposition).
+		res := a.Results[0]
+		b := res.Collector.TailBreakdown(99, 99.9)
+		t.Rows = append(t.Rows, []string{
+			res.Model, res.Scheme,
+			msec(b.Total), msec(b.MinExec),
+			msec(b.QueueDelay + b.BatchWait),
+			msec(b.Interference), msec(b.ColdStart),
+			pct(a.Compliance),
+		})
 	}
 	t.Notes = append(t.Notes,
 		"queueing aggregates batching wait and device queueing (the paper folds both into queueing delay)")
@@ -96,18 +108,23 @@ func Fig5(o Options) *Table {
 		Title:   "Normalized cost vs SLO compliance (DPN 92 high-FBR, EfficientNet B0 low-FBR)",
 		Columns: []string{"model", "scheme", "normalized cost", "cost", "SLO compliance"},
 	}
-	for _, name := range []string{"DPN 92", "EfficientNet B0"} {
-		m := model.MustByName(name)
-		var aggs []aggregate
-		for _, s := range standardSchemes() {
-			aggs = append(aggs, runRepeated(o, m, azureGen(o, m), s, nil))
+	schemes := standardSchemes()
+	models := []model.Spec{model.MustByName("DPN 92"), model.MustByName("EfficientNet B0")}
+	var cells []cell
+	for _, m := range models {
+		for _, s := range schemes {
+			cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
 		}
+	}
+	all := runCells(o, cells)
+	for mi, m := range models {
+		aggs := all[mi*len(schemes) : (mi+1)*len(schemes)]
 		costs := make([]float64, len(aggs))
 		for i, a := range aggs {
 			costs[i] = a.Cost
 		}
 		norm := normalizeMax(costs)
-		for i, s := range standardSchemes() {
+		for i, s := range schemes {
 			t.Rows = append(t.Rows, []string{
 				m.Name, s.Name(),
 				fmt.Sprintf("%.3f", norm[i]),
@@ -130,8 +147,14 @@ func Fig6(o Options) *Table {
 	}
 	var names []string
 	var curves [][]float64
-	for _, s := range standardSchemes() {
-		a := runRepeated(o, m, azureGen(o, m), s, nil)
+	schemes := standardSchemes()
+	var cells []cell
+	for _, s := range schemes {
+		cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
+	}
+	aggs := runCells(o, cells)
+	for si, s := range schemes {
+		a := aggs[si]
 		c := a.Results[0].Collector
 		t.Rows = append(t.Rows, []string{
 			s.Name(),
@@ -184,14 +207,24 @@ func Fig7(o Options) *Table {
 	dense := model.MustByName("DenseNet 121")
 	dla := model.MustByName("Simplified DLA")
 
+	schemes := standardSchemes()
+	var cells []cell
+	for _, s := range schemes {
+		cells = append(cells, cell{m: dense, gen: azureGen(o, dense), scheme: s})
+	}
+	for _, s := range schemes {
+		cells = append(cells, cell{m: dla, gen: azureGen(o, dla), scheme: s})
+	}
+	aggs := runCells(o, cells)
+
 	type row struct {
 		goodput, arrival, power float64
 	}
-	rows := make([]row, len(standardSchemes()))
-	for i, s := range standardSchemes() {
+	rows := make([]row, len(schemes))
+	for i := range schemes {
 		// Goodput over the peak-traffic windows (the union of 1s windows
 		// whose arrival rate exceeds half the trace peak).
-		a := runRepeated(o, dense, azureGen(o, dense), s, nil)
+		a := aggs[i]
 		var g, arr float64
 		for rep, res := range a.Results {
 			rng := sim.NewRNG(o.Seed).Child(fmt.Sprintf("rep-%d", rep))
@@ -203,7 +236,7 @@ func Fig7(o Options) *Table {
 		g /= float64(len(a.Results))
 		arr /= float64(len(a.Results))
 
-		p := runRepeated(o, dla, azureGen(o, dla), s, nil)
+		p := aggs[len(schemes)+i]
 		rows[i] = row{goodput: g, arrival: arr, power: p.Power}
 	}
 	powers := make([]float64, len(rows))
@@ -211,7 +244,7 @@ func Fig7(o Options) *Table {
 		powers[i] = r.power
 	}
 	norm := normalizeMax(powers)
-	for i, s := range standardSchemes() {
+	for i, s := range schemes {
 		t.Rows = append(t.Rows, []string{
 			s.Name(),
 			fmt.Sprintf("%.0f", rows[i].arrival),
@@ -271,13 +304,17 @@ func Fig8(o Options) *Table {
 		Title:   "Compute node utilization (non-idle time), VGG 19",
 		Columns: []string{"scheme", "CPU node util", "GPU node util"},
 	}
-	for _, s := range standardSchemes() {
-		a := runRepeated(o, m, azureGen(o, m), s, nil)
+	schemes := standardSchemes()
+	var cells []cell
+	for _, s := range schemes {
+		cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
+	}
+	for i, a := range runCells(o, cells) {
 		cpu := "n/a"
 		if a.UtilCPU > 0 {
 			cpu = pct(a.UtilCPU)
 		}
-		t.Rows = append(t.Rows, []string{s.Name(), cpu, pct(a.UtilGPU)})
+		t.Rows = append(t.Rows, []string{schemes[i].Name(), cpu, pct(a.UtilGPU)})
 	}
 	t.Notes = append(t.Notes,
 		"the (P) schemes never hold CPU nodes, so their CPU utilization is not applicable (as in the paper)")
@@ -293,12 +330,16 @@ func Fig11(o Options) *Table {
 		Title:   "Paldia vs Oracle: cost and SLO compliance",
 		Columns: []string{"model", "scheme", "SLO compliance", "cost"},
 	}
+	var cells []cell
 	for _, name := range []string{"ResNet 50", "DenseNet 121", "SENet 18", "EfficientNet B0"} {
 		m := model.MustByName(name)
 		for _, s := range []core.Scheme{core.NewPaldia(), core.NewOracle()} {
-			a := runRepeated(o, m, azureGen(o, m), s, nil)
-			t.Rows = append(t.Rows, []string{m.Name, s.Name(), pct(a.Compliance), dollars(a.Cost)})
+			cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
 		}
+	}
+	for i, a := range runCells(o, cells) {
+		c := cells[i]
+		t.Rows = append(t.Rows, []string{c.m.Name, c.scheme.Name(), pct(a.Compliance), dollars(a.Cost)})
 	}
 	return t
 }

@@ -32,18 +32,24 @@ func ScaleOut(o Options) *Table {
 		Columns: []string{"configuration", "SLO compliance", "P99", "cost",
 			"V100-seconds held"},
 	}
-	for _, c := range []struct {
+	configs := []struct {
 		name     string
 		maxNodes int
 	}{
 		{"Paldia, single node (paper design)", 1},
 		{"Paldia, scale-out (MaxNodes=4)", 4},
-	} {
+	}
+	var cells []cell
+	for _, c := range configs {
+		maxNodes := c.maxNodes
 		mut := func(cfg *core.Config) {
-			cfg.MaxNodes = c.maxNodes
+			cfg.MaxNodes = maxNodes
 			cfg.InitialHardware = &v100
 		}
-		a := runRepeated(o, m, gen, core.NewPaldiaPinned(v100), mut)
+		cells = append(cells, cell{m: m, gen: gen, scheme: core.NewPaldiaPinned(v100), mut: mut})
+	}
+	for i, a := range runCells(o, cells) {
+		c := configs[i]
 		var held time.Duration
 		for _, res := range a.Results {
 			held += res.HeldBySpec[v100.Name]

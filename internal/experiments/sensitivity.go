@@ -28,11 +28,20 @@ func Fig9(o Options) *Table {
 	var groups []string
 	var values [][]float64
 	names := schemeNames()
-	for _, m := range model.LanguageModels() {
+	schemes := standardSchemes()
+	models := model.LanguageModels()
+	var cells []cell
+	for _, m := range models {
+		for _, s := range schemes {
+			cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
+		}
+	}
+	aggs := runCells(o, cells)
+	for mi, m := range models {
 		row := []string{m.Name}
 		vals := make([]float64, 0, len(names))
-		for _, s := range standardSchemes() {
-			a := runRepeated(o, m, azureGen(o, m), s, nil)
+		for i := range schemes {
+			a := aggs[mi*len(schemes)+i]
 			row = append(row, pct(a.Compliance))
 			vals = append(vals, a.Compliance*100)
 		}
@@ -67,11 +76,20 @@ func Fig10(o Options) *Table {
 	}
 	var groups []string
 	var values [][]float64
-	for _, m := range model.LanguageModels() {
+	schemes := standardSchemes()
+	models := model.LanguageModels()
+	var cells []cell
+	for _, m := range models {
+		for _, s := range schemes {
+			cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
+		}
+	}
+	aggs := runCells(o, cells)
+	for mi, m := range models {
 		row := []string{m.Name}
 		var vals []float64
-		for _, s := range standardSchemes() {
-			a := runRepeated(o, m, azureGen(o, m), s, nil)
+		for i := range schemes {
+			a := aggs[mi*len(schemes)+i]
 			row = append(row, dollars(a.Cost))
 			vals = append(vals, a.Cost)
 		}
@@ -99,20 +117,28 @@ func Fig12(o Options) *Table {
 	wiki := func(rng *sim.RNG) *trace.Trace {
 		return trace.Wikipedia(rng, 170, 5, trace.WikipediaCompression)
 	}
-	for _, s := range standardSchemes() {
-		a := runRepeated(o, resnet, wiki, s, nil)
-		t.Rows = append(t.Rows, []string{
-			"Wikipedia", resnet.Name, s.Name(), pct(a.Compliance), dollars(a.Cost)})
-	}
-
 	dpn := model.MustByName("DPN 92")
 	// The paper's Twitter sample has 5x the Azure trace's mean rate.
 	azureMean := dpn.DefaultPeakRPS() * 55 / 673
 	twitter := func(rng *sim.RNG) *trace.Trace {
 		return trace.Twitter(rng, 5*azureMean, o.dur(trace.TwitterDuration))
 	}
-	for _, s := range standardSchemes() {
-		a := runRepeated(o, dpn, twitter, s, nil)
+	schemes := standardSchemes()
+	var cells []cell
+	for _, s := range schemes {
+		cells = append(cells, cell{m: resnet, gen: wiki, scheme: s})
+	}
+	for _, s := range schemes {
+		cells = append(cells, cell{m: dpn, gen: twitter, scheme: s})
+	}
+	aggs := runCells(o, cells)
+	for i, s := range schemes {
+		a := aggs[i]
+		t.Rows = append(t.Rows, []string{
+			"Wikipedia", resnet.Name, s.Name(), pct(a.Compliance), dollars(a.Cost)})
+	}
+	for i, s := range schemes {
+		a := aggs[len(schemes)+i]
 		t.Rows = append(t.Rows, []string{
 			"Twitter", dpn.Name, s.Name(), pct(a.Compliance), dollars(a.Cost)})
 	}
@@ -157,11 +183,6 @@ func Fig13(o Options) *Table {
 		core.NewINFlessLlamaPerf(),
 		core.NewPaldiaPinned(v100),
 	}
-	for _, s := range exhaustionSchemes {
-		a := runRepeated(o, google, poisson, s, pin)
-		t.Rows = append(t.Rows, []string{
-			"R. Exhaustion (GoogleNet)", s.Name(), pct(a.Compliance), dollars(a.Cost)})
-	}
 
 	// (b) Node failures: the serving node fails for a minute, every minute.
 	dense := model.MustByName("DenseNet 121")
@@ -169,8 +190,23 @@ func Fig13(o Options) *Table {
 		cfg.FailureEvery = time.Minute
 		cfg.FailureDuration = time.Minute
 	}
-	for _, s := range standardSchemes() {
-		a := runRepeated(o, dense, azureGen(o, dense), s, failures)
+
+	var cells []cell
+	for _, s := range exhaustionSchemes {
+		cells = append(cells, cell{m: google, gen: poisson, scheme: s, mut: pin})
+	}
+	failureSchemes := standardSchemes()
+	for _, s := range failureSchemes {
+		cells = append(cells, cell{m: dense, gen: azureGen(o, dense), scheme: s, mut: failures})
+	}
+	aggs := runCells(o, cells)
+	for i, s := range exhaustionSchemes {
+		a := aggs[i]
+		t.Rows = append(t.Rows, []string{
+			"R. Exhaustion (GoogleNet)", s.Name(), pct(a.Compliance), dollars(a.Cost)})
+	}
+	for i, s := range failureSchemes {
+		a := aggs[len(exhaustionSchemes)+i]
 		t.Rows = append(t.Rows, []string{
 			"Node failures (DenseNet 121)", s.Name(), pct(a.Compliance), dollars(a.Cost)})
 	}
@@ -196,9 +232,15 @@ func Table3(o Options) *Table {
 		Title:   "SLO compliance under co-resident 'regular' serverless workloads (SeBS)",
 		Columns: []string{"scheme", "SLO compliance (mixed)", "SLO compliance (clean)"},
 	}
-	for _, s := range standardSchemes() {
-		mixed := runRepeated(o, m, azureGen(o, m), s, mut)
-		clean := runRepeated(o, m, azureGen(o, m), s, nil)
+	schemes := standardSchemes()
+	var cells []cell
+	for _, s := range schemes {
+		cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s, mut: mut})
+		cells = append(cells, cell{m: m, gen: azureGen(o, m), scheme: s})
+	}
+	aggs := runCells(o, cells)
+	for i, s := range schemes {
+		mixed, clean := aggs[2*i], aggs[2*i+1]
 		t.Rows = append(t.Rows, []string{s.Name(), pct(mixed.Compliance), pct(clean.Compliance)})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
@@ -221,10 +263,12 @@ func ColdStarts(o Options) *Table {
 			KeepAlive: keepAlive,
 		})
 	}
-	with := run(container.DefaultKeepAlive)
-	// KeepAlive < 0 is not meaningful; use 1ns to emulate immediate
-	// termination while keeping config defaults from kicking in.
-	without := run(time.Nanosecond)
+	// KeepAlive < 0 is not meaningful; 1ns emulates immediate termination
+	// while keeping config defaults from kicking in.
+	keepAlives := []time.Duration{container.DefaultKeepAlive, time.Nanosecond}
+	results := make([]core.Result, len(keepAlives))
+	o.parRange(len(keepAlives), func(i int) { results[i] = run(keepAlives[i]) })
+	with, without := results[0], results[1]
 	reduction := 0.0
 	if without.Boots > 0 {
 		reduction = 1 - float64(with.Boots)/float64(without.Boots)

@@ -154,6 +154,27 @@ func TestMeanDropOutliers(t *testing.T) {
 	}
 }
 
+func TestMeanDropOutliersEdgeCases(t *testing.T) {
+	// Empty input, both nil and zero-length.
+	if MeanDropOutliers([]float64{}, 2.5) != 0 {
+		t.Fatal("empty slice should be 0")
+	}
+	// A single element is its own mean, never an outlier.
+	if got := MeanDropOutliers([]float64{7}, 2.5); got != 7 {
+		t.Fatalf("single element = %v, want 7", got)
+	}
+	// When every value sits beyond k sigma (tiny k makes everything an
+	// outlier), the rule must not drop the whole sample: fall back to the
+	// plain mean instead of 0/NaN.
+	got := MeanDropOutliers([]float64{1, 2, 99}, 0.01)
+	if math.IsNaN(got) || got == 0 {
+		t.Fatalf("all-outlier input = %v, want a finite plain mean", got)
+	}
+	if want := (1.0 + 2.0 + 99.0) / 3; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("all-outlier input = %v, want plain mean %v", got, want)
+	}
+}
+
 // Property: percentile is monotone in p and bracketed by min/max latency.
 func TestPercentileMonotoneProperty(t *testing.T) {
 	f := func(latsRaw []uint16, p1Raw, p2Raw uint8) bool {

@@ -5,6 +5,13 @@
 // same instant fire in the order they were scheduled, which — together with
 // seeded random sources (see rng.go) — makes every simulation in this
 // repository bit-for-bit reproducible.
+//
+// Event structs are recycled through a per-engine free list: model code that
+// schedules and cancels millions of events (the device layer re-arms a finish
+// event on every pool membership change) allocates a bounded number of Event
+// structs instead of one per Schedule call. Cancellation is handled through
+// generation-checked Timer handles, so a stale handle held across recycling
+// can never cancel an unrelated event.
 package sim
 
 import (
@@ -13,22 +20,55 @@ import (
 	"time"
 )
 
-// Event is a callback bound to a point in virtual time.
+// Event is a callback bound to a point in virtual time. Events are owned and
+// recycled by the engine; model code only ever holds Timer handles.
 type Event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
 
-	index     int // heap index; -1 when not queued
+	eng       *Engine
+	gen       uint64 // bumped on every recycle; Timer handles check it
+	index     int    // heap index; -1 when not queued
 	cancelled bool
 }
 
-// At reports the virtual time the event fires at.
-func (e *Event) At() time.Duration { return e.at }
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and inert: Cancel on it is a no-op and Active reports false. A Timer
+// outliving its event (fired, cancelled, or recycled into a new event) is
+// safe: the generation check turns every operation into a no-op.
+type Timer struct {
+	ev  *Event
+	gen uint64
+}
+
+// Active reports whether the timer's event is still queued and will fire.
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0 && !t.ev.cancelled
+}
+
+// At returns the virtual time the event fires at; ok is false when the timer
+// is inert (zero, fired, cancelled, or recycled).
+func (t Timer) At() (at time.Duration, ok bool) {
+	if !t.Active() {
+		return 0, false
+	}
+	return t.ev.at, true
+}
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// already fired (or was already cancelled, or a zero Timer) is a no-op.
+// Cancelled events stay in the queue until their fire time or until a lazy
+// compaction sweep reclaims them (see Engine).
+func (t Timer) Cancel() {
+	if !t.Active() {
+		return
+	}
+	t.ev.cancelled = true
+	t.ev.fn = nil // release the closure now; the shell fires as a no-op
+	t.ev.eng.cancelledN++
+	t.ev.eng.maybeCompact()
+}
 
 type eventHeap []*Event
 
@@ -63,15 +103,26 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// compactMin is the queue size below which cancelled events are not worth
+// sweeping: they drain naturally at their fire time.
+const compactMin = 32
+
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs inside event callbacks on one
 // goroutine. (Parallelism inside a callback — e.g. Paldia's parallel y-value
-// probing — is fine as long as it joins before the callback returns.)
+// probing — is fine as long as it joins before the callback returns.
+// Parallelism *across* engines is likewise fine: engines share nothing.)
 type Engine struct {
 	now    time.Duration
 	seq    uint64
 	events eventHeap
 	fired  uint64
+
+	// free recycles fired/cancelled Event structs; cancelledN counts the
+	// cancelled events still occupying the queue, triggering compaction once
+	// they outnumber the live ones.
+	free       []*Event
+	cancelledN int
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -85,12 +136,14 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently queued.
+// Pending returns the number of events currently occupying the queue.
+// Cancelled events count until they are reclaimed — at their fire time, or
+// earlier by the lazy compaction sweep once they outnumber live events.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Schedule queues fn to run after delay. A negative delay panics: model code
 // must never schedule into the past.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %v at t=%v", delay, e.now))
 	}
@@ -98,14 +151,63 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 }
 
 // ScheduleAt queues fn to run at absolute virtual time t (>= Now).
-func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Event {
+func (e *Engine) ScheduleAt(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return ev
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// alloc returns a recycled Event or a fresh one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.cancelled = false
+		return ev
+	}
+	return &Event{eng: e}
+}
+
+// recycle returns a popped event to the free list, invalidating any
+// outstanding Timer handles to it.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// maybeCompact sweeps cancelled events out of the queue once they outnumber
+// the live ones (and the queue is big enough to matter). The heap is rebuilt
+// from the surviving events; (at, seq) ordering makes the rebuild
+// deterministic.
+func (e *Engine) maybeCompact() {
+	if len(e.events) < compactMin || 2*e.cancelledN <= len(e.events) {
+		return
+	}
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancelled {
+			ev.index = -1
+			e.recycle(ev)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	// Clear the tail so recycled pointers don't linger in the backing array.
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = kept
+	e.cancelledN = 0
+	heap.Init(&e.events)
 }
 
 // Step fires the next pending event, advancing the clock to it. It returns
@@ -114,11 +216,15 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.cancelled {
+			e.cancelledN--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -133,6 +239,8 @@ func (e *Engine) Run(until time.Duration) {
 		next := e.events[0]
 		if next.cancelled {
 			heap.Pop(&e.events)
+			e.cancelledN--
+			e.recycle(next)
 			continue
 		}
 		if next.at > until {

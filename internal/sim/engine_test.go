@@ -116,7 +116,7 @@ func TestCancel(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	var evs []*Event
+	var evs []Timer
 	for i := 0; i < 5; i++ {
 		i := i
 		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) }))
@@ -328,6 +328,138 @@ func TestRunUntilFiresEventExactlyAtBound(t *testing.T) {
 	e.RunAll()
 	if got, want := fmt.Sprint(log), "[before at at2 after]"; got != want {
 		t.Fatalf("fired %v after RunAll, want %v", got, want)
+	}
+}
+
+func TestCancelledEventsCompact(t *testing.T) {
+	e := NewEngine()
+	const n = 64
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		timers = append(timers, e.Schedule(time.Duration(i+1)*time.Second, func() {}))
+	}
+	if e.Pending() != n {
+		t.Fatalf("Pending() = %d, want %d", e.Pending(), n)
+	}
+	// Cancel just under half: cancelled shells linger in the queue.
+	for i := 0; i < n/2; i++ {
+		timers[i].Cancel()
+	}
+	if e.Pending() != n {
+		t.Fatalf("Pending() = %d after %d cancels, want %d (lazy)", e.Pending(), n/2, n)
+	}
+	// One more cancel tips cancelled past half the queue: compaction sweeps
+	// them out and Pending shrinks to the live events.
+	timers[n/2].Cancel()
+	if want := n - n/2 - 1; e.Pending() != want {
+		t.Fatalf("Pending() = %d after compaction, want %d", e.Pending(), want)
+	}
+	// The surviving events still fire, in order.
+	fired := 0
+	last := time.Duration(-1)
+	for e.Step() {
+		fired++
+		if e.Now() < last {
+			t.Fatal("clock went backwards after compaction")
+		}
+		last = e.Now()
+	}
+	if want := n - n/2 - 1; fired != want {
+		t.Fatalf("fired %d events after compaction, want %d", fired, want)
+	}
+}
+
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	stale := e.Schedule(time.Second, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// The fired event's struct is back on the free list; the next Schedule
+	// reuses it. The stale handle must not be able to cancel the new event.
+	fresh := e.Schedule(time.Second, func() { fired++ })
+	stale.Cancel()
+	if fresh.Active() != true {
+		t.Fatal("stale Cancel deactivated a recycled event")
+	}
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (recycled event must fire)", fired)
+	}
+}
+
+func TestTimerZeroValueAndAccessors(t *testing.T) {
+	var zero Timer
+	zero.Cancel() // must not panic
+	if zero.Active() {
+		t.Fatal("zero Timer reports Active")
+	}
+	if _, ok := zero.At(); ok {
+		t.Fatal("zero Timer reports a fire time")
+	}
+	e := NewEngine()
+	tm := e.Schedule(3*time.Second, func() {})
+	if at, ok := tm.At(); !ok || at != 3*time.Second {
+		t.Fatalf("At() = %v,%v, want 3s,true", at, ok)
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("cancelled timer reports Active")
+	}
+	if _, ok := tm.At(); ok {
+		t.Fatal("cancelled timer reports a fire time")
+	}
+}
+
+// The schedule→fire cycle must reuse Event structs: steady-state scheduling
+// allocates nothing beyond the occasional heap-slice growth.
+func TestEventFreeListReuse(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm up: grow the heap backing array and seed the free list.
+	for i := 0; i < 128; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, fn)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	})
+	if allocs > 0.1 {
+		t.Fatalf("schedule+fire allocates %.2f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// Cancel-heavy churn (the device layer's reschedule pattern) must also be
+// allocation-free in steady state.
+func TestCancelRescheduleReuse(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	tm := e.Schedule(time.Hour, fn)
+	for i := 0; i < 128; i++ {
+		tm.Cancel()
+		tm = e.Schedule(time.Hour, fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Cancel()
+		tm = e.Schedule(time.Hour, fn)
+	})
+	if allocs > 0.1 {
+		t.Fatalf("cancel+reschedule allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEngineCancelReschedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	tm := e.Schedule(time.Hour, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Cancel()
+		tm = e.Schedule(time.Hour, fn)
 	}
 }
 

@@ -1,0 +1,31 @@
+// Benchmarks for the parallel experiment runner: the same reduced-scale Fig3
+// grid (12 models x 5 schemes) executed serially and fanned out over 4
+// workers. Because results are collected indexed by cell, both variants
+// produce identical tables — the benchmarks measure pure wall-time gain.
+// `make bench` writes benchstat-comparable output to BENCH_parallel.txt.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchGridOptions shrinks the grid benchmark below benchOptions scale so a
+// -count 3 comparison pass stays in the minutes.
+func benchGridOptions(seed uint64, parallelism int) experiments.Options {
+	return experiments.Options{Seed: seed, Reps: 1, Scale: 0.02, Parallelism: parallelism}
+}
+
+func benchmarkFig3At(b *testing.B, parallelism int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig3(benchGridOptions(uint64(i)+1, parallelism))
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig3GridSerial(b *testing.B)    { benchmarkFig3At(b, 1) }
+func BenchmarkFig3GridParallel4(b *testing.B) { benchmarkFig3At(b, 4) }
