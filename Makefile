@@ -23,12 +23,18 @@ race:
 # Benchstat-comparable benchmark pass (3 counts): one benchmark per paper
 # figure/table plus the serial-vs-parallel grid pair. Compare runs with
 #   benchstat old.txt BENCH_parallel.txt
+# The second step regenerates the machine-readable scheduling hot-path
+# numbers (ns/op, B/op, allocs/op, Fig. 3 wall clock) as BENCH_sched.json.
 bench:
 	$(GO) test -bench=. -benchmem -count=3 -run '^$$' . | tee BENCH_parallel.txt
+	$(GO) run ./cmd/paldia-bench -out BENCH_sched.json
 
-# One iteration of every benchmark, as a CI smoke test.
+# One iteration of every benchmark, as a CI smoke test, plus the allocation
+# gate: paldia-bench -gate fails if any Eq. (1) probing or hardware-selection
+# path allocates again.
 bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+	$(GO) run ./cmd/paldia-bench -gate
 
 # Full-scale regeneration of the evaluation (writes results + SVG figures).
 experiments:

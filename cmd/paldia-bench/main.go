@@ -1,0 +1,289 @@
+// Command paldia-bench measures the scheduling hot path and emits the
+// results as machine-readable JSON (BENCH_sched.json): name, ns/op, B/op and
+// allocs/op for every Eq. (1) probing and hardware-selection benchmark, plus
+// the Fig. 3 end-to-end regeneration as the wall-clock anchor. `make bench`
+// runs it next to the human-readable BENCH_parallel.txt.
+//
+// With -gate it runs only the allocation-gated benchmarks and exits non-zero
+// if any of them allocates — the CI regression tripwire for the
+// allocation-free scheduling paths.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/profile"
+)
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Gated       bool               `json:"gated,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchCase struct {
+	name  string
+	gated bool // allocs/op must be 0
+	fn    func(b *testing.B) map[string]float64
+}
+
+// typicalInputs is the grid the monitor loop probes every tick for the
+// current device: a few hundred outstanding requests at a vision-model batch
+// size, with live demand on the device.
+func typicalInputs() perfmodel.Inputs {
+	return perfmodel.Inputs{
+		Solo: 100 * time.Millisecond, BatchSize: 64, FBR: 0.5, N: 400,
+		SLO: 200 * time.Millisecond, ExistingDemand: 0.5, ExistingJobs: 1,
+	}
+}
+
+// idleInputs is the production shape of a candidate probe: idle hardware,
+// with the profile table's contention memo attached the way DesiredHardware
+// attaches it.
+func idleInputs() perfmodel.Inputs {
+	in := typicalInputs()
+	in.ExistingDemand, in.ExistingJobs = 0, 0
+	in.PenaltyByJobs = penaltyTableFor(in.FBR)
+	return in
+}
+
+// worstInputs is the largest grid the overhead experiments exercise: a
+// language-model batch size under a 4000-request surge (~500 grid points).
+func worstInputs() perfmodel.Inputs {
+	return perfmodel.Inputs{Solo: 100 * time.Millisecond, BatchSize: 8, FBR: 0.7, N: 4000, SLO: time.Second}
+}
+
+func penaltyTableFor(fbr float64) []float64 {
+	t := make([]float64, profile.MPSMaxClients+1)
+	for k := range t {
+		t[k] = profile.Penalty(float64(k) * fbr)
+	}
+	return t
+}
+
+// bestYFanoutReference is the pre-optimization goroutine implementation of
+// BestY (materialized candidates, fixed four-way fan-out), kept here as the
+// measured baseline for the serial-probe comparison in BENCH_sched.json. The
+// production tree contains no goroutines on the scheduling path.
+func bestYFanoutReference(in perfmodel.Inputs) (int, time.Duration, bool) {
+	cands := perfmodel.Candidates(in)
+	if len(cands) == 0 {
+		return 0, 0, true
+	}
+	results := make([]time.Duration, len(cands))
+	var wg sync.WaitGroup
+	stride := (len(cands) + 3) / 4
+	for w := 0; w < len(cands); w += stride {
+		lo, hi := w, w+stride
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				results[i] = perfmodel.TMax(in, cands[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	bestI := 0
+	for i := 1; i < len(cands); i++ {
+		if results[i] < results[bestI] || (results[i] == results[bestI] && cands[i] < cands[bestI]) {
+			bestI = i
+		}
+	}
+	return cands[bestI], results[bestI], results[bestI] <= in.SLO
+}
+
+// schedState builds the selection/split state the core benchmarks probe:
+// ResNet 50 on an M60 under the Fig. 3 surge rate.
+func schedState(rate float64) *core.State {
+	m := model.MustByName("ResNet 50")
+	hw, ok := hardware.ByName("M60")
+	if !ok {
+		panic("M60 missing from catalog")
+	}
+	return &core.State{
+		Model:        m,
+		SLO:          core.DefaultSLO,
+		Current:      hw,
+		HasCurrent:   true,
+		Entry:        profile.Lookup(m, hw),
+		PredictedRPS: rate,
+		ObservedRPS:  rate,
+	}
+}
+
+func cases(includeE2E bool) []benchCase {
+	cs := []benchCase{
+		{"perfmodel/TMax", true, func(b *testing.B) map[string]float64 {
+			in := typicalInputs()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				perfmodel.TMax(in, 64)
+			}
+			return nil
+		}},
+		{"perfmodel/BestY/typical", true, func(b *testing.B) map[string]float64 {
+			in := typicalInputs()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				perfmodel.BestY(in)
+			}
+			return nil
+		}},
+		{"perfmodel/BestY/idle-memo", true, func(b *testing.B) map[string]float64 {
+			in := idleInputs()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				perfmodel.BestY(in)
+			}
+			return nil
+		}},
+		{"perfmodel/BestY/worst-grid", true, func(b *testing.B) map[string]float64 {
+			in := worstInputs()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				perfmodel.BestY(in)
+			}
+			return nil
+		}},
+		{"perfmodel/BestY-fanout-reference/typical", false, func(b *testing.B) map[string]float64 {
+			in := typicalInputs()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bestYFanoutReference(in)
+			}
+			return nil
+		}},
+		{"perfmodel/BestY-fanout-reference/worst-grid", false, func(b *testing.B) map[string]float64 {
+			in := worstInputs()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bestYFanoutReference(in)
+			}
+			return nil
+		}},
+		{"core/SplitY", true, func(b *testing.B) map[string]float64 {
+			st := schedState(400)
+			p := core.NewPaldia().Policy
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.SplitY(st, 400)
+			}
+			return nil
+		}},
+		{"core/DesiredHardware", true, func(b *testing.B) map[string]float64 {
+			st := schedState(400)
+			p := core.NewPaldia().Policy
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.DesiredHardware(st)
+			}
+			return nil
+		}},
+	}
+	if includeE2E {
+		cs = append(cs, benchCase{"experiments/Fig3-end-to-end", false, func(b *testing.B) map[string]float64 {
+			var slo float64
+			for i := 0; i < b.N; i++ {
+				t := experiments.Fig3(experiments.Options{Seed: uint64(i) + 1, Reps: 1, Scale: 0.12})
+				sum, n := 0.0, 0
+				for r := range t.Rows {
+					if v := experiments.ParsePct(t.Cell(r, len(t.Columns)-1)); v >= 0 {
+						sum += v
+						n++
+					}
+				}
+				if n > 0 {
+					slo = sum / float64(n) * 100
+				}
+			}
+			return map[string]float64{"paldia_slo_pct": slo}
+		}})
+	}
+	return cs
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_sched.json", "output path for the JSON results ('-' for stdout)")
+		gate = flag.Bool("gate", false, "run only allocation-gated benchmarks and fail if any allocates (skips the end-to-end pass; writes no file unless -out is set explicitly)")
+	)
+	flag.Parse()
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+
+	var results []benchResult
+	failed := false
+	for _, c := range cases(!*gate) {
+		if *gate && !c.gated {
+			continue
+		}
+		var metrics map[string]float64
+		r := testing.Benchmark(func(b *testing.B) { metrics = c.fn(b) })
+		br := benchResult{
+			Name:        c.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Gated:       c.gated,
+			Metrics:     metrics,
+		}
+		results = append(results, br)
+		status := ""
+		if c.gated && br.AllocsPerOp > 0 {
+			status = "  <-- FAIL: gated benchmark allocates"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "%-45s %12.1f ns/op %8d B/op %6d allocs/op%s\n",
+			c.name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp, status)
+	}
+
+	if !*gate || outSet {
+		doc := struct {
+			GeneratedBy string        `json:"generated_by"`
+			Go          string        `json:"go"`
+			GOMAXPROCS  int           `json:"gomaxprocs"`
+			Benchmarks  []benchResult `json:"benchmarks"`
+		}{"cmd/paldia-bench", runtime.Version(), runtime.GOMAXPROCS(0), results}
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+			os.Exit(1)
+		}
+		enc = append(enc, '\n')
+		if *out == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "allocation gate FAILED: a gated scheduling benchmark allocates")
+		os.Exit(1)
+	}
+}

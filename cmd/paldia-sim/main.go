@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -43,6 +44,7 @@ func main() {
 		list      = flag.Bool("list", false, "list models and exit")
 		timeline  = flag.Bool("timeline", false, "print per-30s violation counts")
 		csvPath   = flag.String("csv", "", "write per-request records to this CSV file (single-scheme runs)")
+		jobs      = flag.Int("j", 1, "concurrent scheme simulations (useful with -scheme all); output is identical at any -j")
 
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (also derives a series CSV next to it)")
 		spansOut    = flag.String("spans-out", "", "write per-request spans as JSONL")
@@ -83,21 +85,32 @@ func main() {
 		os.Exit(1)
 	}
 
-	for _, scheme := range schemes {
+	// Every scheme is an independent simulation; -j fans them out over a
+	// shared pool. Results are collected by index and printed in scheme
+	// order, so the output is byte-identical at any parallelism.
+	var pool *experiments.Pool
+	if *jobs > 1 {
+		pool = experiments.NewPool(*jobs)
+	}
+	results := make([]core.Result, len(schemes))
+	recs := make([]*telemetry.Recorder, len(schemes))
+	pool.Map(len(schemes), func(i int) {
 		cfg := core.Config{
 			Model:  m,
 			Trace:  tr,
-			Scheme: scheme,
+			Scheme: schemes[i],
 			SLO:    *slo,
 			Seed:   *seed,
 		}
-		var rec *telemetry.Recorder
 		if telemetryOn {
-			rec = telemetry.NewRecorder()
-			cfg.Telemetry = rec
+			recs[i] = telemetry.NewRecorder()
+			cfg.Telemetry = recs[i]
 			cfg.SampleEvery = *sampleEvery
 		}
-		res := core.Run(cfg)
+		results[i] = core.Run(cfg)
+	})
+
+	for i, res := range results {
 		printResult(res)
 		if *timeline {
 			printTimeline(res, tr.Duration)
@@ -109,7 +122,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", res.Requests, *csvPath)
 		}
-		if rec != nil {
+		if rec := recs[i]; rec != nil {
 			if err := writeTelemetry(rec, *traceOut, *spansOut, *eventsOut, *seriesOut, *timelineSVG); err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
 				os.Exit(1)

@@ -5,9 +5,11 @@
 //
 //	go run ./examples/compare_schemes            # ResNet 50
 //	go run ./examples/compare_schemes "VGG 19"
+//	go run ./examples/compare_schemes -j 6       # all six schemes at once
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -16,9 +18,11 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("j", 1, "concurrent scheme simulations; the table is identical at any -j")
+	flag.Parse()
 	name := "ResNet 50"
-	if len(os.Args) > 1 {
-		name = os.Args[1]
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
 	}
 	m, ok := paldia.Model(name)
 	if !ok {
@@ -29,10 +33,20 @@ func main() {
 	tr := paldia.AzureTrace(42, m.DefaultPeakRPS(), 25*time.Minute)
 	schemes := append(paldia.StandardSchemes(), paldia.NewOracle())
 
+	// Each scheme is an independent simulation; fan them out over a pool and
+	// collect by index, so rows print in scheme order at any parallelism.
+	var pool *paldia.Pool
+	if *jobs > 1 {
+		pool = paldia.NewPool(*jobs)
+	}
+	results := make([]paldia.Result, len(schemes))
+	pool.Map(len(schemes), func(i int) {
+		results[i] = paldia.Run(paldia.Config{Model: m, Trace: tr, Scheme: schemes[i]})
+	})
+
 	fmt.Printf("%-22s %14s %12s %10s %9s\n", "scheme", "SLO compliance", "P99", "cost", "switches")
 	var basePerf, baseCost float64
-	for _, s := range schemes {
-		res := paldia.Run(paldia.Config{Model: m, Trace: tr, Scheme: s})
+	for _, res := range results {
 		fmt.Printf("%-22s %13.2f%% %12v %10.4f %9d\n",
 			res.Scheme, res.SLOCompliance*100, res.P99.Round(time.Millisecond),
 			res.Cost, res.Switches)

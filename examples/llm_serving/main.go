@@ -5,9 +5,13 @@
 // brawnier hardware, and hybrid sharing is what keeps the cheaper choices
 // viable at all. This example serves all four language models and shows
 // where each scheme's money went.
+//
+//	go run ./examples/llm_serving
+//	go run ./examples/llm_serving -j 4    # fan the (model, scheme) grid out
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -15,17 +19,34 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("j", 1, "concurrent simulations across the (model, scheme) grid; output is identical at any -j")
+	flag.Parse()
+
 	schemes := []paldia.Scheme{
 		paldia.NewINFlessLlamaPerf(),
 		paldia.NewINFlessLlamaCost(),
 		paldia.NewPaldia(),
 	}
+	models := paldia.LanguageModels()
 
-	for _, m := range paldia.LanguageModels() {
+	// Every (model, scheme) cell is an independent simulation; fan the flat
+	// grid out over a pool and collect by index, then print the nested loops
+	// in order — the report is identical at any parallelism.
+	var pool *paldia.Pool
+	if *jobs > 1 {
+		pool = paldia.NewPool(*jobs)
+	}
+	results := make([]paldia.Result, len(models)*len(schemes))
+	pool.Map(len(results), func(i int) {
+		m := models[i/len(schemes)]
 		tr := paldia.AzureTrace(42, m.DefaultPeakRPS(), 25*time.Minute)
+		results[i] = paldia.Run(paldia.Config{Model: m, Trace: tr, Scheme: schemes[i%len(schemes)]})
+	})
+
+	for mi, m := range models {
 		fmt.Printf("== %s (peak %.0f rps) ==\n", m.Name, m.DefaultPeakRPS())
-		for _, s := range schemes {
-			res := paldia.Run(paldia.Config{Model: m, Trace: tr, Scheme: s})
+		for si := range schemes {
+			res := results[mi*len(schemes)+si]
 			gpuShare := 0.0
 			if res.Cost > 0 {
 				gpuShare = res.GPUCost / res.Cost * 100

@@ -1,0 +1,61 @@
+package core
+
+// Allocation gates for the per-tick control-plane paths: hardware selection
+// and the Eq. (1) split both run every monitor/dispatch interval for every
+// experiment cell, so their steady state (after scratch buffers have grown)
+// must not allocate. The same bounds gate benchmarks in CI via
+// cmd/paldia-bench -gate.
+
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+)
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc gates run in non-race builds")
+	}
+}
+
+func TestDesiredHardwareAllocFree(t *testing.T) {
+	skipIfRace(t)
+	p := NewPaldia().Policy
+	// Both selection regimes: a rate that lands on CPU candidates and one
+	// that probes the full GPU pool.
+	for _, rate := range []float64{10, 400} {
+		st := mkState("ResNet 50", "M60", rate, rate)
+		if allocs := testing.AllocsPerRun(100, func() { p.DesiredHardware(st) }); allocs != 0 {
+			t.Fatalf("DesiredHardware at %.0f rps allocates %.1f objects/op, want 0", rate, allocs)
+		}
+	}
+}
+
+func TestSplitYAllocFree(t *testing.T) {
+	skipIfRace(t)
+	st := mkState("ResNet 50", "M60", 400, 400)
+	p := NewPaldia().Policy
+	if allocs := testing.AllocsPerRun(100, func() { p.SplitY(st, 400) }); allocs != 0 {
+		t.Fatalf("SplitY allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestCheapestIsolatedAllocFree(t *testing.T) {
+	skipIfRace(t)
+	st := mkState("ResNet 50", "M60", 120, 120)
+	if allocs := testing.AllocsPerRun(100, func() { cheapestIsolated(st) }); allocs != 0 {
+		t.Fatalf("cheapestIsolated allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDesiredHardware measures one full Algorithm 1 selection pass:
+// capable-pool assembly plus a serial Eq. (1) probe of every GPU candidate.
+func BenchmarkDesiredHardware(b *testing.B) {
+	st := mkState("ResNet 50", "M60", 400, 400)
+	p := NewPaldia().Policy
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.DesiredHardware(st)
+	}
+}

@@ -57,14 +57,16 @@ func (r *runner) dispatch() {
 	}
 }
 
-// healthyNodes returns the primary plus any healthy replicas.
+// healthyNodes returns the primary plus any healthy replicas. The returned
+// slice is runner-owned scratch, valid until the next call.
 func (r *runner) healthyNodes() []*servingNode {
-	nodes := []*servingNode{r.cur}
+	nodes := append(r.nodesScratch[:0], r.cur)
 	for _, rep := range r.replicas {
 		if rep.node.Device != nil && !rep.node.Device.Failed() {
 			nodes = append(nodes, rep)
 		}
 	}
+	r.nodesScratch = nodes
 	return nodes
 }
 

@@ -111,6 +111,10 @@ type multiRunner struct {
 
 	tel    telemetry.Sink
 	jobSeq int64
+
+	// stScratch backs stateFor's *State, rebuilt per call and never retained
+	// by callers — same reuse discipline as runner.stScratch.
+	stScratch State
 }
 
 // RunMulti executes a multi-tenant simulation.
@@ -333,7 +337,8 @@ func (t *tenant) observedRPS(now, window time.Duration) float64 {
 // stateFor builds the policy State for one tenant at the given horizon.
 func (r *multiRunner) stateFor(t *tenant, horizon time.Duration) *State {
 	now := r.eng.Now()
-	s := &State{
+	s := &r.stScratch
+	*s = State{
 		Now:          now,
 		Model:        t.w.Model,
 		SLO:          r.cfg.SLO,
@@ -341,6 +346,8 @@ func (r *multiRunner) stateFor(t *tenant, horizon time.Duration) *State {
 		ObservedRPS:  t.observedRPS(now, r.cfg.ObserveWindow),
 		Pending:      t.bat.Pending(),
 		Window:       r.cfg.DispatchWindow,
+		poolScratch:  s.poolScratch,
+		candScratch:  s.candScratch,
 	}
 	if r.cur != nil {
 		s.Current = r.cur.node.Spec

@@ -55,6 +55,20 @@ type State struct {
 	// LaneBacklog is the solo-equivalent work already in the time-sharing
 	// lane (queued requests wait behind it).
 	LaneBacklog time.Duration
+
+	// poolScratch and candScratch back DesiredHardware's capable-pool and
+	// candidate lists, reused across monitor ticks so the steady-state
+	// selection pass allocates nothing. They live on the State (one per
+	// runner) rather than the Policy because schemes are shared across
+	// concurrently running experiments and must stay stateless.
+	poolScratch []hardware.Spec
+	candScratch []hwCand
+}
+
+// hwCand pairs a probed node type with its predicted T_max.
+type hwCand struct {
+	hw   hardware.Spec
+	tmax time.Duration
 }
 
 // Policy is a request-serving scheme: a hardware-selection rule plus a
@@ -115,14 +129,14 @@ func paldiaHardwareReactive(s *State) hardware.Spec {
 }
 
 func paldiaHardwareAtRate(s *State, rate float64) hardware.Spec {
-	pool := profile.CapablePool(s.Model, rate, s.SLO) // get_HW_pool, sorted by cost
+	// get_HW_pool, sorted by cost; appended into runner-owned scratch so the
+	// per-tick pass is allocation-free once the buffers have grown.
+	s.poolScratch = profile.AppendCapablePool(s.poolScratch[:0], s.Model, rate, s.SLO)
+	pool := s.poolScratch
 	n := paldiaPlanN(rate, s.SLO, s.Pending)
 
-	type cand struct {
-		hw   hardware.Spec
-		tmax time.Duration
-	}
-	var cands []cand
+	cands := s.candScratch[:0]
+	in := perfmodel.Inputs{N: n, SLO: s.SLO} // one Inputs reused across the pass
 	for _, hw := range pool {
 		e := profile.Lookup(s.Model, hw)
 		if !hw.IsGPU() {
@@ -161,26 +175,26 @@ func paldiaHardwareAtRate(s *State, rate float64) hardware.Spec {
 			} else {
 				tmax += wait
 			}
-			cands = append(cands, cand{hw, tmax})
+			cands = append(cands, hwCand{hw, tmax})
 			continue
 		}
-		in := perfmodel.Inputs{
-			Solo:        e.SoloBatch,
-			BatchSize:   e.PreferredBatch,
-			FBR:         e.FBR,
-			ComputeFrac: e.ComputeFrac,
-			N:           n,
-			SLO:         s.SLO,
-		}
+		in.Solo = e.SoloBatch
+		in.BatchSize = e.PreferredBatch
+		in.FBR = e.FBR
+		in.ComputeFrac = e.ComputeFrac
+		in.PenaltyByJobs = e.PenaltyByJobs
+		in.ExistingDemand, in.ExistingCompute = 0, 0
+		in.ExistingJobs, in.ExistingLane = 0, 0
 		if s.HasCurrent && s.Current.Name == hw.Name {
 			in.ExistingDemand = s.ActiveDemand
 			in.ExistingCompute = s.ActiveCompute
 			in.ExistingJobs = s.ActiveJobs
 			in.ExistingLane = s.LaneBacklog
 		}
-		_, tmax, _ := perfmodel.BestY(in) // parallel y probing per GPU
-		cands = append(cands, cand{hw, tmax})
+		_, tmax, _ := perfmodel.BestY(in) // serial Eq. (1) y probing per GPU
+		cands = append(cands, hwCand{hw, tmax})
 	}
+	s.candScratch = cands
 	if len(cands) == 0 {
 		return hardware.MostPerformant(hardware.GPU)
 	}
@@ -208,9 +222,7 @@ func paldiaHardwareAtRate(s *State, rate float64) hardware.Spec {
 // its documented failure modes.
 func cheapestIsolated(s *State) hardware.Spec {
 	rate := s.ObservedRPS
-	cat := hardware.Catalog()
-	hardware.SortByCostAscending(cat)
-	for _, hw := range cat {
+	for _, hw := range hardware.CostSorted() {
 		e := profile.Lookup(s.Model, hw)
 		if e.SoloBatch > s.SLO*3/4 {
 			continue
@@ -247,6 +259,7 @@ func paldiaSplit(s *State, n int) int {
 		ExistingCompute: s.ActiveCompute,
 		ExistingJobs:    s.ActiveJobs,
 		ExistingLane:    s.LaneBacklog,
+		PenaltyByJobs:   s.Entry.PenaltyByJobs,
 	}
 	y, _, _ := perfmodel.BestY(in)
 	return y

@@ -253,6 +253,13 @@ type runner struct {
 	end        time.Duration
 	lastSwap   time.Duration
 
+	// stScratch backs the *State handed to policies. stateWithRates rebuilds
+	// it from scratch on every call and no caller retains the pointer past
+	// the policy invocation, so one per runner keeps the monitor and dispatch
+	// paths allocation-free. nodesScratch likewise backs healthyNodes.
+	stScratch    State
+	nodesScratch []*servingNode
+
 	boots, syncColds uint64 // accumulated from retired pools
 }
 
@@ -561,7 +568,8 @@ func (r *runner) stateOf(sn *servingNode) *State {
 }
 
 func (r *runner) stateWithRates(predicted, observed float64) *State {
-	s := &State{
+	s := &r.stScratch
+	*s = State{
 		Now:          r.eng.Now(),
 		Model:        r.cfg.Model,
 		SLO:          r.cfg.SLO,
@@ -569,6 +577,8 @@ func (r *runner) stateWithRates(predicted, observed float64) *State {
 		ObservedRPS:  observed,
 		Pending:      r.bat.Pending(),
 		Window:       r.cfg.DispatchWindow,
+		poolScratch:  s.poolScratch,
+		candScratch:  s.candScratch,
 	}
 	if r.cur != nil {
 		s.Current = r.cur.node.Spec

@@ -55,6 +55,34 @@ func NewPool(n int) *Pool {
 func (p *Pool) acquire() { <-p.tokens }
 func (p *Pool) release() { p.tokens <- struct{}{} }
 
+// Map runs fn(i) for every i in [0, n) across the pool and returns once all
+// calls finished. fn must write its result to an i-indexed slot and touch no
+// other shared state; reading the slots back in index order then yields
+// output identical to a serial loop — the same discipline Options.parRange
+// follows. A nil pool runs the plain serial loop.
+func (p *Pool) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p.acquire()
+			defer p.release()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // workers resolves the effective parallelism: 0 means one worker per CPU,
 // anything below 1 means serial.
 func (o Options) workers() int {
@@ -88,17 +116,7 @@ func (o Options) parRange(n int, fn func(i int)) {
 		}
 		pool = NewPool(w)
 	}
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			defer wg.Done()
-			pool.acquire()
-			defer pool.release()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
+	pool.Map(n, fn)
 }
 
 // cell is one (model, trace, scheme, mutator) grid point of an experiment.

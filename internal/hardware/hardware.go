@@ -94,6 +94,19 @@ func Catalog() []Spec {
 	return c
 }
 
+// costSorted is the shared cost-ascending view of the catalog, built once at
+// init so the selection hot path never copies and re-sorts per call.
+var costSorted = func() []Spec {
+	c := make([]Spec, len(catalog))
+	copy(c, catalog)
+	SortByCostAscending(c)
+	return c
+}()
+
+// CostSorted returns the catalog cheapest-first as a shared snapshot. Callers
+// must treat it as read-only; use Catalog for a copy they may reorder.
+func CostSorted() []Spec { return costSorted }
+
 // GPUs returns only the GPU-equipped nodes, cheapest first.
 func GPUs() []Spec { return filter(GPU) }
 

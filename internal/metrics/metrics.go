@@ -9,7 +9,7 @@ package metrics
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -95,7 +95,7 @@ func (c *Collector) ensureSorted() {
 	for i, r := range c.records {
 		c.sorted[i] = r.Latency
 	}
-	sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i] < c.sorted[j] })
+	slices.Sort(c.sorted)
 }
 
 // Percentile returns the p-th latency percentile (p in (0,100]), using the

@@ -1,0 +1,117 @@
+package perfmodel
+
+// Allocation gates for the Eq. (1) hot path: the monitor loop evaluates
+// BestY for every GPU candidate every tick, so both the single TMax
+// evaluation and the whole grid walk must not allocate. The same bounds are
+// enforced on benchmarks in CI via cmd/paldia-bench -gate.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/raceflag"
+)
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc gates run in non-race builds")
+	}
+}
+
+func TestTMaxAllocFree(t *testing.T) {
+	skipIfRace(t)
+	in := Inputs{
+		Solo: 100 * time.Millisecond, BatchSize: 64, FBR: 0.5, N: 400,
+		SLO: 200 * time.Millisecond, ExistingDemand: 1.2, ExistingJobs: 2,
+		ExistingCompute: 0.5, ExistingLane: 30 * time.Millisecond, ComputeFrac: 0.4,
+	}
+	var sink time.Duration
+	if allocs := testing.AllocsPerRun(100, func() { sink = TMax(in, 64) }); allocs != 0 {
+		t.Fatalf("TMax allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestBestYAllocFree(t *testing.T) {
+	skipIfRace(t)
+	in := Inputs{
+		Solo: 100 * time.Millisecond, BatchSize: 8, FBR: 0.7, N: 4000,
+		SLO: time.Second, ExistingDemand: 0.4,
+	}
+	var sink int
+	if allocs := testing.AllocsPerRun(100, func() { sink, _, _ = BestY(in) }); allocs != 0 {
+		t.Fatalf("BestY allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func BenchmarkTMax(b *testing.B) {
+	in := Inputs{
+		Solo: 100 * time.Millisecond, BatchSize: 64, FBR: 0.5, N: 400,
+		SLO: 200 * time.Millisecond, ExistingDemand: 1.2, ExistingJobs: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TMax(in, 64)
+	}
+}
+
+// BenchmarkBestY probes the ~500-point grid the overhead test exercises —
+// the worst case the monitor loop sees.
+func BenchmarkBestY(b *testing.B) {
+	in := Inputs{Solo: 100 * time.Millisecond, BatchSize: 8, FBR: 0.7, N: 4000, SLO: time.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BestY(in)
+	}
+}
+
+// BenchmarkBestYReference is the retained parallel implementation on the
+// same grid, for the serial-vs-fanout comparison in BENCH_sched.json.
+func BenchmarkBestYReference(b *testing.B) {
+	in := Inputs{Solo: 100 * time.Millisecond, BatchSize: 8, FBR: 0.7, N: 4000, SLO: time.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bestYParallelReference(in)
+	}
+}
+
+// typicalInputs is the grid the monitor loop actually probes every tick: a
+// few hundred outstanding requests at a vision-model batch size — seven
+// candidates, where goroutine spawn used to dwarf the arithmetic.
+func typicalInputs() Inputs {
+	return Inputs{
+		Solo: 100 * time.Millisecond, BatchSize: 64, FBR: 0.5, N: 400,
+		SLO: 200 * time.Millisecond, ExistingDemand: 0.5, ExistingJobs: 1,
+	}
+}
+
+func BenchmarkBestYTypical(b *testing.B) {
+	in := typicalInputs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BestY(in)
+	}
+}
+
+func BenchmarkBestYReferenceTypical(b *testing.B) {
+	in := typicalInputs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bestYParallelReference(in)
+	}
+}
+
+// BenchmarkBestYTypicalMemo is the production shape of the typical probe:
+// idle candidate hardware, with the profile table's precomputed contention
+// memo attached the way DesiredHardware attaches it.
+func BenchmarkBestYTypicalMemo(b *testing.B) {
+	in := typicalInputs()
+	in.ExistingDemand, in.ExistingJobs = 0, 0
+	in.PenaltyByJobs = penaltyTableFor(in.FBR)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BestY(in)
+	}
+}

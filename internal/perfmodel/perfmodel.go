@@ -28,7 +28,6 @@ package perfmodel
 
 import (
 	"math"
-	"sync"
 	"time"
 
 	"repro/internal/profile"
@@ -62,6 +61,14 @@ type Inputs struct {
 	// ExistingLane is the solo-equivalent backlog already in the
 	// time-sharing lane; newly queued requests wait behind it.
 	ExistingLane time.Duration
+	// PenaltyByJobs, when non-nil, memoizes profile.Penalty(k*FBR) for k
+	// co-located batch jobs of this workload (profile.Entry.PenaltyByJobs).
+	// TMax consults it instead of the Pow-based contention curve whenever
+	// the device has no existing bandwidth demand — the common case when
+	// probing idle hardware — and falls back to profile.Slowdown otherwise.
+	// Optional: nil keeps the direct computation; results are bit-identical
+	// either way.
+	PenaltyByJobs []float64
 }
 
 // Batches returns the number of batch jobs needed for n requests.
@@ -78,6 +85,13 @@ func (in Inputs) Batches(n int) int {
 // or solo latency) — those indicate a profiling bug, not a scheduling
 // decision.
 func TMax(in Inputs, y int) time.Duration {
+	return tmaxAt(&in, y)
+}
+
+// tmaxAt is TMax on a pointer receiver: BestY evaluates it once per grid
+// point, and passing the 100+-byte Inputs by value per candidate showed up
+// as pure copy overhead in profiles.
+func tmaxAt(in *Inputs, y int) time.Duration {
 	if in.BatchSize <= 0 || in.Solo <= 0 {
 		panic("perfmodel: malformed Inputs")
 	}
@@ -90,9 +104,20 @@ func TMax(in Inputs, y int) time.Duration {
 	spatialReqs := in.N - y
 	var spatial time.Duration
 	if spatialReqs > 0 {
-		k := in.Batches(spatialReqs)
-		demand := in.ExistingDemand + float64(k)*in.FBR
-		inflation := profile.Slowdown(demand, in.FBR)
+		k := (spatialReqs + in.BatchSize - 1) / in.BatchSize // Batches, without re-copying in
+		var inflation float64
+		if in.ExistingDemand == 0 && k < len(in.PenaltyByJobs) {
+			// Memoized Penalty(k*FBR)/Penalty(1*FBR): bit-identical to the
+			// Slowdown call below when nothing else demands bandwidth
+			// (0 + k*FBR == k*FBR exactly), minus the math.Pow calls.
+			inflation = in.PenaltyByJobs[k] / in.PenaltyByJobs[1]
+			if inflation < 1 {
+				inflation = 1
+			}
+		} else {
+			demand := in.ExistingDemand + float64(k)*in.FBR
+			inflation = profile.Slowdown(demand, in.FBR)
+		}
 		// Co-located saturating kernels split the device's compute units;
 		// the binding bottleneck inflates execution.
 		if c := in.ExistingCompute + float64(k)*in.ComputeFrac; c > 1 && c > inflation {
@@ -117,6 +142,9 @@ func TMax(in Inputs, y int) time.Duration {
 // plus the two extremes y=0 (all spatial — the INFless/Llama policy) and
 // y=N-1/y=N handled by the k=0 entry. Between grid points T_max is linear
 // in y with positive slope, so the minimum always sits on this grid.
+//
+// BestY walks the same grid without materializing it; Candidates is retained
+// for tests, reports and the parallel reference implementation.
 func Candidates(in Inputs) []int {
 	if in.N <= 0 {
 		return nil
@@ -137,47 +165,42 @@ func Candidates(in Inputs) []int {
 	return ys
 }
 
-// probeParallelism bounds the worker goroutines of BestY. The paper probes
-// y values with multi-threading and reports <3 ms overhead; a small fixed
-// fan-out keeps that spirit without oversubscribing the host.
-const probeParallelism = 4
-
-// BestY probes the candidate y values in parallel and returns the one
-// minimizing T_max, the corresponding T_max, and whether that minimum meets
-// the SLO. ok=false is the signal to reattempt on the next more performant
-// GPU (Section III: "For cases where a suitable y value does not exist...").
-// Ties prefer smaller y (less queueing, fresher results under surges).
+// BestY probes the candidate y values and returns the one minimizing T_max,
+// the corresponding T_max, and whether that minimum meets the SLO. ok=false
+// is the signal to reattempt on the next more performant GPU (Section III:
+// "For cases where a suitable y value does not exist..."). Ties prefer
+// smaller y (less queueing, fresher results under surges).
+//
+// The probe walks the batch-quantized k-grid serially and in place: one
+// TMax evaluation is ~20 ns of arithmetic, so any fan-out (the paper
+// multi-threads its probing on the real control plane and reports <3 ms)
+// costs more in goroutine spawn than it saves. The grid is visited in
+// ascending y — exactly Candidates' order — so the strict < comparison
+// keeps the smallest y on ties, and the result is provably identical to
+// probing the materialized candidate list (the test-only parallel reference
+// in reference_test.go asserts it). The walk allocates nothing, which is
+// what lets the monitor loop call it for every GPU candidate every tick.
 func BestY(in Inputs) (y int, tmax time.Duration, ok bool) {
-	cands := Candidates(in)
-	if len(cands) == 0 {
+	if in.N <= 0 {
 		return 0, 0, true
 	}
-	results := make([]time.Duration, len(cands))
-	var wg sync.WaitGroup
-	stride := (len(cands) + probeParallelism - 1) / probeParallelism
-	for w := 0; w < len(cands); w += stride {
-		lo, hi := w, w+stride
-		if hi > len(cands) {
-			hi = len(cands)
+	best := time.Duration(math.MaxInt64)
+	bestY := 0
+	prevY := -1
+	for k := in.Batches(in.N); k >= 0; k-- {
+		yc := in.N - k*in.BatchSize
+		if yc < 0 {
+			yc = 0
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				results[i] = TMax(in, cands[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	bestI := 0
-	for i := 1; i < len(cands); i++ {
-		if results[i] < results[bestI] ||
-			(results[i] == results[bestI] && cands[i] < cands[bestI]) {
-			bestI = i
+		if yc == prevY { // the clamped head of the grid repeats y=0
+			continue
+		}
+		prevY = yc
+		if t := tmaxAt(&in, yc); t < best {
+			best, bestY = t, yc
 		}
 	}
-	return cands[bestI], results[bestI], results[bestI] <= in.SLO
+	return bestY, best, best <= in.SLO
 }
 
 // SpatialSaturated reports the paper's constraint (ii): whether running

@@ -1,0 +1,141 @@
+package perfmodel
+
+// The pre-optimization goroutine fan-out of BestY, retained verbatim as a
+// test oracle: the serial probe must return exactly the same (y, tmax, ok)
+// on every input. It lives in a test file so no goroutine can ever reach the
+// scheduling hot path from this package (the production tree is grepped for
+// goroutine launches in CI).
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// penaltyTableFor mirrors how profile builds Entry.PenaltyByJobs, so the
+// tests can assert the memoized contention path changes nothing.
+func penaltyTableFor(fbr float64) []float64 {
+	t := make([]float64, profile.MPSMaxClients+1)
+	for k := range t {
+		t[k] = profile.Penalty(float64(k) * fbr)
+	}
+	return t
+}
+
+// probeParallelism bounds the worker goroutines of the reference probe, as
+// in the original implementation.
+const probeParallelism = 4
+
+// probeRange evaluates TMax for cands[lo:hi] into results.
+func probeRange(in Inputs, cands []int, results []time.Duration, lo, hi int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for i := lo; i < hi; i++ {
+		results[i] = TMax(in, cands[i])
+	}
+}
+
+// bestYParallelReference is the original BestY: materialize Candidates,
+// probe them on a fixed goroutine fan-out, scan for the minimum with the
+// smallest-y tie-break.
+func bestYParallelReference(in Inputs) (y int, tmax time.Duration, ok bool) {
+	cands := Candidates(in)
+	if len(cands) == 0 {
+		return 0, 0, true
+	}
+	results := make([]time.Duration, len(cands))
+	var wg sync.WaitGroup
+	stride := (len(cands) + probeParallelism - 1) / probeParallelism
+	for w := 0; w < len(cands); w += stride {
+		lo, hi := w, w+stride
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go probeRange(in, cands, results, lo, hi, &wg)
+	}
+	wg.Wait()
+
+	bestI := 0
+	for i := 1; i < len(cands); i++ {
+		if results[i] < results[bestI] ||
+			(results[i] == results[bestI] && cands[i] < cands[bestI]) {
+			bestI = i
+		}
+	}
+	return cands[bestI], results[bestI], results[bestI] <= in.SLO
+}
+
+// assertProbesAgree fails unless the serial probe and the parallel reference
+// return identical results for in.
+func assertProbesAgree(t *testing.T, in Inputs) {
+	t.Helper()
+	y, tmax, ok := BestY(in)
+	ry, rtmax, rok := bestYParallelReference(in)
+	if y != ry || tmax != rtmax || ok != rok {
+		t.Fatalf("serial probe (y=%d tmax=%v ok=%v) != parallel reference (y=%d tmax=%v ok=%v) for %+v",
+			y, tmax, ok, ry, rtmax, rok, in)
+	}
+	inMemo := in
+	inMemo.PenaltyByJobs = penaltyTableFor(in.FBR)
+	if my, mtmax, mok := BestY(inMemo); my != y || mtmax != tmax || mok != ok {
+		t.Fatalf("memoized probe (y=%d tmax=%v ok=%v) != direct probe (y=%d tmax=%v ok=%v) for %+v",
+			my, mtmax, mok, y, tmax, ok, in)
+	}
+}
+
+// TestSerialProbeMatchesReferenceDegenerate pins the edge cases the
+// randomized sweep may miss: empty and single-request loads, exact batch
+// multiples, and off-by-one grid heads.
+func TestSerialProbeMatchesReferenceDegenerate(t *testing.T) {
+	base := Inputs{Solo: 100 * time.Millisecond, BatchSize: 64, FBR: 0.5, SLO: 200 * time.Millisecond}
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 127, 128, 129, 640, 641} {
+		in := base
+		in.N = n
+		assertProbesAgree(t, in)
+	}
+	// BatchSize 1: the grid has N+1 points.
+	in := base
+	in.BatchSize, in.N = 1, 40
+	assertProbesAgree(t, in)
+}
+
+// TestSerialProbeMatchesReferenceRandomized sweeps randomized Inputs —
+// including zero ExistingLane, saturated and unsaturated demand, busy and
+// idle devices — asserting exact (y, tmax, ok) equality against the retained
+// goroutine reference.
+func TestSerialProbeMatchesReferenceRandomized(t *testing.T) {
+	f := func(nRaw, bsRaw uint16, fbrRaw, existRaw, computeRaw, jobsRaw, laneRaw uint8, saturated, idle bool) bool {
+		in := Inputs{
+			Solo:            time.Duration(50+int(nRaw%150)) * time.Millisecond,
+			BatchSize:       int(bsRaw%128) + 1,
+			FBR:             float64(fbrRaw)/100 + 0.05, // unsaturated by default...
+			N:               int(nRaw % 3000),
+			SLO:             300 * time.Millisecond,
+			ExistingDemand:  float64(existRaw) / 64,
+			ExistingCompute: float64(computeRaw) / 128,
+			ExistingJobs:    int(jobsRaw % 8),
+			ExistingLane:    time.Duration(laneRaw) * time.Millisecond, // zero when laneRaw is 0
+		}
+		if saturated { // ...and pushed past device bandwidth half the time
+			in.FBR += 1.0
+		}
+		if idle { // half the probes target an idle device — the memo's fast path
+			in.ExistingDemand = 0
+		}
+		y, tmax, ok := BestY(in)
+		ry, rtmax, rok := bestYParallelReference(in)
+		if y != ry || tmax != rtmax || ok != rok {
+			return false
+		}
+		inMemo := in
+		inMemo.PenaltyByJobs = penaltyTableFor(in.FBR)
+		my, mtmax, mok := BestY(inMemo)
+		return my == y && mtmax == tmax && mok == ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

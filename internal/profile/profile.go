@@ -67,13 +67,32 @@ func EffectiveGFLOPs(m model.Spec, hw hardware.Spec) float64 {
 // SoloSample returns the profiled per-sample execution time of the workload
 // on the node, in isolation (excluding the fixed per-batch overhead).
 func SoloSample(m model.Spec, hw hardware.Spec) time.Duration {
+	if i, ok := pairIndex(m, hw); ok {
+		return tableEntries[i].SoloSample
+	}
+	return computeSoloSample(m, hw)
+}
+
+func computeSoloSample(m model.Spec, hw hardware.Spec) time.Duration {
 	sec := m.GFLOPsPerSample / EffectiveGFLOPs(m, hw)
 	return time.Duration(sec * float64(time.Second))
 }
 
 // Solo returns the profiled execution latency of one batch of the given size
-// run in isolation on the node — the paper's Solo_M.
+// run in isolation on the node — the paper's Solo_M. For catalog pairs at
+// in-range batch sizes this is a table read: the dispatcher prices every job
+// it opens with Solo, so the call sits on the per-dispatch hot path.
 func Solo(m model.Spec, hw hardware.Spec, batch int) time.Duration {
+	if batch < 1 {
+		batch = 1
+	}
+	if i, ok := pairIndex(m, hw); ok && batch <= len(soloMemo[i]) {
+		return soloMemo[i][batch-1]
+	}
+	return computeSolo(m, hw, batch)
+}
+
+func computeSolo(m model.Spec, hw hardware.Spec, batch int) time.Duration {
 	if batch < 1 {
 		batch = 1
 	}
@@ -81,7 +100,7 @@ func Solo(m model.Spec, hw hardware.Spec, batch int) time.Duration {
 	if !hw.IsGPU() {
 		overhead = CPULaunchOverhead
 	}
-	return overhead + time.Duration(batch)*SoloSample(m, hw)
+	return overhead + time.Duration(batch)*computeSoloSample(m, hw)
 }
 
 // FBR returns the workload's Fractional Bandwidth Requirement on the node:
@@ -91,6 +110,13 @@ func Solo(m model.Spec, hw hardware.Spec, batch int) time.Duration {
 // models on the cheaper GPUs). CPU nodes return 0 — the paper's interference
 // model only covers MPS co-location on GPUs.
 func FBR(m model.Spec, hw hardware.Spec) float64 {
+	if i, ok := pairIndex(m, hw); ok {
+		return tableEntries[i].FBR
+	}
+	return computeFBR(m, hw)
+}
+
+func computeFBR(m model.Spec, hw hardware.Spec) float64 {
 	if !hw.IsGPU() {
 		return 0
 	}
@@ -121,8 +147,19 @@ func SaturationBatch(m model.Spec, hw hardware.Spec) int {
 }
 
 // ComputeFraction returns the fraction of the device's compute units a batch
-// job occupies while executing, in (0, 1].
+// job occupies while executing, in (0, 1]. Batch-indexed memo for catalog
+// pairs, like Solo.
 func ComputeFraction(m model.Spec, hw hardware.Spec, batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	if i, ok := pairIndex(m, hw); ok && batch <= len(computeMemo[i]) {
+		return computeMemo[i][batch-1]
+	}
+	return computeComputeFraction(m, hw, batch)
+}
+
+func computeComputeFraction(m model.Spec, hw hardware.Spec, batch int) float64 {
 	if batch < 1 {
 		batch = 1
 	}
@@ -172,9 +209,16 @@ func ClientOverhead(k int) float64 {
 // if a single sample misses the target (the device is then simply a bad
 // candidate; hardware selection will notice via T_max).
 func PreferredBatch(m model.Spec, hw hardware.Spec) int {
+	if i, ok := pairIndex(m, hw); ok {
+		return tableEntries[i].PreferredBatch
+	}
+	return computePreferredBatch(m, hw)
+}
+
+func computePreferredBatch(m model.Spec, hw hardware.Spec) int {
 	best := 1
 	for b := 1; b <= m.MaxBatch; b *= 2 {
-		if Solo(m, hw, b) <= TargetBatchLatency {
+		if computeSolo(m, hw, b) <= TargetBatchLatency {
 			best = b
 		}
 	}
@@ -184,8 +228,15 @@ func PreferredBatch(m model.Spec, hw hardware.Spec) int {
 // ThroughputRPS returns the sustained request throughput of the node for the
 // workload: back-to-back batches at the preferred size, in isolation.
 func ThroughputRPS(m model.Spec, hw hardware.Spec) float64 {
-	b := PreferredBatch(m, hw)
-	solo := Solo(m, hw, b)
+	if i, ok := pairIndex(m, hw); ok {
+		return tableEntries[i].ThroughputRPS
+	}
+	return computeThroughputRPS(m, hw)
+}
+
+func computeThroughputRPS(m model.Spec, hw hardware.Spec) float64 {
+	b := computePreferredBatch(m, hw)
+	solo := computeSolo(m, hw, b)
 	if solo <= 0 {
 		return 0
 	}
@@ -200,6 +251,13 @@ const MPSMaxClients = 48
 // the node at once — the hard cap on spatial co-location: device memory,
 // further clamped by the MPS client limit on GPUs.
 func MaxResidentJobs(m model.Spec, hw hardware.Spec) int {
+	if i, ok := pairIndex(m, hw); ok {
+		return tableEntries[i].MaxResidentJobs
+	}
+	return computeMaxResidentJobs(m, hw)
+}
+
+func computeMaxResidentJobs(m model.Spec, hw hardware.Spec) int {
 	n := int(hw.MemGB / m.MemFootprintGB)
 	if n < 1 {
 		n = 1
@@ -229,22 +287,106 @@ type Entry struct {
 	MaxResidentJobs int
 	// ComputeFrac is the compute occupancy of one preferred-size batch.
 	ComputeFrac float64
+	// PenaltyByJobs memoizes Penalty(k*FBR) for k = 0..MPSMaxClients
+	// co-located batch jobs: the contention curve Eq. (1) evaluates when
+	// probing an otherwise-idle device, precomputed so the probe walk never
+	// calls math.Pow. Read-only — catalog entries share one slice.
+	PenaltyByJobs []float64
 }
 
-// Lookup assembles the profiling entry for a pair.
+// Lookup assembles the profiling entry for a pair. Catalog pairs resolve to
+// a precomputed row (an array read); unknown or doctored specs are profiled
+// on the fly exactly as before.
 func Lookup(m model.Spec, hw hardware.Spec) Entry {
-	b := PreferredBatch(m, hw)
+	if i, ok := pairIndex(m, hw); ok {
+		return tableEntries[i]
+	}
+	return computeEntry(m, hw)
+}
+
+func computeEntry(m model.Spec, hw hardware.Spec) Entry {
+	b := computePreferredBatch(m, hw)
+	fbr := computeFBR(m, hw)
+	pen := make([]float64, MPSMaxClients+1)
+	for k := range pen {
+		pen[k] = Penalty(float64(k) * fbr)
+	}
 	return Entry{
 		Model:           m,
 		Hardware:        hw,
-		SoloSample:      SoloSample(m, hw),
-		FBR:             FBR(m, hw),
+		SoloSample:      computeSoloSample(m, hw),
+		FBR:             fbr,
 		PreferredBatch:  b,
-		SoloBatch:       Solo(m, hw, b),
-		ThroughputRPS:   ThroughputRPS(m, hw),
-		MaxResidentJobs: MaxResidentJobs(m, hw),
-		ComputeFrac:     ComputeFraction(m, hw, b),
+		SoloBatch:       computeSolo(m, hw, b),
+		ThroughputRPS:   computeThroughputRPS(m, hw),
+		MaxResidentJobs: computeMaxResidentJobs(m, hw),
+		ComputeFrac:     computeComputeFraction(m, hw, b),
+		PenaltyByJobs:   pen,
 	}
+}
+
+// The profiling campaign, run once at init: every catalog model profiled on
+// every catalog node, plus batch-indexed Solo and ComputeFraction memos
+// (batch sizes 1..MaxBatch). pairIndex verifies specs against the catalog
+// snapshot by full struct equality, so the tables can never serve a stale
+// row for a modified Spec.
+var (
+	tableModels  []model.Spec
+	tableHW      []hardware.Spec
+	modelIndex   map[string]int
+	hwIndex      map[string]int
+	tableEntries []Entry
+	soloMemo     [][]time.Duration
+	computeMemo  [][]float64
+	fallbackGPU  hardware.Spec
+)
+
+func init() {
+	ms, hws := model.Catalog(), hardware.Catalog()
+	entries := make([]Entry, 0, len(ms)*len(hws))
+	solos := make([][]time.Duration, 0, len(ms)*len(hws))
+	comps := make([][]float64, 0, len(ms)*len(hws))
+	for _, m := range ms {
+		for _, hw := range hws {
+			entries = append(entries, computeEntry(m, hw))
+			s := make([]time.Duration, m.MaxBatch)
+			c := make([]float64, m.MaxBatch)
+			for b := 1; b <= m.MaxBatch; b++ {
+				s[b-1] = computeSolo(m, hw, b)
+				c[b-1] = computeComputeFraction(m, hw, b)
+			}
+			solos = append(solos, s)
+			comps = append(comps, c)
+		}
+	}
+	mi := make(map[string]int, len(ms))
+	for i, m := range ms {
+		mi[m.Name] = i
+	}
+	hi := make(map[string]int, len(hws))
+	for i, hw := range hws {
+		hi[hw.Name] = i
+	}
+	tableModels, tableHW, tableEntries = ms, hws, entries
+	soloMemo, computeMemo = solos, comps
+	modelIndex, hwIndex = mi, hi
+	fallbackGPU = hardware.MostPerformant(hardware.GPU)
+}
+
+// pairIndex resolves a (model, hardware) pair to its precomputed row. Both
+// specs must equal their catalog snapshots exactly — name collisions with
+// different field values (tests doctor specs to probe behavior) fall through
+// to the compute path.
+func pairIndex(m model.Spec, hw hardware.Spec) (int, bool) {
+	mi, ok := modelIndex[m.Name]
+	if !ok || tableModels[mi] != m {
+		return 0, false
+	}
+	hi, ok := hwIndex[hw.Name]
+	if !ok || tableHW[hi] != hw {
+		return 0, false
+	}
+	return mi*len(tableHW) + hi, true
 }
 
 // Table returns the full profiling campaign: every catalog model on every
@@ -306,20 +448,36 @@ func capabilityMaxWait(slo time.Duration) time.Duration { return slo / 4 }
 // paper's escalation to the next more performant GPU when no feasible y
 // exists).
 func CapablePool(m model.Spec, rateRPS float64, slo time.Duration) []hardware.Spec {
-	var pool []hardware.Spec
-	for _, hw := range hardware.Catalog() {
-		e := Lookup(m, hw)
-		if e.SoloBatch > slo*3/4 {
+	return AppendCapablePool(nil, m, rateRPS, slo)
+}
+
+// AppendCapablePool is CapablePool appending into dst, for callers that reuse
+// a scratch slice across monitor ticks (the selection hot path). It walks the
+// shared cost-sorted catalog snapshot — the catalog's prices are distinct, so
+// appending in walk order yields exactly the sorted pool CapablePool has
+// always returned, without copying or re-sorting per call.
+func AppendCapablePool(dst []hardware.Spec, m model.Spec, rateRPS float64, slo time.Duration) []hardware.Spec {
+	base := len(dst)
+	for _, hw := range hardware.CostSorted() {
+		if SoloAtPreferred(m, hw) > slo*3/4 {
 			continue
 		}
 		if !CanSustain(m, hw, rateRPS, capabilityMaxWait(slo)) {
 			continue
 		}
-		pool = append(pool, hw)
+		dst = append(dst, hw)
 	}
-	if len(pool) == 0 {
-		pool = append(pool, hardware.MostPerformant(hardware.GPU))
+	if len(dst) == base {
+		dst = append(dst, fallbackGPU)
 	}
-	hardware.SortByCostAscending(pool)
-	return pool
+	return dst
+}
+
+// SoloAtPreferred returns Solo at the preferred batch size (Entry.SoloBatch)
+// without assembling a full Entry.
+func SoloAtPreferred(m model.Spec, hw hardware.Spec) time.Duration {
+	if i, ok := pairIndex(m, hw); ok {
+		return tableEntries[i].SoloBatch
+	}
+	return computeSolo(m, hw, computePreferredBatch(m, hw))
 }

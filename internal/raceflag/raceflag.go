@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-gate tests consult it: race instrumentation adds
+// allocations of its own, so testing.AllocsPerRun bounds only hold in
+// non-race builds.
+package raceflag
+
+// Enabled is true in binaries built with -race.
+const Enabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package raceflag
+
+// Enabled is true in binaries built with -race.
+const Enabled = true

@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -70,37 +69,85 @@ func (t Timer) Cancel() {
 	t.ev.eng.maybeCompact()
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The sift operations
+// are the textbook container/heap algorithms specialized to the concrete
+// element type: the heap is the single hottest structure in a simulation, and
+// the interface dispatch plus any-boxing of container/heap dominated its
+// cost. The comparison and swap sequences are exactly those of
+// container/heap, so the heap layout — and therefore the event fire order —
+// is identical to the generic implementation's.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h eventHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+func (h eventHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+func (h eventHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+}
+
+// push adds e to the heap.
+func (h *eventHeap) push(e *Event) {
+	e.index = len(*h)
+	*h = append(*h, e)
+	h.up(e.index)
+}
+
+// popMin removes and returns the minimum (root) event.
+func (h *eventHeap) popMin() *Event {
+	s := *h
+	n := len(s) - 1
+	s.swap(0, n)
+	s.down(0, n)
+	e := s[n]
+	s[n] = nil
 	e.index = -1
-	*h = old[:n-1]
+	*h = s[:n]
 	return e
+}
+
+// reinit restores the heap invariant over arbitrary contents (compaction).
+func (h eventHeap) reinit() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
 }
 
 // compactMin is the queue size below which cancelled events are not worth
@@ -160,7 +207,7 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) Timer {
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -207,14 +254,14 @@ func (e *Engine) maybeCompact() {
 	}
 	e.events = kept
 	e.cancelledN = 0
-	heap.Init(&e.events)
+	e.events.reinit()
 }
 
 // Step fires the next pending event, advancing the clock to it. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+		ev := e.events.popMin()
 		if ev.cancelled {
 			e.cancelledN--
 			e.recycle(ev)
@@ -238,7 +285,7 @@ func (e *Engine) Run(until time.Duration) {
 	for len(e.events) > 0 {
 		next := e.events[0]
 		if next.cancelled {
-			heap.Pop(&e.events)
+			e.events.popMin()
 			e.cancelledN--
 			e.recycle(next)
 			continue

@@ -4,7 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -67,7 +67,7 @@ func Load(r io.Reader, name string) (*Trace, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	slices.Sort(arrivals)
 	if duration == 0 && len(arrivals) > 0 {
 		duration = arrivals[len(arrivals)-1].Truncate(time.Second) + time.Second
 	}
@@ -78,7 +78,7 @@ func Load(r io.Reader, name string) (*Trace, error) {
 func FromArrivals(name string, arrivals []time.Duration, duration time.Duration) *Trace {
 	out := make([]time.Duration, len(arrivals))
 	copy(out, arrivals)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	if duration == 0 && len(out) > 0 {
 		duration = out[len(out)-1] + time.Nanosecond
 	}

@@ -12,6 +12,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -118,7 +119,7 @@ func FromRateCurve(rng *sim.RNG, name string, rates []float64, bucket time.Durat
 			arrivals = append(arrivals, base+time.Duration(r.Float64()*float64(bucket)))
 		}
 	}
-	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	slices.Sort(arrivals)
 	return &Trace{
 		Name:     name,
 		Arrivals: arrivals,

@@ -223,6 +223,16 @@ type ExperimentOptions = experiments.Options
 // ExperimentTable is a rendered experiment result.
 type ExperimentTable = experiments.Table
 
+// Pool bounds how many simulations execute at once; one Pool can be shared
+// by every concurrently running comparison so nested fan-out never
+// oversubscribes the machine. Pool.Map(n, fn) runs indexed work items and
+// returns once all finished; collecting results by index keeps output
+// byte-identical to a serial loop at any pool size.
+type Pool = experiments.Pool
+
+// NewPool returns a pool admitting n simulations at once (minimum 1).
+func NewPool(n int) *Pool { return experiments.NewPool(n) }
+
 // ExperimentIDs lists the regenerable figures and tables.
 func ExperimentIDs() []string { return experiments.Order() }
 
