@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke experiments figures fuzz clean
+.PHONY: build test vet race bench bench-smoke experiments figures fuzz \
+	fuzz-smoke test-invariants test-determinism clean
 
 build:
 	$(GO) build ./...
@@ -45,6 +46,26 @@ figures:
 
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzLoad -fuzztime 30s
+
+# Ten seconds of every fuzz target. Go's -fuzz flag must match exactly one
+# target per invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test ./internal/trace/ -fuzz '^FuzzLoad$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -fuzz '^FuzzWindowCounts$$' -fuzztime 10s
+	$(GO) test ./internal/metrics/ -fuzz '^FuzzReadCSV$$' -fuzztime 10s
+	$(GO) test ./internal/core/ -fuzz '^FuzzConfigValidate$$' -fuzztime 10s
+
+# The entire registered experiment grid (every figure, table, ablation) with
+# the runtime invariant checker attached to every simulation; any law
+# violation fails the sweep. See DESIGN.md §6.
+test-invariants:
+	$(GO) test ./internal/experiments/ -run TestAllExperimentsCleanUnderInvariants -count=1 -v
+
+# The seed-determinism contract — byte-identical Result, per-request CSV,
+# spans JSONL and series CSV from identically seeded runs — under the race
+# detector at 1 and 4 procs.
+test-determinism:
+	$(GO) test -race -cpu 1,4 -run 'Deterministic' ./internal/core/ -count=1
 
 clean:
 	rm -rf figures

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/hardware"
+	"repro/internal/invariant"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -26,6 +27,7 @@ type Node struct {
 	acquiredAt time.Duration
 	releasedAt time.Duration
 	released   bool
+	failUntil  time.Duration // end of the latest failure window
 }
 
 // HeldFor returns how long the node has been (or was) held.
@@ -49,6 +51,12 @@ type Cluster struct {
 	// Sink, when set, receives node lifecycle events and is propagated to
 	// every device the cluster creates.
 	Sink telemetry.Sink
+
+	// Check, when set, audits the books (billing monotonicity and
+	// event-reconciled cost) on every lifecycle transition and is propagated
+	// to every device the cluster creates. A nil Check costs one branch per
+	// transition.
+	Check *invariant.Checker
 }
 
 // New returns an empty cluster bound to the engine.
@@ -62,6 +70,13 @@ func (c *Cluster) emit(kind telemetry.Kind, n *Node) {
 	e.Node = n.ID
 	e.Spec = n.Spec.Name
 	c.Sink.Event(e)
+}
+
+// audit hands the books to the invariant checker; call sites guard
+// Check != nil and call it after the lifecycle event so the checker's node
+// ledger is current.
+func (c *Cluster) audit() {
+	c.Check.Billing(c.eng.Now(), c.TotalCost())
 }
 
 // Acquire procures a node immediately (no VM launch delay) — for nodes held
@@ -79,6 +94,10 @@ func (c *Cluster) Acquire(spec hardware.Spec, maxResident int) *Node {
 	if c.Sink != nil {
 		n.Device.SetTelemetry(c.Sink, n.ID)
 		c.emit(telemetry.NodeAcquired, n)
+	}
+	if c.Check != nil {
+		n.Device.SetCheck(c.Check, n.ID)
+		c.audit()
 	}
 	return n
 }
@@ -99,11 +118,18 @@ func (c *Cluster) AcquireAsync(spec hardware.Spec, maxResident int, ready func(*
 	if c.Sink != nil {
 		c.emit(telemetry.NodeRequested, n)
 	}
+	if c.Check != nil {
+		c.audit()
+	}
 	c.eng.Schedule(spec.ProcureDelay, func() {
 		n.Device = device.New(c.eng, spec, maxResident)
 		if c.Sink != nil {
 			n.Device.SetTelemetry(c.Sink, n.ID)
 			c.emit(telemetry.NodeAcquired, n)
+		}
+		if c.Check != nil {
+			n.Device.SetCheck(c.Check, n.ID)
+			c.audit()
 		}
 		ready(n)
 	})
@@ -120,22 +146,45 @@ func (c *Cluster) Release(n *Node) {
 	if c.Sink != nil {
 		c.emit(telemetry.NodeReleased, n)
 	}
+	if c.Check != nil {
+		c.audit()
+	}
 }
 
 // Fail makes the node unavailable (failing all in-flight work) for the given
 // duration, then recovers it — the paper's induced node-failure scenario.
+// Failing an already-failed node extends the outage to the later recovery
+// time without emitting a duplicate NodeFailed event: the node recovers
+// exactly once, when the latest failure window ends.
 func (c *Cluster) Fail(n *Node, dur time.Duration) {
 	if n.Device == nil {
 		return
 	}
+	wasFailed := n.Device.Failed()
+	if until := c.eng.Now() + dur; until > n.failUntil {
+		n.failUntil = until
+	}
 	n.Device.Fail()
-	if c.Sink != nil {
-		c.emit(telemetry.NodeFailed, n)
+	if !wasFailed {
+		if c.Sink != nil {
+			c.emit(telemetry.NodeFailed, n)
+		}
+		if c.Check != nil {
+			c.audit()
+		}
 	}
 	c.eng.Schedule(dur, func() {
+		// A later overlapping Fail moved the recovery time; let its own
+		// timer do the recovering.
+		if c.eng.Now() < n.failUntil || !n.Device.Failed() {
+			return
+		}
 		n.Device.Recover()
 		if c.Sink != nil {
 			c.emit(telemetry.NodeRecovered, n)
+		}
+		if c.Check != nil {
+			c.audit()
 		}
 	})
 }

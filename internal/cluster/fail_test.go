@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/invariant"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Table-driven edge cases for Fail: each scenario scripts failure injections
+// against one node and pins the observable outcome — the NodeFailed /
+// NodeRecovered event counts, the device's failed-state at probe instants,
+// and invariant-cleanliness of the books throughout.
+func TestFailEdgeCases(t *testing.T) {
+	type probe struct {
+		at     time.Duration
+		failed bool
+	}
+	cases := []struct {
+		name string
+		// script schedules the failure injections (the node is acquired at
+		// t=0 unless async is set).
+		script                    func(eng *sim.Engine, c *Cluster, n *Node)
+		async                     bool // acquire via AcquireAsync; script receives a nil node
+		probes                    []probe
+		wantFailed, wantRecovered int
+	}{
+		{
+			name: "single failure recovers once",
+			script: func(eng *sim.Engine, c *Cluster, n *Node) {
+				eng.Schedule(0, func() { c.Fail(n, 10*time.Second) })
+			},
+			probes: []probe{
+				{5 * time.Second, true},
+				{11 * time.Second, false},
+			},
+			wantFailed: 1, wantRecovered: 1,
+		},
+		{
+			name: "overlapping failure extends the outage",
+			script: func(eng *sim.Engine, c *Cluster, n *Node) {
+				eng.Schedule(0, func() { c.Fail(n, 10*time.Second) })
+				eng.Schedule(5*time.Second, func() { c.Fail(n, 10*time.Second) })
+			},
+			probes: []probe{
+				{9 * time.Second, true},
+				// The first window's timer fires at t=10; the extension must
+				// keep the node down until t=15.
+				{12 * time.Second, true},
+				{16 * time.Second, false},
+			},
+			wantFailed: 1, wantRecovered: 1,
+		},
+		{
+			name: "shorter overlapping failure never hastens recovery",
+			script: func(eng *sim.Engine, c *Cluster, n *Node) {
+				eng.Schedule(0, func() { c.Fail(n, 10*time.Second) })
+				eng.Schedule(5*time.Second, func() { c.Fail(n, 2*time.Second) })
+			},
+			probes: []probe{
+				// The second injection's timer fires at t=7; the node stays
+				// down until the first window's t=10.
+				{8 * time.Second, true},
+				{11 * time.Second, false},
+			},
+			wantFailed: 1, wantRecovered: 1,
+		},
+		{
+			name: "back-to-back failures are two full outages",
+			script: func(eng *sim.Engine, c *Cluster, n *Node) {
+				eng.Schedule(0, func() { c.Fail(n, 5*time.Second) })
+				eng.Schedule(20*time.Second, func() { c.Fail(n, 5*time.Second) })
+			},
+			probes: []probe{
+				{3 * time.Second, true},
+				{10 * time.Second, false},
+				{22 * time.Second, true},
+				{30 * time.Second, false},
+			},
+			wantFailed: 2, wantRecovered: 2,
+		},
+		{
+			name: "refail at the recovery instant merges the outages",
+			// This closure was scheduled before the recovery timer existed,
+			// so at t=10 it runs first (earlier sequence number): the node is
+			// still down, the windows merge, and exactly one recovery fires —
+			// at t=20.
+			script: func(eng *sim.Engine, c *Cluster, n *Node) {
+				eng.Schedule(0, func() { c.Fail(n, 10*time.Second) })
+				eng.Schedule(10*time.Second, func() { c.Fail(n, 10*time.Second) })
+			},
+			probes: []probe{
+				{5 * time.Second, true},
+				{15 * time.Second, true},
+				{21 * time.Second, false},
+			},
+			wantFailed: 1, wantRecovered: 1,
+		},
+		{
+			name: "recovery then immediate refail",
+			script: func(eng *sim.Engine, c *Cluster, n *Node) {
+				eng.Schedule(0, func() { c.Fail(n, 10*time.Second) })
+				// 1 ms after recovery: a genuinely new outage.
+				eng.Schedule(10*time.Second+time.Millisecond, func() { c.Fail(n, 10*time.Second) })
+			},
+			probes: []probe{
+				{5 * time.Second, true},
+				{15 * time.Second, true},
+				{21 * time.Second, false},
+			},
+			wantFailed: 2, wantRecovered: 2,
+		},
+		{
+			name: "failure during VM launch is a no-op",
+			// M60's ProcureDelay is well over a second: at t=0 the node
+			// exists but has no device yet.
+			async: true,
+			script: func(eng *sim.Engine, c *Cluster, n *Node) {
+				// The launching node is already in the books, device-less.
+				eng.Schedule(0, func() { c.Fail(c.Nodes()[0], 10*time.Second) })
+			},
+			wantFailed: 0, wantRecovered: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			c := New(eng)
+			rec := telemetry.NewRecorder()
+			chk := invariant.New()
+			// The checker reconciles billing against node lifecycle events,
+			// so it listens on the bus as well as auditing the books.
+			c.Sink, c.Check = telemetry.Combine(rec, chk.AsSink()), chk
+			eng.SetOnFire(chk.Tick)
+			var n *Node
+			if tc.async {
+				c.AcquireAsync(specOf(t, "M60"), 0, func(ready *Node) { n = ready })
+			} else {
+				n = c.Acquire(specOf(t, "M60"), 0)
+			}
+			tc.script(eng, c, n)
+			for _, p := range tc.probes {
+				p := p
+				eng.Schedule(p.at, func() {
+					if got := n.Device.Failed(); got != p.failed {
+						t.Errorf("at %v: Failed() = %v, want %v", p.at, got, p.failed)
+					}
+				})
+			}
+			eng.RunAll()
+			failed, recovered := 0, 0
+			for _, e := range rec.Events() {
+				switch e.Kind {
+				case telemetry.NodeFailed:
+					failed++
+				case telemetry.NodeRecovered:
+					recovered++
+				}
+			}
+			if failed != tc.wantFailed || recovered != tc.wantRecovered {
+				t.Errorf("saw %d NodeFailed / %d NodeRecovered, want %d / %d",
+					failed, recovered, tc.wantFailed, tc.wantRecovered)
+			}
+			if tc.async && n != nil && n.Device.Failed() {
+				t.Error("pre-launch failure leaked into the ready device")
+			}
+			if err := chk.Err(); err != nil {
+				t.Errorf("books not invariant-clean:\n%v", err)
+			}
+		})
+	}
+}

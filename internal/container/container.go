@@ -10,6 +10,7 @@ package container
 import (
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -37,6 +38,11 @@ type Pool struct {
 	Spec   string
 	Tenant int
 
+	// Check, when set, receives a counter snapshot after every mutation and
+	// asserts the container-lifecycle algebra. A nil Check costs one branch
+	// per transition.
+	Check *invariant.Checker
+
 	idleSince []time.Duration // one entry per idle container, LIFO
 	busy      int
 	starting  int // background pre-warms in flight
@@ -47,6 +53,7 @@ type Pool struct {
 	boots      uint64 // all container boots (pre-warm + synchronous)
 	syncColds  uint64 // boots serialized into a request
 	reuses     uint64
+	warmAdded  uint64 // containers injected already-warm via AddWarm
 	terminated uint64
 }
 
@@ -66,6 +73,18 @@ func (p *Pool) emit(kind telemetry.Kind, n int, detail string) {
 	e.N = n
 	e.Detail = detail
 	p.Sink.Event(e)
+}
+
+// checkNow hands the current counters to the invariant checker; call sites
+// guard Check != nil. The snapshot reads the fields directly (no reap) so
+// checking never perturbs the pool it is checking.
+func (p *Pool) checkNow() {
+	p.Check.Pool(p.eng.Now(), p.NodeID, p.Tenant, invariant.PoolCounts{
+		Idle: len(p.idleSince), Busy: p.busy, Starting: p.starting,
+		Booting: p.booting, Waiting: len(p.waiters),
+		Boots: p.boots, SyncColds: p.syncColds,
+		WarmAdded: p.warmAdded, Terminated: p.terminated,
+	})
 }
 
 // ColdStartLatency returns the pool's configured cold-start latency.
@@ -99,12 +118,19 @@ func (p *Pool) Reuses() uint64 { return p.reuses }
 // Terminated returns containers reaped by the keep-alive policy.
 func (p *Pool) Terminated() uint64 { p.reap(); return p.terminated }
 
+// WarmAdded returns containers injected already-warm via AddWarm.
+func (p *Pool) WarmAdded() uint64 { return p.warmAdded }
+
 // AddWarm injects n already-warm idle containers without boot latency or a
 // cold-start charge. Experiments use it to start runs with the system
 // already serving, as the paper's deployments were.
 func (p *Pool) AddWarm(n int) {
 	for i := 0; i < n; i++ {
+		p.warmAdded++
 		p.pushIdle()
+	}
+	if p.Check != nil {
+		p.checkNow()
 	}
 }
 
@@ -128,10 +154,16 @@ func (p *Pool) EnsureWithin(n int, d time.Duration) {
 		p.eng.Schedule(d, func() {
 			p.starting--
 			p.pushIdle()
+			if p.Check != nil {
+				p.checkNow()
+			}
 		})
 	}
 	if started > 0 && p.Sink != nil {
 		p.emit(telemetry.ContainerPrewarm, started, "")
+	}
+	if p.Check != nil {
+		p.checkNow()
 	}
 }
 
@@ -145,6 +177,9 @@ func (p *Pool) Acquire() (delay time.Duration) {
 		p.idleSince = p.idleSince[:n-1] // LIFO: keep cold candidates aging
 		p.busy++
 		p.reuses++
+		if p.Check != nil {
+			p.checkNow()
+		}
 		return 0
 	}
 	p.busy++
@@ -152,6 +187,9 @@ func (p *Pool) Acquire() (delay time.Duration) {
 	p.syncColds++
 	if p.Sink != nil {
 		p.emit(telemetry.ContainerBoot, 1, "sync")
+	}
+	if p.Check != nil {
+		p.checkNow()
 	}
 	return p.coldStart
 }
@@ -168,6 +206,9 @@ func (p *Pool) AcquireOrWait(ready func()) {
 		p.idleSince = p.idleSince[:n-1]
 		p.busy++
 		p.reuses++
+		if p.Check != nil {
+			p.checkNow()
+		}
 		ready()
 		return
 	}
@@ -178,6 +219,9 @@ func (p *Pool) AcquireOrWait(ready func()) {
 			p.emit(telemetry.ContainerWait, len(p.waiters)+1, "")
 		}
 		p.waiters = append(p.waiters, ready)
+		if p.Check != nil {
+			p.checkNow()
+		}
 		return
 	}
 	if p.Sink != nil {
@@ -186,9 +230,15 @@ func (p *Pool) AcquireOrWait(ready func()) {
 	p.booting++
 	p.boots++
 	p.syncColds++
+	if p.Check != nil {
+		p.checkNow()
+	}
 	p.eng.Schedule(p.coldStart, func() {
 		p.booting--
 		p.busy++
+		if p.Check != nil {
+			p.checkNow()
+		}
 		ready()
 	})
 }
@@ -202,13 +252,22 @@ func (p *Pool) Release() {
 	}
 	p.busy--
 	if p.serveWaiter() {
+		if p.Check != nil {
+			p.checkNow()
+		}
 		return
 	}
 	if p.keepAlive <= 0 {
 		p.terminated++
+		if p.Check != nil {
+			p.checkNow()
+		}
 		return
 	}
 	p.pushIdle()
+	if p.Check != nil {
+		p.checkNow()
+	}
 }
 
 // serveWaiter hands a free container to the oldest waiting claim.
@@ -257,5 +316,8 @@ func (p *Pool) reap() {
 	p.idleSince = keep
 	if reaped > 0 && p.Sink != nil {
 		p.emit(telemetry.ContainerReaped, reaped, "")
+	}
+	if reaped > 0 && p.Check != nil {
+		p.checkNow()
 	}
 }

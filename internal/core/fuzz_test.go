@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// FuzzConfigValidate throws arbitrary knob values at the Config validator:
+// it must never panic, must accept every zero-heavy "defaults please"
+// config, and everything it accepts must survive applyDefaults with every
+// time constant positive and every factor finite — i.e. Validate is a true
+// gate for the defaulting layer.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), int64(0), 0.0, 0.0, 0, true)
+	f.Add(int64(200e6), int64(25e6), int64(60e9), int64(30e9), 1.5, 1.1, 3, true)
+	f.Add(int64(-1), int64(0), int64(5e9), int64(0), math.Inf(1), -2.0, -4, false)
+	f.Fuzz(func(t *testing.T, sloNs, windowNs, failEveryNs, failDurNs int64,
+		hfCPU, hfGPU float64, maxNodes int, wired bool) {
+		cfg := Config{
+			SLO:             time.Duration(sloNs),
+			DispatchWindow:  time.Duration(windowNs),
+			FailureEvery:    time.Duration(failEveryNs),
+			FailureDuration: time.Duration(failDurNs),
+			HostFactorCPU:   hfCPU,
+			HostFactorGPU:   hfGPU,
+			MaxNodes:        maxNodes,
+		}
+		if wired {
+			cfg.Model = model.MustByName("ResNet 50")
+			cfg.Trace = trace.FromArrivals("fuzz", nil, time.Second)
+			cfg.Scheme = NewPaldia()
+		}
+		err := cfg.Validate()
+		if !wired {
+			if err == nil {
+				t.Fatal("config with no model/trace/scheme validated")
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		cfg.applyDefaults()
+		for _, d := range []time.Duration{
+			cfg.SLO, cfg.DispatchWindow, cfg.MonitorInterval, cfg.Horizon,
+			cfg.HWLead, cfg.ObserveWindow, cfg.KeepAlive,
+		} {
+			if d <= 0 {
+				t.Fatalf("validated config defaulted to a non-positive constant: %+v", cfg)
+			}
+		}
+		if math.IsNaN(cfg.HostFactorCPU) || math.IsInf(cfg.HostFactorCPU, 0) ||
+			math.IsNaN(cfg.HostFactorGPU) || math.IsInf(cfg.HostFactorGPU, 0) {
+			t.Fatal("validated config kept a non-finite host factor")
+		}
+		if cfg.FailureEvery > 0 && cfg.FailureDuration <= 0 {
+			t.Fatal("validated config injects failures with no outage duration")
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/device"
 	"repro/internal/hardware"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/predict"
@@ -53,6 +54,10 @@ type MultiConfig struct {
 	// events carry the workload index in Event.Tenant. Nil disables the
 	// layer (one branch per emission site).
 	Telemetry telemetry.Sink
+
+	// Invariants, when set, audits the run as Config.Invariants does. A
+	// checker is single-run: pass a fresh one per RunMulti.
+	Invariants *invariant.Checker
 }
 
 // MultiResult aggregates a multi-tenant run.
@@ -137,9 +142,14 @@ func RunMulti(cfg MultiConfig) MultiResult {
 	cfg.ObserveWindow = base.ObserveWindow
 	cfg.KeepAlive = base.KeepAlive
 
-	r := &multiRunner{cfg: cfg, eng: sim.NewEngine(), tel: cfg.Telemetry}
+	r := &multiRunner{cfg: cfg, eng: sim.NewEngine()}
+	r.tel = telemetry.Combine(cfg.Telemetry, cfg.Invariants.AsSink())
 	r.clu = cluster.New(r.eng)
 	r.clu.Sink = r.tel
+	if cfg.Invariants != nil {
+		r.eng.SetOnFire(cfg.Invariants.Tick)
+		r.clu.Check = cfg.Invariants
+	}
 	for i, w := range cfg.Workloads {
 		t := &tenant{idx: i, w: w, col: metrics.NewCollector(cfg.SLO)}
 		r.setupPredictor(t)
@@ -187,7 +197,21 @@ func RunMulti(cfg MultiConfig) MultiResult {
 			})
 		}
 	}
-	return r.results()
+	res := r.results()
+	if cfg.Invariants != nil {
+		requests, failed := 0, 0
+		for _, t := range r.tenants {
+			requests += t.col.Count()
+			for _, rec := range t.col.Records() {
+				if rec.Failed {
+					failed++
+				}
+			}
+		}
+		// Multi-tenant runs never inject node failures.
+		cfg.Invariants.CheckResult(r.eng.Now(), requests, failed, 0)
+	}
+	return res
 }
 
 // complete reports whether every tenant's trace has been fully recorded.
@@ -283,6 +307,11 @@ func (r *multiRunner) wireNode(node *cluster.Node) *tenantNode {
 			tn.pools[i].NodeID = node.ID
 			tn.pools[i].Spec = node.Spec.Name
 			tn.pools[i].Tenant = i
+		}
+		if r.cfg.Invariants != nil {
+			tn.pools[i].NodeID = node.ID
+			tn.pools[i].Tenant = i
+			tn.pools[i].Check = r.cfg.Invariants
 		}
 	}
 	return tn

@@ -9,6 +9,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/device"
 	"repro/internal/hardware"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/predict"
@@ -131,6 +132,13 @@ type Config struct {
 	// accrued cost, ...) are sampled into the Telemetry sink. Zero disables
 	// sampling.
 	SampleEvery time.Duration
+
+	// Invariants, when set, audits the whole simulation while it runs:
+	// request conservation, device capacity, container lifecycle algebra,
+	// node/billing monotonicity, and span telescoping (see package
+	// invariant). A checker is single-run: pass a fresh one per Run. Nil
+	// disables checking at the cost of one branch per hook site.
+	Invariants *invariant.Checker
 }
 
 func (c *Config) applyDefaults() {
@@ -273,8 +281,13 @@ func Run(cfg Config) Result {
 		end: cfg.Trace.Duration,
 	}
 	r.clu = cluster.New(r.eng)
-	r.tel = telemetry.Combine(cfg.Telemetry, telemetry.AdaptOnEvent(cfg.OnEvent))
+	r.tel = telemetry.Combine(cfg.Telemetry, telemetry.AdaptOnEvent(cfg.OnEvent),
+		cfg.Invariants.AsSink())
 	r.clu.Sink = r.tel
+	if cfg.Invariants != nil {
+		r.eng.SetOnFire(cfg.Invariants.Tick)
+		r.clu.Check = cfg.Invariants
+	}
 	r.setupPredictor()
 	r.warmStart()
 	if r.tel != nil && cfg.SampleEvery > 0 {
@@ -313,7 +326,12 @@ func Run(cfg Config) Result {
 			Failed:  true,
 		})
 	}
-	return r.results()
+	res := r.results()
+	if cfg.Invariants != nil {
+		cfg.Invariants.CheckResult(r.eng.Now(), res.Requests, res.FailedRequests,
+			res.FailuresInjected)
+	}
+	return res
 }
 
 func (r *runner) setupPredictor() {
@@ -377,6 +395,10 @@ func (r *runner) wireNode(node *cluster.Node) *servingNode {
 		sn.pool.Sink = r.tel
 		sn.pool.NodeID = node.ID
 		sn.pool.Spec = node.Spec.Name
+	}
+	if r.cfg.Invariants != nil {
+		sn.pool.NodeID = node.ID
+		sn.pool.Check = r.cfg.Invariants
 	}
 	// Containers are sized for the batches resident at once: a batch
 	// occupies its container for its (possibly inflated) execution time, so

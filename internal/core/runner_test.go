@@ -318,3 +318,36 @@ func TestSwitchHistoryRecorded(t *testing.T) {
 		}
 	}
 }
+
+// Failure of the most performant node — the escalation path's last resort —
+// must still fail over (to the "next best" spec, per FailoverSpec) rather
+// than wedging the run: every request is accounted for and serving resumes
+// on different hardware.
+func TestLastCapableNodeFailureFailsOver(t *testing.T) {
+	tr := shortAzure(13, 225, 3*time.Minute)
+	top := hardware.MostPerformant(hardware.GPU)
+	res := Run(Config{
+		Model:           model.MustByName("DenseNet 121"),
+		Trace:           tr,
+		Scheme:          NewMoleculePerf(), // pinned to the top GPU: the failed node IS the last capable one
+		InitialHardware: &top,
+		FailureEvery:    time.Minute,
+		FailureDuration: 30 * time.Second,
+	})
+	if res.FailuresInjected == 0 {
+		t.Fatal("no failures injected")
+	}
+	if res.Requests != tr.Count() {
+		t.Fatalf("lost requests: %d of %d", res.Requests, tr.Count())
+	}
+	next := FailoverSpec(top)
+	if next.Name == top.Name {
+		t.Fatalf("FailoverSpec returned the failed spec %s", top.Name)
+	}
+	if res.HeldBySpec[next.Name] <= 0 {
+		t.Fatalf("failover target %s never held; residency: %v", next.Name, res.HeldBySpec)
+	}
+	if res.SLOCompliance <= 0 {
+		t.Fatal("no request ever met the SLO after the top node failed")
+	}
+}

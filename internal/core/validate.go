@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Validate reports whether the config describes a runnable simulation.
+// Zero-valued knobs are legal (applyDefaults fills them); what Validate
+// rejects is the nonsense a default cannot repair: missing workload, trace
+// or scheme, negative time constants, non-finite host factors, and failure
+// injection with no outage duration. Run does not call Validate — a
+// malformed config panics as it always has — but config-constructing code
+// (and the fuzzer) can reject bad inputs up front with a named reason.
+func (c Config) Validate() error {
+	var errs []error
+	if c.Model.Name == "" {
+		errs = append(errs, errors.New("core: Model is unset"))
+	}
+	if c.Trace == nil {
+		errs = append(errs, errors.New("core: Trace is nil"))
+	}
+	if c.Scheme.Policy == nil {
+		errs = append(errs, errors.New("core: Scheme has no policy (use a New* constructor)"))
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"SLO", c.SLO},
+		{"DispatchWindow", c.DispatchWindow},
+		{"MonitorInterval", c.MonitorInterval},
+		{"Horizon", c.Horizon},
+		{"HWLead", c.HWLead},
+		{"ObserveWindow", c.ObserveWindow},
+		{"KeepAlive", c.KeepAlive},
+		{"FailureEvery", c.FailureEvery},
+		{"FailureDuration", c.FailureDuration},
+		{"SampleEvery", c.SampleEvery},
+	} {
+		if d.v < 0 {
+			errs = append(errs, fmt.Errorf("core: %s is negative (%v)", d.name, d.v))
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"HostFactorCPU", c.HostFactorCPU},
+		{"HostFactorGPU", c.HostFactorGPU},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			errs = append(errs, fmt.Errorf("core: %s is not a usable factor (%v)", f.name, f.v))
+		}
+	}
+	if c.MaxNodes < 0 {
+		errs = append(errs, fmt.Errorf("core: MaxNodes is negative (%d)", c.MaxNodes))
+	}
+	if c.FailureEvery > 0 && c.FailureDuration <= 0 {
+		errs = append(errs, errors.New("core: FailureEvery without a positive FailureDuration"))
+	}
+	return errors.Join(errs...)
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/hardware"
+	"repro/internal/invariant"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -125,6 +126,11 @@ type Device struct {
 	sink   telemetry.Sink
 	nodeID int
 
+	// check, when set, asserts the device-capacity laws (resident bound,
+	// no progress while failed) on every start/advance/finish. A nil check
+	// costs one branch per site.
+	check *invariant.Checker
+
 	failed bool
 
 	lastAdvance time.Duration
@@ -154,6 +160,13 @@ func (d *Device) Spec() hardware.Spec { return d.spec }
 // with the owning node's ID.
 func (d *Device) SetTelemetry(s telemetry.Sink, nodeID int) {
 	d.sink = s
+	d.nodeID = nodeID
+}
+
+// SetCheck wires the device to an invariant checker, labelled with the
+// owning node's ID.
+func (d *Device) SetCheck(c *invariant.Checker, nodeID int) {
+	d.check = c
 	d.nodeID = nodeID
 }
 
@@ -356,6 +369,9 @@ func (d *Device) start(j *Job) {
 	job := j
 	j.finishFn = func() { d.finish(job) }
 	d.active = append(d.active, j)
+	if d.check != nil {
+		d.check.DeviceStart(d.eng.Now(), d.nodeID, len(d.active), d.maxResident, d.failed, j.FBR)
+	}
 	if d.sink != nil {
 		d.jobEvent(telemetry.ExecStart, j)
 	}
@@ -401,6 +417,9 @@ func (d *Device) advance() {
 		d.lastAdvance = now
 		return
 	}
+	if d.check != nil {
+		d.check.DeviceAdvance(now, d.nodeID, len(d.active), d.failed)
+	}
 	if len(d.active) > 0 {
 		d.busy += now - d.lastAdvance
 	}
@@ -431,6 +450,9 @@ func (d *Device) reschedule() {
 // finish completes a job, admits successors, and recomputes the pool.
 func (d *Device) finish(j *Job) {
 	d.advance()
+	if d.check != nil {
+		d.check.DeviceFinish(d.eng.Now(), d.nodeID, j.remainingSec, d.failed)
+	}
 	j.finishEv = sim.Timer{}
 	j.running = false
 	j.Finished = d.eng.Now()

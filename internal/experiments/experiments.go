@@ -43,6 +43,30 @@ type Options struct {
 	// one, bounding total concurrency across experiments running at the same
 	// time (see cmd/paldia-experiments -j).
 	Pool *Pool
+
+	// Run and RunMulti, when set, replace core.Run / core.RunMulti for every
+	// simulation an experiment executes. Tests use them to instrument whole
+	// experiment grids (e.g. attach a fresh invariant.Checker per run); they
+	// must behave like the functions they replace. Nil uses the real runners.
+	Run      func(core.Config) core.Result
+	RunMulti func(core.MultiConfig) core.MultiResult
+}
+
+// run dispatches one simulation through the Run hook (or core.Run).
+func (o Options) run(cfg core.Config) core.Result {
+	if o.Run != nil {
+		return o.Run(cfg)
+	}
+	return core.Run(cfg)
+}
+
+// runMulti dispatches one multi-tenant simulation through the RunMulti hook
+// (or core.RunMulti).
+func (o Options) runMulti(cfg core.MultiConfig) core.MultiResult {
+	if o.RunMulti != nil {
+		return o.RunMulti(cfg)
+	}
+	return core.RunMulti(cfg)
 }
 
 // Default returns paper-like options at a tractable repetition count.

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+)
+
+// checkedOptions wires a fresh invariant checker into every simulation an
+// experiment executes (a checker watches exactly one run), collecting
+// violations and run counts under a mutex — runs execute on the worker pool.
+type checkedOptions struct {
+	mu     sync.Mutex
+	errs   []string
+	single int
+	multi  int
+}
+
+func (c *checkedOptions) options(o Options) Options {
+	o.Run = func(cfg core.Config) core.Result {
+		chk := invariant.New()
+		cfg.Invariants = chk
+		res := core.Run(cfg)
+		c.record(chk, fmt.Sprintf("%s/%s", cfg.Model.Name, cfg.Scheme.Name()), false)
+		return res
+	}
+	o.RunMulti = func(cfg core.MultiConfig) core.MultiResult {
+		chk := invariant.New()
+		cfg.Invariants = chk
+		res := core.RunMulti(cfg)
+		c.record(chk, cfg.Scheme.Name(), true)
+		return res
+	}
+	return o
+}
+
+func (c *checkedOptions) record(chk *invariant.Checker, label string, multi bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if multi {
+		c.multi++
+	} else {
+		c.single++
+	}
+	if err := chk.Err(); err != nil {
+		c.errs = append(c.errs, fmt.Sprintf("%s: %v", label, err))
+	}
+}
+
+// TestAllExperimentsCleanUnderInvariants runs the entire registered
+// experiment grid with the full invariant checker attached to every
+// simulation: every figure, table and ablation must hold every law. This is
+// the suite's broadest correctness sweep — it covers failure injection
+// (fig13), multi-tenancy, scale-out, exhaustion, pinned hardware and every
+// scheme, at miniature scale.
+func TestAllExperimentsCleanUnderInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid sweep skipped in -short mode")
+	}
+	var c checkedOptions
+	o := c.options(tiny())
+	reg := Registry()
+	for _, id := range Order() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			before := len(c.errs)
+			reg[id](o)
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			for _, e := range c.errs[before:] {
+				t.Errorf("%s", e)
+			}
+		})
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.single == 0 {
+		t.Fatal("the Run hook was never exercised; the grid ran unchecked")
+	}
+	if c.multi == 0 {
+		t.Fatal("the RunMulti hook was never exercised; multi-tenant runs went unchecked")
+	}
+	t.Logf("checked %d single-workload and %d multi-tenant runs", c.single, c.multi)
+}
+
+// TestRunHooksAreUsedEverywhere pins the seam itself: with hooks installed,
+// the real core.Run/RunMulti are never called directly by any experiment.
+// (A direct call would bypass the hook and return a zero-ish Result; the
+// sentinel hooks detect exactly the opposite — that results flow through.)
+func TestRunHooksAreUsedEverywhere(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	o := tiny()
+	o.Run = func(cfg core.Config) core.Result {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return core.Run(cfg)
+	}
+	o.RunMulti = func(cfg core.MultiConfig) core.MultiResult {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return core.RunMulti(cfg)
+	}
+	// ColdStarts and MultiTenant are the two experiments with direct
+	// (non-runCells) call sites; fig3 covers the runCells path.
+	ColdStarts(o)
+	MultiTenant(o)
+	reg := Registry()
+	reg["fig3"](o)
+	mu.Lock()
+	defer mu.Unlock()
+	if runs < 10 {
+		t.Fatalf("hooks saw only %d runs; a call site bypasses Options.Run", runs)
+	}
+}

@@ -39,7 +39,7 @@ func MultiTenant(o Options) *Table {
 		s := schemes[i/o.Reps]
 		rep := i % o.Reps
 		rng := sim.NewRNG(o.Seed).Child(fmt.Sprintf("mt-rep-%d", rep))
-		results[i] = core.RunMulti(core.MultiConfig{Workloads: mkWorkloads(rng), Scheme: s})
+		results[i] = o.runMulti(core.MultiConfig{Workloads: mkWorkloads(rng), Scheme: s})
 	})
 	for si, s := range schemes {
 		var combined, cost []float64

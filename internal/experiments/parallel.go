@@ -148,7 +148,7 @@ func runCells(o Options, cells []cell) []aggregate {
 		if c.mut != nil {
 			c.mut(&cfg)
 		}
-		results[i] = core.Run(cfg)
+		results[i] = o.run(cfg)
 	})
 	out := make([]aggregate, len(cells))
 	for ci := range cells {

@@ -256,7 +256,7 @@ func ColdStarts(o Options) *Table {
 	m := model.MustByName("ResNet 50")
 	run := func(keepAlive time.Duration) core.Result {
 		rng := sim.NewRNG(o.Seed).Child("coldstarts")
-		return core.Run(core.Config{
+		return o.run(core.Config{
 			Model:     m,
 			Trace:     azureGen(o, m)(rng),
 			Scheme:    core.NewPaldia(),

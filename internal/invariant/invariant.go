@@ -1,0 +1,678 @@
+// Package invariant is the simulation stack's runtime law checker: a
+// pluggable observer threaded through sim, core, device, container and
+// cluster that re-derives, from the event stream plus a few direct layer
+// hooks, the conservation laws a correct discrete-event serving simulator
+// must obey — and records every breach instead of silently producing a
+// plausible-looking Result.
+//
+// The laws, by family:
+//
+//   - request-conservation: every request walks the legal lifecycle
+//     (arrived → batched → dispatched → completed|failed, with failure legal
+//     from any stage), no request terminates twice or out of thin air, and
+//     at the end of a run arrived == completed + failed == Result.Requests
+//     with Result.FailedRequests equal to the failed-event count.
+//   - device-capacity: resident jobs never exceed the device-memory pool
+//     bound (maxResident), jobs never start, progress or finish on a
+//     Failed() device, per-job FBRs are positive and finite, and a finishing
+//     job has no solo-equivalent work left.
+//   - container-lifecycle: pool counters obey cold-start → warm →
+//     keep-alive → evicted accounting — idle+busy+starting+booting ==
+//     boots + warmAdded − terminated, cumulative counters never decrease,
+//     request-blocking cold starts never exceed total boots, and waiting
+//     claims never exceed the containers that could absorb them.
+//   - node-lifecycle: nodes walk requested → acquired → (failed ↔
+//     recovered)* → released; no duplicate failure, no recovery without a
+//     failure, no release without an acquisition.
+//   - billing: total cost is monotone in virtual time and always equals the
+//     sum over nodes of cost-rate × held-time re-derived from the node
+//     lifecycle events (double-billing and under-billing both trip it).
+//   - time-monotonic: the engine's virtual clock and every event timestamp
+//     are non-decreasing.
+//   - span-telescope: at every Completed event, batch_wait + cold_start +
+//     queue_delay + exec == latency, re-derived from the raw event stamps.
+//
+// A Checker implements telemetry.Sink for the event-derived laws and
+// exposes direct hook methods (DeviceStart, Pool, Billing, Tick, ...) for
+// laws internal to a layer. Every emission site nil-checks its checker, so
+// a disabled checker costs one branch — the same zero-cost-when-disabled
+// contract as the telemetry layer. A Checker watches exactly one run and is
+// not safe for concurrent use; give each run its own.
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/telemetry"
+)
+
+// Law families. Every Violation carries one, so tests can assert that a
+// deliberately broken law — and only that law — fires.
+const (
+	LawConservation = "request-conservation"
+	LawCapacity     = "device-capacity"
+	LawLifecycle    = "container-lifecycle"
+	LawNode         = "node-lifecycle"
+	LawBilling      = "billing"
+	LawTime         = "time-monotonic"
+	LawTelescope    = "span-telescope"
+)
+
+// recordLimit caps stored violations; the total count keeps increasing so a
+// pathological run cannot exhaust memory through the checker itself.
+const recordLimit = 100
+
+// billingTol absorbs float summation noise when comparing re-derived cost
+// against the cluster's books (both are sums of rate × seconds).
+const billingTol = 1e-9
+
+// finishTol is the residual solo-equivalent work (seconds) a finishing job
+// may carry from duration truncation when its finish event was armed.
+const finishTol = 1e-6
+
+// Violation is one observed breach of a law.
+type Violation struct {
+	// At is the virtual time of the breach.
+	At time.Duration
+	// Law is the family constant (LawConservation, ...).
+	Law string
+	// Detail says what was observed and what the law requires.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%v [%s] %s", v.At, v.Law, v.Detail)
+}
+
+type reqKey struct {
+	tenant int
+	req    int64
+}
+
+type reqState struct {
+	arrivedAt    time.Duration
+	dispatchedAt time.Duration
+	job          int64
+	batched      bool
+	dispatched   bool
+}
+
+type jobState struct {
+	queuedAt time.Duration
+	startAt  time.Duration
+	endAt    time.Duration
+	queued   bool
+	started  bool
+	ended    bool
+	members  int // dispatched requests not yet terminal
+}
+
+type nodeState struct {
+	spec       string
+	rate       float64 // dollars per second; <0 when the spec is unknown
+	billStart  time.Duration
+	releasedAt time.Duration
+	requested  bool
+	acquired   bool
+	released   bool
+	failed     bool
+	everBilled bool
+}
+
+type poolKey struct {
+	node   int
+	tenant int
+}
+
+// PoolCounts is a container pool's counter snapshot, passed by the pool on
+// every mutation.
+type PoolCounts struct {
+	// Idle, Busy, Starting, Booting and Waiting are the instantaneous
+	// populations (warm idle, serving, background pre-warms, synchronous
+	// boots, queued claims).
+	Idle, Busy, Starting, Booting, Waiting int
+	// Boots, SyncColds, WarmAdded and Terminated are cumulative counters.
+	Boots, SyncColds, WarmAdded, Terminated uint64
+}
+
+// Checker observes one simulation run and records law violations. The zero
+// value is not usable; construct with New.
+type Checker struct {
+	recorded []Violation
+	total    int
+
+	lastTickAt  time.Duration
+	lastEventAt time.Duration
+
+	// request lifecycle; terminal requests leave the map but stay counted.
+	reqs      map[reqKey]*reqState
+	jobs      map[int64]*jobState
+	open      int
+	arrived   int
+	completed int
+	failed    int
+
+	// node lifecycle, indexed by node ID (acquisition order).
+	nodes        []*nodeState
+	nodeFailures int
+
+	lastCost    float64
+	lastBillAt  time.Duration
+	billUnknown bool // a node's spec was not in the catalog; skip reconciliation
+
+	pools map[poolKey]*PoolCounts
+}
+
+// New returns an empty checker ready to observe one run.
+func New() *Checker {
+	return &Checker{
+		reqs:  make(map[reqKey]*reqState),
+		jobs:  make(map[int64]*jobState),
+		pools: make(map[poolKey]*PoolCounts),
+	}
+}
+
+// AsSink returns the checker as a telemetry.Sink, or a nil interface for a
+// nil checker — safe to pass straight to telemetry.Combine.
+func (c *Checker) AsSink() telemetry.Sink {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+// violate records one breach (bounded; the total keeps counting).
+func (c *Checker) violate(at time.Duration, law, format string, args ...any) {
+	c.total++
+	if len(c.recorded) < recordLimit {
+		c.recorded = append(c.recorded, Violation{At: at, Law: law, Detail: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Violations returns the recorded breaches (at most recordLimit of them).
+func (c *Checker) Violations() []Violation { return c.recorded }
+
+// Total returns how many breaches were observed, including any beyond the
+// recording cap.
+func (c *Checker) Total() int { return c.total }
+
+// Clean reports whether no law was violated.
+func (c *Checker) Clean() bool { return c.total == 0 }
+
+// Err returns nil for a clean run, or an error summarizing the breaches.
+func (c *Checker) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant: %d violation(s)", c.total)
+	show := len(c.recorded)
+	if show > 5 {
+		show = 5
+	}
+	for _, v := range c.recorded[:show] {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	if c.total > show {
+		fmt.Fprintf(&b, "\n  ... and %d more", c.total-show)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// --- engine hook ---------------------------------------------------------------
+
+// Tick observes every fired engine event's virtual time (wire it with
+// sim.Engine.SetOnFire). Time must never run backwards.
+func (c *Checker) Tick(at time.Duration) {
+	if at < c.lastTickAt {
+		c.violate(at, LawTime, "engine clock moved backwards: %v after %v", at, c.lastTickAt)
+	}
+	c.lastTickAt = at
+}
+
+// --- event-derived laws --------------------------------------------------------
+
+// Event consumes one telemetry event (Checker implements telemetry.Sink).
+func (c *Checker) Event(e telemetry.Event) {
+	if e.At < c.lastEventAt {
+		c.violate(e.At, LawTime, "%s event at %v after an event at %v", e.Kind, e.At, c.lastEventAt)
+	} else {
+		c.lastEventAt = e.At
+	}
+	if e.At < c.lastTickAt {
+		c.violate(e.At, LawTime, "%s event at %v behind the engine clock %v", e.Kind, e.At, c.lastTickAt)
+	}
+
+	switch e.Kind {
+	case telemetry.Arrived, telemetry.Batched, telemetry.Dispatched,
+		telemetry.Completed, telemetry.Failed:
+		c.requestEvent(e)
+	case telemetry.Queued, telemetry.ExecStart, telemetry.ExecEnd:
+		c.jobEvent(e)
+	case telemetry.ContainerWait, telemetry.ContainerBoot,
+		telemetry.ContainerPrewarm, telemetry.ContainerReaped:
+		if e.N < 1 {
+			c.violate(e.At, LawLifecycle, "%s event with count %d", e.Kind, e.N)
+		}
+	case telemetry.NodeRequested, telemetry.NodeAcquired, telemetry.NodeReleased,
+		telemetry.NodeFailed, telemetry.NodeRecovered:
+		c.nodeEvent(e)
+	}
+}
+
+func (c *Checker) requestEvent(e telemetry.Event) {
+	if e.Req < 0 {
+		c.violate(e.At, LawConservation, "%s event without a request ID", e.Kind)
+		return
+	}
+	k := reqKey{tenant: e.Tenant, req: e.Req}
+	st := c.reqs[k]
+
+	switch e.Kind {
+	case telemetry.Arrived:
+		if st != nil {
+			c.violate(e.At, LawConservation, "request %d arrived twice", e.Req)
+			return
+		}
+		c.reqs[k] = &reqState{arrivedAt: e.At}
+		c.arrived++
+		c.open++
+
+	case telemetry.Batched:
+		if st == nil {
+			c.violate(e.At, LawConservation, "request %d batched before arriving", e.Req)
+			return
+		}
+		st.batched = true
+
+	case telemetry.Dispatched:
+		if st == nil {
+			c.violate(e.At, LawConservation, "request %d dispatched before arriving", e.Req)
+			return
+		}
+		if !st.batched {
+			c.violate(e.At, LawConservation, "request %d dispatched before batching", e.Req)
+		}
+		if st.dispatched {
+			c.violate(e.At, LawConservation, "request %d dispatched twice", e.Req)
+			return
+		}
+		if e.At < st.arrivedAt {
+			c.violate(e.At, LawTime, "request %d dispatched at %v before its arrival %v", e.Req, e.At, st.arrivedAt)
+		}
+		st.dispatched = true
+		st.dispatchedAt = e.At
+		st.job = e.Job
+		if e.Job > 0 {
+			j := c.jobs[e.Job]
+			if j == nil {
+				j = &jobState{}
+				c.jobs[e.Job] = j
+			}
+			j.members++
+		}
+
+	case telemetry.Completed:
+		if st == nil {
+			c.violate(e.At, LawConservation, "request %d completed without arriving (or completed twice)", e.Req)
+			return
+		}
+		if !st.dispatched {
+			c.violate(e.At, LawConservation, "request %d completed without being dispatched", e.Req)
+		} else {
+			c.telescope(e, st)
+		}
+		c.completed++
+		c.terminal(k, st)
+
+	case telemetry.Failed:
+		if st == nil {
+			c.violate(e.At, LawConservation, "request %d failed without arriving (or terminated twice)", e.Req)
+			return
+		}
+		if e.At < st.arrivedAt {
+			c.violate(e.At, LawTime, "request %d failed at %v before its arrival %v", e.Req, e.At, st.arrivedAt)
+		}
+		c.failed++
+		c.terminal(k, st)
+	}
+}
+
+// terminal retires a request's tracking state; the counters keep the totals.
+func (c *Checker) terminal(k reqKey, st *reqState) {
+	c.open--
+	delete(c.reqs, k)
+	if st.job > 0 {
+		if j := c.jobs[st.job]; j != nil {
+			j.members--
+			if j.members <= 0 && j.ended {
+				delete(c.jobs, st.job)
+			}
+		}
+	}
+}
+
+// telescope asserts batch_wait + cold_start + queue_delay + exec == latency
+// for a completing request, from the raw event stamps.
+func (c *Checker) telescope(e telemetry.Event, st *reqState) {
+	j := c.jobs[st.job]
+	if j == nil || !j.queued || !j.started || !j.ended {
+		c.violate(e.At, LawTelescope,
+			"request %d completed but job %d has no full queued/exec record", e.Req, st.job)
+		return
+	}
+	batchWait := st.dispatchedAt - st.arrivedAt
+	cold := j.queuedAt - st.dispatchedAt
+	queue := j.startAt - j.queuedAt
+	exec := j.endAt - j.startAt
+	latency := e.At - st.arrivedAt
+	if batchWait < 0 || cold < 0 || queue < 0 || exec < 0 {
+		c.violate(e.At, LawTelescope,
+			"request %d has a negative span component: batch_wait=%v cold=%v queue=%v exec=%v",
+			e.Req, batchWait, cold, queue, exec)
+		return
+	}
+	if sum := batchWait + cold + queue + exec; sum != latency {
+		c.violate(e.At, LawTelescope,
+			"request %d spans do not telescope: %v+%v+%v+%v = %v, latency %v",
+			e.Req, batchWait, cold, queue, exec, sum, latency)
+	}
+}
+
+func (c *Checker) jobEvent(e telemetry.Event) {
+	if e.Job <= 0 {
+		c.violate(e.At, LawConservation, "%s event without a job ID", e.Kind)
+		return
+	}
+	j := c.jobs[e.Job]
+	if j == nil {
+		j = &jobState{}
+		c.jobs[e.Job] = j
+	}
+	switch e.Kind {
+	case telemetry.Queued:
+		if j.queued {
+			c.violate(e.At, LawConservation, "job %d queued twice", e.Job)
+		}
+		j.queued = true
+		j.queuedAt = e.At
+	case telemetry.ExecStart:
+		if !j.queued {
+			c.violate(e.At, LawConservation, "job %d started executing without being queued", e.Job)
+		}
+		if j.started {
+			c.violate(e.At, LawConservation, "job %d started executing twice", e.Job)
+		}
+		if n := c.node(e.Node); n != nil && n.failed {
+			c.violate(e.At, LawCapacity, "job %d started executing on failed node %d", e.Job, e.Node)
+		}
+		j.started = true
+		j.startAt = e.At
+	case telemetry.ExecEnd:
+		// A job failed before reaching the device legally ends with no
+		// queued/start stamps; a *second* end is never legal.
+		if j.ended {
+			c.violate(e.At, LawConservation, "job %d ended twice", e.Job)
+		}
+		j.ended = true
+		j.endAt = e.At
+		if j.members <= 0 {
+			delete(c.jobs, e.Job)
+		}
+	}
+}
+
+// node returns the tracked state for a node ID, nil when unknown.
+func (c *Checker) node(id int) *nodeState {
+	if id < 0 || id >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[id]
+}
+
+// ensureNode grows the ID-indexed node table.
+func (c *Checker) ensureNode(id int) *nodeState {
+	for len(c.nodes) <= id {
+		c.nodes = append(c.nodes, nil)
+	}
+	if c.nodes[id] == nil {
+		c.nodes[id] = &nodeState{rate: -1}
+	}
+	return c.nodes[id]
+}
+
+func (c *Checker) nodeEvent(e telemetry.Event) {
+	if e.Node < 0 {
+		c.violate(e.At, LawNode, "%s event without a node ID", e.Kind)
+		return
+	}
+	switch e.Kind {
+	case telemetry.NodeRequested:
+		if n := c.node(e.Node); n != nil {
+			c.violate(e.At, LawNode, "node %d requested but already tracked (%s)", e.Node, n.spec)
+			return
+		}
+		n := c.ensureNode(e.Node)
+		n.requested = true
+		c.startBilling(n, e)
+
+	case telemetry.NodeAcquired:
+		n := c.node(e.Node)
+		if n == nil {
+			// Synchronous acquisition: billing starts here.
+			n = c.ensureNode(e.Node)
+		} else if n.acquired || n.released {
+			c.violate(e.At, LawNode, "node %d acquired twice (or after release)", e.Node)
+			return
+		}
+		n.acquired = true
+		c.startBilling(n, e)
+
+	case telemetry.NodeFailed:
+		n := c.node(e.Node)
+		if n == nil {
+			c.violate(e.At, LawNode, "node %d failed before being acquired", e.Node)
+			return
+		}
+		if !n.acquired {
+			c.violate(e.At, LawNode, "node %d failed while still in VM launch", e.Node)
+		}
+		if n.released {
+			c.violate(e.At, LawNode, "node %d failed after release", e.Node)
+		}
+		if n.failed {
+			c.violate(e.At, LawNode, "node %d failed while already failed", e.Node)
+		}
+		n.failed = true
+		c.nodeFailures++
+
+	case telemetry.NodeRecovered:
+		n := c.node(e.Node)
+		if n == nil || !n.failed {
+			c.violate(e.At, LawNode, "node %d recovered without a failure", e.Node)
+			return
+		}
+		n.failed = false
+
+	case telemetry.NodeReleased:
+		n := c.node(e.Node)
+		if n == nil || !n.everBilled {
+			c.violate(e.At, LawNode, "node %d released without being acquired", e.Node)
+			return
+		}
+		if n.released {
+			c.violate(e.At, LawNode, "node %d released twice", e.Node)
+			return
+		}
+		n.released = true
+		n.releasedAt = e.At
+	}
+}
+
+// startBilling stamps when a node began accruing cost and resolves its rate.
+func (c *Checker) startBilling(n *nodeState, e telemetry.Event) {
+	if n.everBilled {
+		return
+	}
+	n.everBilled = true
+	n.billStart = e.At
+	n.spec = e.Spec
+	if spec, ok := hardware.ByName(e.Spec); ok {
+		n.rate = spec.CostPerSecond()
+	} else {
+		c.billUnknown = true
+	}
+}
+
+// --- direct layer hooks --------------------------------------------------------
+
+// DeviceStart observes a job entering a device's active set. active counts
+// the set including the new job; maxResident is the device-memory pool bound
+// (0 = unbounded); failed is the device's failure flag; fbr the job's
+// fractional bandwidth requirement.
+func (c *Checker) DeviceStart(at time.Duration, node, active, maxResident int, failed bool, fbr float64) {
+	if failed {
+		c.violate(at, LawCapacity, "job started on failed device (node %d)", node)
+	}
+	if maxResident > 0 && active > maxResident {
+		c.violate(at, LawCapacity,
+			"node %d has %d resident jobs, exceeding the device-memory pool bound %d",
+			node, active, maxResident)
+	}
+	// FBR 0 is legal (CPU nodes and negligible-bandwidth jobs); negative,
+	// NaN or infinite is not. Values above 1 legally oversubscribe (that is
+	// what the contention penalty models); the hard pool limit is the
+	// resident-job bound above.
+	if !(fbr >= 0) || math.IsInf(fbr, 0) {
+		c.violate(at, LawCapacity, "node %d started a job with FBR %v", node, fbr)
+	}
+}
+
+// DeviceAdvance observes simulated work being applied on a device. Progress
+// on a failed device breaks the failure model.
+func (c *Checker) DeviceAdvance(at time.Duration, node, active int, failed bool) {
+	if failed && active > 0 {
+		c.violate(at, LawCapacity,
+			"node %d applied progress to %d jobs while failed", node, active)
+	}
+}
+
+// DeviceFinish observes a job completing on a device. remainingSec is the
+// job's leftover solo-equivalent work, which must be (numerically) zero.
+func (c *Checker) DeviceFinish(at time.Duration, node int, remainingSec float64, failed bool) {
+	if failed {
+		c.violate(at, LawCapacity, "job finished normally on failed device (node %d)", node)
+	}
+	if remainingSec > finishTol || remainingSec < -finishTol {
+		c.violate(at, LawCapacity,
+			"node %d finished a job with %.3gs of work remaining", node, remainingSec)
+	}
+}
+
+// Pool observes a container pool's counters after a mutation, checking the
+// lifecycle algebra: live containers == boots + warmAdded − terminated,
+// cumulative counters monotone, blocking cold starts within total boots, and
+// waiting claims within the containers able to absorb them.
+func (c *Checker) Pool(at time.Duration, node, tenant int, pc PoolCounts) {
+	if pc.Idle < 0 || pc.Busy < 0 || pc.Starting < 0 || pc.Booting < 0 || pc.Waiting < 0 {
+		c.violate(at, LawLifecycle,
+			"node %d pool has a negative population: idle=%d busy=%d starting=%d booting=%d waiting=%d",
+			node, pc.Idle, pc.Busy, pc.Starting, pc.Booting, pc.Waiting)
+		return
+	}
+	k := poolKey{node: node, tenant: tenant}
+	if prev := c.pools[k]; prev != nil {
+		if pc.Boots < prev.Boots || pc.SyncColds < prev.SyncColds ||
+			pc.WarmAdded < prev.WarmAdded || pc.Terminated < prev.Terminated {
+			c.violate(at, LawLifecycle,
+				"node %d pool counters went backwards: boots %d→%d sync %d→%d warm %d→%d terminated %d→%d",
+				node, prev.Boots, pc.Boots, prev.SyncColds, pc.SyncColds,
+				prev.WarmAdded, pc.WarmAdded, prev.Terminated, pc.Terminated)
+		}
+	}
+	if pc.SyncColds > pc.Boots {
+		c.violate(at, LawLifecycle,
+			"node %d pool has %d blocking cold starts but only %d boots", node, pc.SyncColds, pc.Boots)
+	}
+	live := int64(pc.Idle + pc.Busy + pc.Starting + pc.Booting)
+	want := int64(pc.Boots) + int64(pc.WarmAdded) - int64(pc.Terminated)
+	if live != want {
+		c.violate(at, LawLifecycle,
+			"node %d pool conservation broken: idle+busy+starting+booting = %d, boots+warmAdded-terminated = %d",
+			node, live, want)
+	}
+	if pc.Waiting > pc.Starting+pc.Busy {
+		c.violate(at, LawLifecycle,
+			"node %d pool has %d waiting claims but only %d containers to absorb them",
+			node, pc.Waiting, pc.Starting+pc.Busy)
+	}
+	snap := pc
+	c.pools[k] = &snap
+}
+
+// Billing observes the cluster's books after any acquire/release/failure
+// transition: cost must be monotone and must equal the cost re-derived from
+// the node lifecycle events.
+func (c *Checker) Billing(at time.Duration, totalCost float64) {
+	if at < c.lastBillAt {
+		c.violate(at, LawTime, "billing observed at %v after %v", at, c.lastBillAt)
+	}
+	if totalCost < c.lastCost-billingTol {
+		c.violate(at, LawBilling, "total cost decreased: %.9f after %.9f", totalCost, c.lastCost)
+	}
+	c.lastBillAt = at
+	c.lastCost = totalCost
+	if c.billUnknown {
+		return
+	}
+	expected := 0.0
+	for _, n := range c.nodes {
+		if n == nil || !n.everBilled {
+			continue
+		}
+		end := at
+		if n.released {
+			end = n.releasedAt
+		}
+		expected += n.rate * (end - n.billStart).Seconds()
+	}
+	diff := totalCost - expected
+	if diff > billingTol || diff < -billingTol {
+		c.violate(at, LawBilling,
+			"books disagree with node lifecycle: cluster reports $%.9f, events imply $%.9f",
+			totalCost, expected)
+	}
+}
+
+// --- end-of-run reconciliation -------------------------------------------------
+
+// CheckResult reconciles the run's Result counters against the observed
+// event stream: call it once, after the run, with Result.Requests,
+// Result.FailedRequests and Result.FailuresInjected (use the summed
+// per-workload counts for multi-tenant runs).
+func (c *Checker) CheckResult(at time.Duration, requests, failedRequests, failuresInjected int) {
+	if c.open != 0 {
+		c.violate(at, LawConservation,
+			"%d request(s) never reached a terminal event", c.open)
+	}
+	if c.arrived != c.completed+c.failed {
+		c.violate(at, LawConservation,
+			"arrived %d != completed %d + failed %d", c.arrived, c.completed, c.failed)
+	}
+	if c.arrived != requests {
+		c.violate(at, LawConservation,
+			"Result.Requests = %d but %d requests arrived", requests, c.arrived)
+	}
+	if c.failed != failedRequests {
+		c.violate(at, LawConservation,
+			"Result.FailedRequests = %d but %d failed events observed", failedRequests, c.failed)
+	}
+	if c.nodeFailures > failuresInjected {
+		c.violate(at, LawNode,
+			"%d node failures observed but only %d injected", c.nodeFailures, failuresInjected)
+	}
+}

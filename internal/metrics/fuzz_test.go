@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzReadCSV throws arbitrary bytes at the request-record CSV parser: it
+// must never panic, and anything it accepts must re-serialize stably —
+// write(read(in)) is a fixed point of a second read/write cycle, with the
+// record count preserved. (The first write may differ from the raw input —
+// the parser tolerates a missing slo_ok column and re-normalizes number
+// formatting — but after one normalization pass the representation is
+// canonical.)
+func FuzzReadCSV(f *testing.F) {
+	f.Add("")
+	f.Add("arrival_s,latency_ms,batch_wait_ms,queue_delay_ms,interference_ms,cold_start_ms,min_exec_ms,failed,slo_ok\n")
+	f.Add("0.5,120,10,5,0,0,90,false,true\n")
+	f.Add("not,a,valid,row\n")
+	f.Add("1.0,50.5,0,0,0,300,40,true,false\n2.0,10,1,0,0,0,9,false,true\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadCSV(strings.NewReader(in), 200*time.Millisecond)
+		if err != nil {
+			return
+		}
+		var w1 bytes.Buffer
+		if err := c.WriteCSV(&w1); err != nil {
+			t.Fatalf("accepted input failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(w1.Bytes()), 200*time.Millisecond)
+		if err != nil {
+			t.Fatalf("own output rejected: %v\noutput:\n%s", err, w1.String())
+		}
+		if back.Count() != c.Count() {
+			t.Fatalf("round trip lost records: %d != %d", back.Count(), c.Count())
+		}
+		var w2 bytes.Buffer
+		if err := back.WriteCSV(&w2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("serialization not stable after one normalization pass:\n-- first --\n%s\n-- second --\n%s",
+				w1.String(), w2.String())
+		}
+	})
+}

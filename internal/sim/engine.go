@@ -170,6 +170,10 @@ type Engine struct {
 	// they outnumber the live ones.
 	free       []*Event
 	cancelledN int
+
+	// onFire, when set, observes the virtual time of every fired event
+	// (invariant checking); nil costs one branch per event.
+	onFire func(at time.Duration)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -179,6 +183,10 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// SetOnFire installs an observer invoked with the clock value of every fired
+// event, before its callback runs. Pass nil to disable (the default).
+func (e *Engine) SetOnFire(fn func(at time.Duration)) { e.onFire = fn }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -269,6 +277,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		if e.onFire != nil {
+			e.onFire(e.now)
+		}
 		fn := ev.fn
 		e.recycle(ev)
 		fn()
