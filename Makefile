@@ -2,14 +2,26 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke experiments figures fuzz \
-	fuzz-smoke test-invariants test-determinism clean
+# Pinned so lint runs are reproducible across CI and laptops; bump
+# deliberately (the invocation fetches exactly this version via the module
+# proxy, no global install needed).
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: build test vet lint race bench bench-smoke scale-smoke experiments \
+	figures fuzz fuzz-smoke test-invariants test-determinism clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Formatting + static analysis gate (the CI lint job). gofmt -l prints
+# offending files and fails the target if any exist.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 test: vet
 	$(GO) test ./...
@@ -30,12 +42,23 @@ bench:
 	$(GO) test -bench=. -benchmem -count=3 -run '^$$' . | tee BENCH_parallel.txt
 	$(GO) run ./cmd/paldia-bench -out BENCH_sched.json
 
-# One iteration of every benchmark, as a CI smoke test, plus the allocation
+# One iteration of every benchmark, as a CI smoke test, plus the scheduling
 # gate: paldia-bench -gate fails if any Eq. (1) probing or hardware-selection
-# path allocates again.
+# path allocates again, or if any gated benchmark's ns/op regresses more than
+# 25% against the committed BENCH_sched.json (ratios are normalized by their
+# median first, so raw host-speed differences cancel). To re-baseline after an
+# intentional perf change, run `make bench` and commit the refreshed
+# BENCH_sched.json.
 bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/paldia-bench -gate
+
+# Million-request streaming run under a hard heap ceiling — the scale mode's
+# constant-memory contract (lazy curve arrivals + online metrics). Observed
+# peak is ~10 MiB; 256 MiB only trips if an O(requests) buffer sneaks back
+# into the streaming path.
+scale-smoke:
+	$(GO) run ./cmd/paldia-sim -stream -requests 1000000 -max-heap-mib 256
 
 # Full-scale regeneration of the evaluation (writes results + SVG figures).
 experiments:

@@ -8,8 +8,13 @@ package repro_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchOptions keeps each iteration to a few seconds: one repetition and
@@ -243,5 +248,32 @@ func BenchmarkAblationBatching(b *testing.B) {
 func BenchmarkAblationSLO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.AblationSLO(benchOptions(uint64(i) + 1))
+	}
+}
+
+// BenchmarkStreamScale serves a long Azure curve through the streaming path
+// — lazy arrivals (core.Config.Stream) plus the constant-memory Online
+// aggregator — and reports served requests and throughput. It is the perf
+// anchor for the scale mode; cmd/paldia-sim -stream runs the same path at
+// millions of requests under a heap ceiling (make scale-smoke).
+func BenchmarkStreamScale(b *testing.B) {
+	var served, elapsed float64
+	for i := 0; i < b.N; i++ {
+		rng := sim.NewRNG(uint64(i) + 1)
+		c := trace.AzureCurve(rng, 450, 30*time.Minute)
+		start := time.Now()
+		res := core.Run(core.Config{
+			Model:   model.MustByName("ResNet 50"),
+			Stream:  c.Stream(rng),
+			Scheme:  core.NewPaldia(),
+			Seed:    uint64(i) + 1,
+			Metrics: core.MetricsOnline,
+		})
+		elapsed += time.Since(start).Seconds()
+		served += float64(res.Requests)
+	}
+	b.ReportMetric(served/float64(b.N), "requests")
+	if elapsed > 0 {
+		b.ReportMetric(served/elapsed, "requests/s")
 	}
 }

@@ -6,7 +6,10 @@
 //
 // With -gate it runs only the allocation-gated benchmarks and exits non-zero
 // if any of them allocates — the CI regression tripwire for the
-// allocation-free scheduling paths.
+// allocation-free scheduling paths. The gate also compares each benchmark's
+// ns/op against the committed baseline (-baseline, default BENCH_sched.json)
+// and fails on a slowdown beyond the tolerance; re-baseline by committing a
+// fresh `make bench` run.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -223,8 +227,10 @@ func cases(includeE2E bool) []benchCase {
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_sched.json", "output path for the JSON results ('-' for stdout)")
-		gate = flag.Bool("gate", false, "run only allocation-gated benchmarks and fail if any allocates (skips the end-to-end pass; writes no file unless -out is set explicitly)")
+		out      = flag.String("out", "BENCH_sched.json", "output path for the JSON results ('-' for stdout)")
+		gate     = flag.Bool("gate", false, "run only allocation-gated benchmarks and fail if any allocates or slows past -tolerance vs -baseline (skips the end-to-end pass; writes no file unless -out is set explicitly)")
+		baseline = flag.String("baseline", "BENCH_sched.json", "committed baseline for the -gate ns/op regression check ('' disables)")
+		tol      = flag.Float64("tolerance", 0.25, "allowed relative ns/op slowdown vs the baseline before -gate fails")
 	)
 	flag.Parse()
 	outSet := false
@@ -282,8 +288,83 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 		}
 	}
+	if *gate && *baseline != "" && !checkBaseline(*baseline, results, *tol) {
+		failed = true
+	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "allocation gate FAILED: a gated scheduling benchmark allocates")
+		fmt.Fprintln(os.Stderr, "scheduling gate FAILED (allocation or ns/op regression above)")
 		os.Exit(1)
 	}
+}
+
+// checkBaseline compares each result's ns/op against the committed baseline
+// file and reports false when any benchmark slowed beyond tol. The CI runner
+// and the machine that produced the baseline differ in raw speed, so the
+// per-benchmark ratios are first normalized by their median: a uniform host
+// factor cancels, and what remains is one path regressing relative to the
+// others — the thing a code change can actually cause. Speedups past the same
+// margin only hint at re-baselining (commit a fresh `make bench` run); a
+// missing or unreadable baseline warns and passes, so the gate keeps working
+// on branches that predate the file.
+func checkBaseline(path string, results []benchResult, tol float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "baseline %s unreadable (%v); skipping ns/op regression check\n", path, err)
+		return true
+	}
+	var doc struct {
+		Benchmarks []benchResult `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "baseline %s malformed (%v); skipping ns/op regression check\n", path, err)
+		return true
+	}
+	base := make(map[string]float64, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		base[b.Name] = b.NsPerOp
+	}
+	type cmp struct {
+		name        string
+		have, want  float64
+		ratio, norm float64
+	}
+	var cmps []cmp
+	for _, r := range results {
+		if want := base[r.Name]; want > 0 {
+			cmps = append(cmps, cmp{name: r.Name, have: r.NsPerOp, want: want, ratio: r.NsPerOp / want})
+		} else {
+			fmt.Fprintf(os.Stderr, "%-45s not in baseline; skipped\n", r.Name)
+		}
+	}
+	if len(cmps) == 0 {
+		fmt.Fprintf(os.Stderr, "baseline %s shares no benchmarks with this run; skipping ns/op regression check\n", path)
+		return true
+	}
+	ratios := make([]float64, len(cmps))
+	for i, c := range cmps {
+		ratios[i] = c.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if n := len(ratios); n%2 == 0 {
+		median = (ratios[n/2-1] + ratios[n/2]) / 2
+	}
+	fmt.Fprintf(os.Stderr, "host speed vs baseline machine: %.2fx (median ratio; per-benchmark checks are normalized by it)\n", median)
+	ok := true
+	for _, c := range cmps {
+		norm := c.ratio / median
+		switch {
+		case norm > 1+tol:
+			fmt.Fprintf(os.Stderr, "%-45s %12.1f ns/op vs baseline %.1f (normalized %.2fx)  <-- FAIL: regression beyond %.0f%%\n",
+				c.name, c.have, c.want, norm, tol*100)
+			ok = false
+		case norm < 1-tol:
+			fmt.Fprintf(os.Stderr, "%-45s %12.1f ns/op vs baseline %.1f (normalized %.2fx)  — faster; consider re-baselining (commit a fresh `make bench`)\n",
+				c.name, c.have, c.want, norm)
+		default:
+			fmt.Fprintf(os.Stderr, "%-45s %12.1f ns/op vs baseline %.1f (normalized %.2fx)  ok\n",
+				c.name, c.have, c.want, norm)
+		}
+	}
+	return ok
 }

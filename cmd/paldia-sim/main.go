@@ -9,6 +9,12 @@
 //	paldia-sim -model "VGG 19" -scheme molecule-cost -trace azure -duration 5m
 //	paldia-sim -model BERT -scheme all -trace azure -peak 8
 //
+// Streaming mode (-stream) realizes arrivals lazily from the rate curve and
+// aggregates metrics in constant memory, so multi-million-request runs never
+// materialize a trace or a per-request record slice:
+//
+//	paldia-sim -stream -requests 1000000 -max-heap-mib 256
+//
 // Telemetry (single-scheme runs): -trace-out writes a Chrome trace_event
 // timeline (chrome://tracing, Perfetto) plus a derived series CSV;
 // -spans-out / -events-out / -series-out / -timeline-svg export the other
@@ -18,10 +24,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -45,6 +54,10 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print per-30s violation counts")
 		csvPath   = flag.String("csv", "", "write per-request records to this CSV file (single-scheme runs)")
 		jobs      = flag.Int("j", 1, "concurrent scheme simulations (useful with -scheme all); output is identical at any -j")
+
+		stream     = flag.Bool("stream", false, "realize arrivals lazily from the rate curve with constant-memory metrics (no per-request records)")
+		requests   = flag.Int("requests", 0, "with -stream: size the trace so ~N requests arrive in expectation (overrides -duration)")
+		maxHeapMiB = flag.Int("max-heap-mib", 0, "fail if sampled heap (runtime HeapAlloc) ever exceeds this many MiB (0 = no limit)")
 
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (also derives a series CSV next to it)")
 		spansOut    = flag.String("spans-out", "", "write per-request spans as JSONL")
@@ -70,6 +83,23 @@ func main() {
 	}
 	if *peak == 0 {
 		*peak = m.DefaultPeakRPS()
+	}
+
+	heap := watchHeap(*maxHeapMiB)
+
+	if *stream {
+		if *csvPath != "" || *timeline || *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "-stream keeps no per-request records; -csv, -timeline and -trace-out need a materialized run")
+			os.Exit(1)
+		}
+		runStream(streamRun{
+			model: m, trace: *traceName, peak: *peak, dur: *duration,
+			requests: *requests, seed: *seed, slo: *slo, schemeArg: *schemeArg,
+			jobs: *jobs, spansOut: *spansOut, eventsOut: *eventsOut,
+			seriesOut: *seriesOut, svgOut: *timelineSVG, sample: *sampleEvery,
+		})
+		heap.report()
+		return
 	}
 
 	rng := sim.NewRNG(*seed)
@@ -128,6 +158,248 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	heap.report()
+}
+
+// streamRun carries the flag values the streaming path needs.
+type streamRun struct {
+	model     model.Spec
+	trace     string
+	peak      float64
+	dur       time.Duration
+	requests  int
+	seed      uint64
+	slo       time.Duration
+	schemeArg string
+	jobs      int
+	spansOut  string
+	eventsOut string
+	seriesOut string
+	svgOut    string
+	sample    time.Duration
+}
+
+// runStream is the constant-memory serving path: arrivals come one at a time
+// from the rate curve (core.Config.Stream) and metrics aggregate online
+// (core.MetricsOnline), so memory is independent of request count. Telemetry,
+// when requested, goes through the flush-as-you-go StreamWriter instead of
+// the buffering Recorder.
+func runStream(o streamRun) {
+	rng := sim.NewRNG(o.seed)
+	c := buildCurve(rng, o.trace, o.peak, o.dur, o.requests)
+	fmt.Printf("curve %s: ~%.0f requests expected, mean %.1f rps, peak %.0f rps, %v\n\n",
+		c.Name, c.ExpectedRequests(), c.MeanRPS(), c.PeakRPS(), c.Duration())
+
+	schemes := pickSchemes(o.schemeArg)
+	for _, s := range schemes {
+		if s.Clairvoyant {
+			fmt.Fprintf(os.Stderr, "scheme %s is clairvoyant and needs a materialized trace; drop -stream\n", s.Name())
+			os.Exit(1)
+		}
+	}
+	telemetryOn := o.spansOut != "" || o.eventsOut != "" || o.seriesOut != "" || o.svgOut != ""
+	if telemetryOn && len(schemes) > 1 {
+		fmt.Fprintln(os.Stderr, "telemetry flags (-spans-out, ...) require a single scheme, not -scheme all")
+		os.Exit(1)
+	}
+
+	var sw *telemetry.StreamWriter
+	var files []*os.File
+	if telemetryOn {
+		open := func(path string) io.Writer {
+			if path == "" {
+				return nil
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+				os.Exit(1)
+			}
+			files = append(files, f)
+			return f
+		}
+		spansW, eventsW := open(o.spansOut), open(o.eventsOut)
+		if spansW == nil {
+			spansW = io.Discard
+		}
+		sw = telemetry.NewStreamWriter(spansW, eventsW)
+	}
+
+	// Curve streams are reproducible: every c.Stream(rng) replays the same
+	// seeded realization, so each scheme serves the identical arrival
+	// sequence and -j parallelism changes nothing.
+	streams := make([]trace.Stream, len(schemes))
+	for i := range schemes {
+		streams[i] = c.Stream(rng)
+	}
+	var pool *experiments.Pool
+	if o.jobs > 1 {
+		pool = experiments.NewPool(o.jobs)
+	}
+	results := make([]core.Result, len(schemes))
+	pool.Map(len(schemes), func(i int) {
+		cfg := core.Config{
+			Model:   o.model,
+			Stream:  streams[i],
+			Scheme:  schemes[i],
+			SLO:     o.slo,
+			Seed:    o.seed,
+			Metrics: core.MetricsOnline,
+		}
+		if sw != nil {
+			cfg.Telemetry = sw
+			cfg.SampleEvery = o.sample
+		}
+		results[i] = core.Run(cfg)
+	})
+	for _, res := range results {
+		printResult(res)
+	}
+
+	if sw != nil {
+		if err := sw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		if o.spansOut != "" {
+			fmt.Fprintf(os.Stderr, "wrote %d spans to %s (peak %d in flight)\n",
+				sw.SpansWritten(), o.spansOut, sw.PeakInFlight())
+		}
+		if o.eventsOut != "" {
+			fmt.Fprintf(os.Stderr, "wrote events to %s\n", o.eventsOut)
+		}
+		writeSet := func(path, what string, fn func(f *os.File) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err == nil {
+				if err = fn(f); err == nil {
+					err = f.Close()
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s to %s\n", what, path)
+		}
+		writeSet(o.seriesOut, "series", func(f *os.File) error { return sw.Series().WriteCSV(f) })
+		writeSet(o.svgOut, "series timeline SVG", func(f *os.File) error {
+			return sw.Series().TimelineSVG(f, "sampled runtime series")
+		})
+		for _, f := range files {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// buildCurve builds the unrealized rate curve for -stream. With nReq > 0 the
+// duration is sized so ~nReq requests arrive in expectation (a first pass at
+// the default duration estimates the curve's mean rate).
+func buildCurve(rng *sim.RNG, name string, peak float64, dur time.Duration, nReq int) *trace.Curve {
+	mk := func(d time.Duration) *trace.Curve {
+		switch name {
+		case "azure":
+			if d == 0 {
+				d = trace.AzureDuration
+			}
+			return trace.AzureCurve(rng, peak, d)
+		case "twitter":
+			if d == 0 {
+				d = trace.TwitterDuration
+			}
+			return trace.TwitterCurve(rng, peak/5, d)
+		case "poisson":
+			if d == 0 {
+				d = 10 * time.Minute
+			}
+			return trace.PoissonCurve(rng, peak, d)
+		case "stable":
+			if d == 0 {
+				d = 10 * time.Minute
+			}
+			return trace.StableCurve(rng, peak, d)
+		default:
+			fmt.Fprintf(os.Stderr, "trace %q cannot stream; -stream supports azure, twitter, poisson, stable\n", name)
+			os.Exit(1)
+			return nil
+		}
+	}
+	c := mk(dur)
+	// The curve's mean rate is itself a function of duration (surge count and
+	// shape are realized per bucket), so sizing for a request count is a fixed
+	// point: re-derive the duration from the latest realized mean until it
+	// settles. A few rounds land within a couple percent of nReq.
+	for i := 0; nReq > 0 && i < 4; i++ {
+		d := trace.DurationForRequests(nReq, c.MeanRPS())
+		if d == c.Duration() {
+			break
+		}
+		c = mk(d)
+	}
+	return c
+}
+
+// heapWatch samples runtime.MemStats in the background. If HeapAlloc ever
+// exceeds the limit the process fails immediately — the scale-smoke CI
+// contract — and the observed peak is reported at exit either way.
+type heapWatch struct {
+	limit uint64
+	peak  atomic.Uint64
+	stop  chan struct{}
+}
+
+func watchHeap(limitMiB int) *heapWatch {
+	if limitMiB <= 0 {
+		return nil
+	}
+	w := &heapWatch{limit: uint64(limitMiB) << 20, stop: make(chan struct{})}
+	go func() {
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > w.peak.Load() {
+					w.peak.Store(ms.HeapAlloc)
+				}
+				if ms.HeapAlloc > w.limit {
+					fmt.Fprintf(os.Stderr, "heap %d MiB exceeded -max-heap-mib %d\n",
+						ms.HeapAlloc>>20, w.limit>>20)
+					os.Exit(2)
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// report stops the watcher, folds in one final reading (a spike between the
+// last tick and exit must not escape the ceiling), and prints the peak; nil
+// receivers (no limit set) do nothing, so the call sites stay unconditional.
+func (w *heapWatch) report() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > w.peak.Load() {
+		w.peak.Store(ms.HeapAlloc)
+	}
+	fmt.Fprintf(os.Stderr, "peak heap %d MiB (limit %d MiB)\n", w.peak.Load()>>20, w.limit>>20)
+	if w.peak.Load() > w.limit {
+		fmt.Fprintf(os.Stderr, "heap exceeded -max-heap-mib %d\n", w.limit>>20)
+		os.Exit(2)
 	}
 }
 
@@ -296,9 +568,15 @@ func printResult(r core.Result) {
 	fmt.Printf("  requests        %d (failed %d)\n", r.Requests, r.FailedRequests)
 	fmt.Printf("  SLO compliance  %.2f%%\n", r.SLOCompliance*100)
 	fmt.Printf("  latency         P50 %v   P99 %v   mean %v\n", r.P50, r.P99, r.MeanLatency)
-	b := r.Collector.TailBreakdown(99, 99.9)
-	fmt.Printf("  P99 breakdown   min %v | batch %v | queue %v | interf %v | cold %v\n",
-		b.MinExec, b.BatchWait, b.QueueDelay, b.Interference, b.ColdStart)
+	if r.Collector != nil {
+		b := r.Collector.TailBreakdown(99, 99.9)
+		fmt.Printf("  P99 breakdown   min %v | batch %v | queue %v | interf %v | cold %v\n",
+			b.MinExec, b.BatchWait, b.QueueDelay, b.Interference, b.ColdStart)
+	} else if r.Online != nil {
+		b := r.Online.MeanBreakdown()
+		fmt.Printf("  mean breakdown  min %v | batch %v | queue %v | interf %v | cold %v\n",
+			b.MinExec, b.BatchWait, b.QueueDelay, b.Interference, b.ColdStart)
+	}
 	fmt.Printf("  cost            $%.4f (cpu $%.4f, gpu $%.4f)\n", r.Cost, r.CPUCost, r.GPUCost)
 	fmt.Printf("  power           %.0f W avg, %.1f Wh\n", r.AvgPowerW, r.EnergyWh)
 	fmt.Printf("  utilization     cpu %.0f%%  gpu %.0f%%\n", r.UtilCPU*100, r.UtilGPU*100)

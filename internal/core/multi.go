@@ -26,10 +26,13 @@ import (
 // a node capable of the *aggregate*, which the runtime resolves as the most
 // capable of the per-workload desires (a node that satisfies every tenant).
 
-// Workload pairs a model with its arrival trace.
+// Workload pairs a model with its arrival trace. Stream, when set, supplies
+// arrivals lazily instead of Trace (as Config.Stream does for single-tenant
+// runs); when both are set, Stream wins.
 type Workload struct {
-	Model model.Spec
-	Trace *trace.Trace
+	Model  model.Spec
+	Trace  *trace.Trace
+	Stream trace.Stream
 }
 
 // MultiConfig describes a multi-tenant serving simulation.
@@ -75,6 +78,7 @@ type MultiResult struct {
 type tenant struct {
 	idx   int // workload index, stamped into Event.Tenant
 	w     Workload
+	arr   trace.Stream // arrival source (w.Stream, or w.Trace adapted)
 	bat   batch.Batcher
 	col   *metrics.Collector
 	entry profile.Entry // for the current node
@@ -86,7 +90,7 @@ type tenant struct {
 	obsCount       int
 	obsRate        float64
 
-	arrivalIdx int
+	arrived int // arrivals fed to the batcher so far
 }
 
 // tenantNode is the shared node plus per-tenant container pools.
@@ -152,9 +156,13 @@ func RunMulti(cfg MultiConfig) MultiResult {
 	}
 	for i, w := range cfg.Workloads {
 		t := &tenant{idx: i, w: w, col: metrics.NewCollector(cfg.SLO)}
+		t.arr = w.Stream
+		if t.arr == nil {
+			t.arr = w.Trace.Stream()
+		}
 		r.setupPredictor(t)
-		if w.Trace.Duration > r.end {
-			r.end = w.Trace.Duration
+		if d := t.arr.Duration(); d > r.end {
+			r.end = d
 		}
 		r.tenants = append(r.tenants, t)
 	}
@@ -214,10 +222,10 @@ func RunMulti(cfg MultiConfig) MultiResult {
 	return res
 }
 
-// complete reports whether every tenant's trace has been fully recorded.
+// complete reports whether every tenant's arrivals have been fully recorded.
 func (r *multiRunner) complete() bool {
 	for _, t := range r.tenants {
-		if t.col.Count() < t.w.Trace.Count() {
+		if t.col.Count() < t.arrived {
 			return false
 		}
 	}
@@ -226,7 +234,15 @@ func (r *multiRunner) complete() bool {
 
 func (r *multiRunner) setupPredictor(t *tenant) {
 	if r.cfg.Scheme.Clairvoyant {
-		c := predict.NewClairvoyant(t.w.Trace)
+		tr := t.w.Trace
+		if tr == nil {
+			var ok bool
+			if tr, ok = trace.Materialized(t.arr); !ok {
+				panic("core: clairvoyant scheme needs a materialized trace " +
+					"(set Workload.Trace, or a Stream implementing trace.Materializer)")
+			}
+		}
+		c := predict.NewClairvoyant(tr)
 		t.predictAt = c.PredictRPS
 		t.onArrive = func(time.Duration) {}
 		return
@@ -247,7 +263,7 @@ func (r *multiRunner) warmStart() {
 		ref := hardware.MostPerformant(hardware.GPU)
 		totalWork := 0.0
 		for _, t := range r.tenants {
-			totalWork += t.w.Trace.Slice(0, 2*time.Second).MeanRPS() *
+			totalWork += t.arr.InitRPS(2*time.Second) *
 				profile.SoloSample(t.w.Model, ref).Seconds()
 		}
 		for _, t := range r.tenants {
@@ -318,12 +334,16 @@ func (r *multiRunner) wireNode(node *cluster.Node) *tenantNode {
 }
 
 func (r *multiRunner) scheduleArrivals(t *tenant) {
-	arr := t.w.Trace.Arrivals
-	var next func()
-	next = func() {
+	pending, ok := t.arr.Next()
+	if !ok {
+		return
+	}
+	var fire func()
+	fire = func() {
 		now := r.eng.Now()
-		for t.arrivalIdx < len(arr) && arr[t.arrivalIdx] <= now {
-			req := t.bat.Add(arr[t.arrivalIdx])
+		for pending <= now {
+			req := t.bat.Add(pending)
+			t.arrived++
 			if r.tel != nil {
 				e := telemetry.Ev(req.Arrival, telemetry.Arrived)
 				e.Req = int64(req.ID)
@@ -334,15 +354,13 @@ func (r *multiRunner) scheduleArrivals(t *tenant) {
 			}
 			t.onArrive(now)
 			t.observeArrival(now, r.cfg.ObserveWindow)
-			t.arrivalIdx++
+			if pending, ok = t.arr.Next(); !ok {
+				return
+			}
 		}
-		if t.arrivalIdx < len(arr) {
-			r.eng.ScheduleAt(arr[t.arrivalIdx], next)
-		}
+		r.eng.ScheduleAt(pending, fire)
 	}
-	if len(arr) > 0 {
-		r.eng.ScheduleAt(arr[0], next)
-	}
+	r.eng.ScheduleAt(pending, fire)
 }
 
 func (t *tenant) observeArrival(now, window time.Duration) {

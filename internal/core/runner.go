@@ -61,11 +61,34 @@ const (
 	downgradeFactor = 4
 )
 
+// MetricsMode selects the run's metrics aggregator.
+type MetricsMode int
+
+const (
+	// MetricsExact keeps every Record in a metrics.Collector — exact
+	// percentiles, CDFs and tail breakdowns, O(N) memory. The default.
+	MetricsExact MetricsMode = iota
+	// MetricsOnline uses the constant-memory streaming aggregator: counts,
+	// compliance, cost and goodput are exact; P50/P95/P99 come from P²
+	// sketches. Result.Collector is nil, Result.Online is set.
+	MetricsOnline
+)
+
 // Config describes one serving simulation.
 type Config struct {
 	Model  model.Spec
 	Trace  *trace.Trace
 	Scheme Scheme
+
+	// Stream, when set, supplies arrivals lazily instead of Trace: the
+	// runner pulls one arrival at a time, so multi-million-request traces
+	// never materialize. When both are set, Stream wins. Clairvoyant schemes
+	// still need a materialized trace (set Trace, or use a Stream that
+	// implements trace.Materializer).
+	Stream trace.Stream
+
+	// Metrics selects the aggregator; the zero value is the exact Collector.
+	Metrics MetricsMode
 
 	// SLO defaults to 200 ms.
 	SLO time.Duration
@@ -170,7 +193,11 @@ type Result struct {
 	Scheme string
 	Model  string
 
+	// Collector is the exact aggregator (MetricsExact runs); nil when the
+	// run used MetricsOnline, in which case Online is set instead.
 	Collector *metrics.Collector
+	// Online is the constant-memory aggregator (MetricsOnline runs).
+	Online *metrics.Online
 
 	Requests      int
 	SLOCompliance float64
@@ -225,7 +252,8 @@ type runner struct {
 	eng *sim.Engine
 	clu *cluster.Cluster
 	bat batch.Batcher
-	col *metrics.Collector
+	col metrics.Aggregator
+	arr trace.Stream // arrival source (cfg.Stream, or cfg.Trace adapted)
 
 	// tel is the combined telemetry sink (Config.Telemetry plus the adapted
 	// legacy OnEvent); nil when both are unset. jobSeq numbers device jobs
@@ -257,9 +285,9 @@ type runner struct {
 	failedRq int
 	history  []SwitchEvent
 
-	arrivalIdx int
-	end        time.Duration
-	lastSwap   time.Duration
+	arrived  int // arrivals fed to the batcher so far
+	end      time.Duration
+	lastSwap time.Duration
 
 	// stScratch backs the *State handed to policies. stateWithRates rebuilds
 	// it from scratch on every call and no caller retains the pointer past
@@ -277,8 +305,16 @@ func Run(cfg Config) Result {
 	r := &runner{
 		cfg: cfg,
 		eng: sim.NewEngine(),
-		col: metrics.NewCollector(cfg.SLO),
-		end: cfg.Trace.Duration,
+	}
+	r.arr = cfg.Stream
+	if r.arr == nil {
+		r.arr = cfg.Trace.Stream()
+	}
+	r.end = r.arr.Duration()
+	if cfg.Metrics == MetricsOnline {
+		r.col = metrics.NewOnline(cfg.SLO, r.end, metrics.DefaultGoodputWindow)
+	} else {
+		r.col = metrics.NewCollector(cfg.SLO)
 	}
 	r.clu = cluster.New(r.eng)
 	r.tel = telemetry.Combine(cfg.Telemetry, telemetry.AdaptOnEvent(cfg.OnEvent),
@@ -304,7 +340,7 @@ func Run(cfg Config) Result {
 	// simulating until every request completes (so conservation holds and
 	// stragglers are recorded with their true, awful latencies), giving up
 	// only if a whole chunk passes without any progress.
-	for guard := 0; r.col.Count() < cfg.Trace.Count() && guard < 720; guard++ {
+	for guard := 0; r.col.Count() < r.arrived && guard < 720; guard++ {
 		before := r.col.Count()
 		r.eng.Run(r.eng.Now() + 60*time.Second)
 		if r.col.Count() == before {
@@ -336,7 +372,15 @@ func Run(cfg Config) Result {
 
 func (r *runner) setupPredictor() {
 	if r.cfg.Scheme.Clairvoyant {
-		c := predict.NewClairvoyant(r.cfg.Trace)
+		t := r.cfg.Trace
+		if t == nil {
+			var ok bool
+			if t, ok = trace.Materialized(r.arr); !ok {
+				panic("core: clairvoyant scheme needs a materialized trace " +
+					"(set Trace, or a Stream implementing trace.Materializer)")
+			}
+		}
+		c := predict.NewClairvoyant(t)
 		r.predictAt = c.PredictRPS
 		r.onArrive = func(time.Duration) {}
 	} else {
@@ -360,7 +404,7 @@ func (r *runner) warmStart() {
 	if r.cfg.InitialHardware != nil {
 		spec = *r.cfg.InitialHardware
 	} else {
-		initRate := r.cfg.Trace.Slice(0, 2*time.Second).MeanRPS()
+		initRate := r.arr.InitRPS(2 * time.Second)
 		st := r.stateWithRates(initRate, initRate)
 		spec = r.cfg.Scheme.Policy.DesiredHardware(st)
 	}
@@ -515,15 +559,21 @@ func (r *runner) applyHostFactor(node *cluster.Node) {
 	}
 }
 
-// scheduleArrivals feeds trace arrivals one event at a time (constant event
-// memory regardless of trace size).
+// scheduleArrivals feeds arrivals from the stream one event at a time: one
+// pending arrival is held while the engine advances to it, so memory is
+// constant regardless of trace size (with a CurveStream, the trace never
+// materializes at all).
 func (r *runner) scheduleArrivals() {
-	arr := r.cfg.Trace.Arrivals
-	var next func()
-	next = func() {
+	pending, ok := r.arr.Next()
+	if !ok {
+		return
+	}
+	var fire func()
+	fire = func() {
 		now := r.eng.Now()
-		for r.arrivalIdx < len(arr) && arr[r.arrivalIdx] <= now {
-			req := r.bat.Add(arr[r.arrivalIdx])
+		for pending <= now {
+			req := r.bat.Add(pending)
+			r.arrived++
 			if r.tel != nil {
 				e := telemetry.Ev(req.Arrival, telemetry.Arrived)
 				e.Req = int64(req.ID)
@@ -533,15 +583,13 @@ func (r *runner) scheduleArrivals() {
 			}
 			r.onArrive(now)
 			r.observeArrival(now)
-			r.arrivalIdx++
+			if pending, ok = r.arr.Next(); !ok {
+				return
+			}
 		}
-		if r.arrivalIdx < len(arr) {
-			r.eng.ScheduleAt(arr[r.arrivalIdx], next)
-		}
+		r.eng.ScheduleAt(pending, fire)
 	}
-	if len(arr) > 0 {
-		r.eng.ScheduleAt(arr[0], next)
-	}
+	r.eng.ScheduleAt(pending, fire)
 }
 
 func (r *runner) observeArrival(now time.Duration) {
@@ -630,7 +678,6 @@ func (r *runner) results() Result {
 	res := Result{
 		Scheme:           r.cfg.Scheme.Name(),
 		Model:            r.cfg.Model.Name,
-		Collector:        r.col,
 		Requests:         r.col.Count(),
 		SLOCompliance:    r.col.SLOCompliance(),
 		P50:              r.col.Percentile(50),
@@ -650,6 +697,12 @@ func (r *runner) results() Result {
 		FailuresInjected: r.failures,
 		HeldBySpec:       r.clu.HeldBySpec(),
 		SwitchHistory:    r.history,
+	}
+	switch col := r.col.(type) {
+	case *metrics.Collector:
+		res.Collector = col
+	case *metrics.Online:
+		res.Online = col
 	}
 	return res
 }

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// TestStreamingEquivalenceDeterministic pins the tentpole's contract: a run
+// consuming arrivals lazily from a CurveStream produces a byte-identical
+// Result — headline numbers, the full per-request record stream, and the
+// telemetry span export — to the same run over the materialized Trace.
+// Three configurations cover the paths that could diverge: the plain serving
+// loop, failure injection (failed-request accounting), and scale-out. The
+// invariant checker audits the streaming runs. CI runs this under
+// -race -cpu 1,4 with the other determinism suites.
+func TestStreamingEquivalenceDeterministic(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  uint64
+		curve func(rng *sim.RNG) *trace.Curve
+		tweak func(cfg *Config)
+	}{
+		{
+			name:  "paldia-azure",
+			seed:  42,
+			curve: func(rng *sim.RNG) *trace.Curve { return trace.AzureCurve(rng, 250, 2*time.Minute) },
+		},
+		{
+			name:  "paldia-poisson-failures",
+			seed:  7,
+			curve: func(rng *sim.RNG) *trace.Curve { return trace.PoissonCurve(rng, 150, 90*time.Second) },
+			tweak: func(cfg *Config) {
+				cfg.FailureEvery = 30 * time.Second
+				cfg.FailureDuration = 8 * time.Second
+			},
+		},
+		{
+			name:  "paldia-twitter-scaleout",
+			seed:  11,
+			curve: func(rng *sim.RNG) *trace.Curve { return trace.TwitterCurve(rng, 300, 90*time.Second) },
+			tweak: func(cfg *Config) { cfg.MaxNodes = 3 },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			type snapshot struct {
+				res   Result
+				csv   bytes.Buffer
+				spans bytes.Buffer
+			}
+			run := func(streaming bool) *snapshot {
+				rng := sim.NewRNG(tc.seed)
+				c := tc.curve(rng)
+				cfg := Config{
+					Model:       model.MustByName("ResNet 50"),
+					Scheme:      NewPaldia(),
+					Seed:        tc.seed,
+					SampleEvery: time.Second,
+					Invariants:  invariant.New(),
+				}
+				if streaming {
+					cfg.Stream = c.Stream(rng)
+				} else {
+					cfg.Trace = c.Realize(rng)
+				}
+				if tc.tweak != nil {
+					tc.tweak(&cfg)
+				}
+				rec := telemetry.NewRecorder()
+				cfg.Telemetry = rec
+				var s snapshot
+				s.res = Run(cfg)
+				if err := cfg.Invariants.Err(); err != nil {
+					t.Fatalf("streaming=%v run not invariant-clean:\n%v", streaming, err)
+				}
+				if err := s.res.Collector.WriteCSV(&s.csv); err != nil {
+					t.Fatal(err)
+				}
+				if err := rec.WriteSpansJSONL(&s.spans); err != nil {
+					t.Fatal(err)
+				}
+				return &s
+			}
+			mat, str := run(false), run(true)
+
+			rm, rs := mat.res, str.res
+			rm.Collector, rs.Collector = nil, nil
+			if !reflect.DeepEqual(rm, rs) {
+				t.Errorf("streaming Result differs from materialized:\n%+v\nvs\n%+v", rm, rs)
+			}
+			if !bytes.Equal(mat.csv.Bytes(), str.csv.Bytes()) {
+				t.Error("per-request CSV differs between streaming and materialized runs")
+			}
+			if !bytes.Equal(mat.spans.Bytes(), str.spans.Bytes()) {
+				t.Error("spans JSONL differs between streaming and materialized runs")
+			}
+			if mat.res.Requests == 0 || mat.csv.Len() == 0 {
+				t.Fatal("materialized run served nothing; equivalence check lost coverage")
+			}
+		})
+	}
+}
+
+// TestStreamingEquivalenceMultiDeterministic: the same contract for
+// multi-tenant runs, with one tenant streaming from a curve and the
+// comparison run materialized.
+func TestStreamingEquivalenceMultiDeterministic(t *testing.T) {
+	run := func(streaming bool) MultiResult {
+		c1 := trace.AzureCurve(sim.NewRNG(5), 150, time.Minute)
+		c2 := trace.AzureCurve(sim.NewRNG(6), 200, time.Minute)
+		w := []Workload{
+			{Model: model.MustByName("ResNet 50")},
+			{Model: model.MustByName("MobileNet")},
+		}
+		if streaming {
+			w[0].Stream = c1.Stream(sim.NewRNG(5))
+			w[1].Stream = c2.Stream(sim.NewRNG(6))
+		} else {
+			w[0].Trace = c1.Realize(sim.NewRNG(5))
+			w[1].Trace = c2.Realize(sim.NewRNG(6))
+		}
+		chk := invariant.New()
+		res := RunMulti(MultiConfig{Workloads: w, Scheme: NewPaldia(), Invariants: chk})
+		if err := chk.Err(); err != nil {
+			t.Fatalf("streaming=%v multi run not invariant-clean:\n%v", streaming, err)
+		}
+		return res
+	}
+	mat, str := run(false), run(true)
+	if len(mat.PerWorkload) != len(str.PerWorkload) {
+		t.Fatalf("tenant counts differ: %d vs %d", len(mat.PerWorkload), len(str.PerWorkload))
+	}
+	for i := range mat.PerWorkload {
+		var cm, cs bytes.Buffer
+		if err := mat.PerWorkload[i].WriteCSV(&cm); err != nil {
+			t.Fatal(err)
+		}
+		if err := str.PerWorkload[i].WriteCSV(&cs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cm.Bytes(), cs.Bytes()) {
+			t.Errorf("tenant %d: per-request CSV differs between streaming and materialized runs", i)
+		}
+		if cm.Len() == 0 {
+			t.Errorf("tenant %d: empty record stream", i)
+		}
+	}
+	rm, rs := mat, str
+	rm.PerWorkload, rs.PerWorkload = nil, nil
+	if !reflect.DeepEqual(rm, rs) {
+		t.Errorf("streaming MultiResult differs from materialized:\n%+v\nvs\n%+v", rm, rs)
+	}
+}
+
+// TestStreamingOnlineMetricsDeterministic: with the constant-memory
+// aggregator selected, everything it tracks exactly (request count,
+// compliance, mean latency, cost, operational counters) must match the
+// exact run bit-for-bit, and the sketch percentiles must stay within the
+// sketch's guaranteed relative error bound (metrics.SketchAlpha) of the
+// exact values — on the real simulated latency distribution, not a
+// synthetic one.
+func TestStreamingOnlineMetricsDeterministic(t *testing.T) {
+	run := func(mode MetricsMode) Result {
+		rng := sim.NewRNG(42)
+		c := trace.AzureCurve(rng, 250, 2*time.Minute)
+		return Run(Config{
+			Model:   model.MustByName("ResNet 50"),
+			Stream:  c.Stream(rng),
+			Scheme:  NewPaldia(),
+			Seed:    42,
+			Metrics: mode,
+		})
+	}
+	exact, online := run(MetricsExact), run(MetricsOnline)
+	if online.Online == nil || online.Collector != nil {
+		t.Fatal("MetricsOnline run did not surface the Online aggregator")
+	}
+	if exact.Collector == nil {
+		t.Fatal("MetricsExact run lost its Collector")
+	}
+
+	// The percentiles in the headline fields are sketch estimates; mask them
+	// and the aggregator pointers, then everything else must be identical.
+	re, ro := exact, online
+	re.Collector, ro.Online = nil, nil
+	re.P50, ro.P50 = 0, 0
+	re.P99, ro.P99 = 0, 0
+	if !reflect.DeepEqual(re, ro) {
+		t.Errorf("online-metrics Result differs beyond percentiles:\n%+v\nvs\n%+v", re, ro)
+	}
+	for _, p := range []struct {
+		name    string
+		est, ex time.Duration
+	}{
+		{"P50", online.P50, exact.P50},
+		{"P99", online.P99, exact.P99},
+	} {
+		rel := math.Abs(float64(p.est-p.ex)) / float64(p.ex)
+		if bound := metrics.SketchAlpha * 1.01; rel > bound {
+			t.Errorf("%s sketch %v vs exact %v: rel err %.4f > %.4f", p.name, p.est, p.ex, rel, bound)
+		}
+	}
+}

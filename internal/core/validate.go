@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Validate reports whether the config describes a runnable simulation.
@@ -19,11 +21,17 @@ func (c Config) Validate() error {
 	if c.Model.Name == "" {
 		errs = append(errs, errors.New("core: Model is unset"))
 	}
-	if c.Trace == nil {
-		errs = append(errs, errors.New("core: Trace is nil"))
+	if c.Trace == nil && c.Stream == nil {
+		errs = append(errs, errors.New("core: Trace and Stream are both nil"))
 	}
 	if c.Scheme.Policy == nil {
 		errs = append(errs, errors.New("core: Scheme has no policy (use a New* constructor)"))
+	}
+	if c.Scheme.Clairvoyant && c.Trace == nil && c.Stream != nil {
+		if _, ok := trace.Materialized(c.Stream); !ok {
+			errs = append(errs, errors.New(
+				"core: clairvoyant scheme needs a materialized trace (set Trace, or a Stream implementing trace.Materializer)"))
+		}
 	}
 	for _, d := range []struct {
 		name string

@@ -44,6 +44,15 @@ type Options struct {
 	// time (see cmd/paldia-experiments -j).
 	Pool *Pool
 
+	// Streaming routes every simulation's arrivals through the lazy stream
+	// path (core.Config.Stream) instead of the materialized Arrivals slice.
+	// Results are byte-identical either way (the equivalence suite pins
+	// this); the point is exercising the constant-memory path across whole
+	// experiment grids. Traces stay materialized here so clairvoyant schemes
+	// keep working; for truly unmaterialized runs use core.Config.Stream
+	// with a trace.CurveStream directly (cmd/paldia-sim -stream).
+	Streaming bool
+
 	// Run and RunMulti, when set, replace core.Run / core.RunMulti for every
 	// simulation an experiment executes. Tests use them to instrument whole
 	// experiment grids (e.g. attach a fresh invariant.Checker per run); they
@@ -54,6 +63,9 @@ type Options struct {
 
 // run dispatches one simulation through the Run hook (or core.Run).
 func (o Options) run(cfg core.Config) core.Result {
+	if o.Streaming && cfg.Stream == nil && cfg.Trace != nil {
+		cfg.Stream = cfg.Trace.Stream()
+	}
 	if o.Run != nil {
 		return o.Run(cfg)
 	}
@@ -63,6 +75,18 @@ func (o Options) run(cfg core.Config) core.Result {
 // runMulti dispatches one multi-tenant simulation through the RunMulti hook
 // (or core.RunMulti).
 func (o Options) runMulti(cfg core.MultiConfig) core.MultiResult {
+	if o.Streaming {
+		// Copy before rewriting: streams are single-use, so the caller's
+		// workloads must not end up holding consumed iterators.
+		ws := make([]core.Workload, len(cfg.Workloads))
+		copy(ws, cfg.Workloads)
+		for i := range ws {
+			if ws[i].Stream == nil && ws[i].Trace != nil {
+				ws[i].Stream = ws[i].Trace.Stream()
+			}
+		}
+		cfg.Workloads = ws
+	}
 	if o.RunMulti != nil {
 		return o.RunMulti(cfg)
 	}

@@ -1,0 +1,322 @@
+package metrics
+
+import (
+	"math"
+	"slices"
+	"time"
+)
+
+// Aggregator consumes per-request outcomes. Two implementations exist: the
+// exact Collector (default; O(N) memory, exact percentiles and tail
+// breakdowns) and the constant-memory Online aggregator (streaming counters
+// plus fixed-size quantile sketches) that million-request runs select via
+// core.Config.
+type Aggregator interface {
+	Add(r Record)
+	Count() int
+	SLOCompliance() float64
+	Violations() int
+	Percentile(p float64) time.Duration
+	Mean() time.Duration
+}
+
+var (
+	_ Aggregator = (*Collector)(nil)
+	_ Aggregator = (*Online)(nil)
+)
+
+// DefaultGoodputWindow is the arrival-window resolution of the Online
+// aggregator's goodput counters (matching the 1 s windows the peak-traffic
+// analysis reads).
+const DefaultGoodputWindow = time.Second
+
+// SketchAlpha is the latency sketch's guaranteed relative accuracy: any
+// percentile it reports is within this fraction of the exact nearest-rank
+// value, for any latency distribution (the guarantee is structural — one
+// log-spaced bucket never spans more than 2α relative width — not
+// empirical).
+const SketchAlpha = 0.01
+
+// Online is the constant-memory Aggregator: counts, sums and per-window
+// goodput counters are exact; latency percentiles come from a log-bucketed
+// quantile sketch with a guaranteed relative error (SketchAlpha); the
+// Fig. 1/4 component breakdown is tracked as whole-population means rather
+// than the Collector's percentile-band means. Memory is O(duration/window)
+// for the goodput counters and O(log(maxLatency)/α) for the sketch —
+// independent of request count.
+type Online struct {
+	SLO time.Duration
+
+	count      int
+	failed     int
+	ok         int // completed within SLO
+	latSum     time.Duration
+	latMax     time.Duration
+	sketch     latencySketch
+	breakdown  Breakdown // component sums until MeanBreakdown divides
+	goodWindow time.Duration
+	okWin      []uint32 // served-within-SLO count per arrival window
+	totWin     []uint32 // arrivals per window
+}
+
+// NewOnline returns a constant-memory aggregator judging requests against
+// slo. duration bounds the goodput window counters (arrivals at or beyond it
+// clamp into the last window); window <= 0 disables goodput tracking.
+func NewOnline(slo, duration, window time.Duration) *Online {
+	o := &Online{SLO: slo, goodWindow: window, sketch: newLatencySketch(SketchAlpha)}
+	if window > 0 && duration > 0 {
+		n := int(duration/window) + 1
+		o.okWin = make([]uint32, n)
+		o.totWin = make([]uint32, n)
+	}
+	return o
+}
+
+// Add absorbs one request outcome in O(1) time and memory.
+func (o *Online) Add(r Record) {
+	o.count++
+	inSLO := !r.Failed && r.Latency <= o.SLO
+	if r.Failed {
+		o.failed++
+	}
+	if inSLO {
+		o.ok++
+	}
+	o.latSum += r.Latency
+	if r.Latency > o.latMax {
+		o.latMax = r.Latency
+	}
+	o.sketch.add(r.Latency)
+	o.breakdown.MinExec += r.MinExec
+	o.breakdown.BatchWait += r.BatchWait
+	o.breakdown.QueueDelay += r.QueueDelay
+	o.breakdown.Interference += r.Interference
+	o.breakdown.ColdStart += r.ColdStart
+	o.breakdown.Total += r.Latency
+	if o.totWin != nil {
+		i := int(r.Arrival / o.goodWindow)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(o.totWin) {
+			i = len(o.totWin) - 1
+		}
+		o.totWin[i]++
+		if inSLO {
+			o.okWin[i]++
+		}
+	}
+}
+
+// Count returns the number of absorbed requests.
+func (o *Online) Count() int { return o.count }
+
+// Failed returns the number of failed requests.
+func (o *Online) Failed() int { return o.failed }
+
+// SLOCompliance returns the fraction of requests served within the SLO. An
+// empty aggregator reports 1, like the Collector.
+func (o *Online) SLOCompliance() float64 {
+	if o.count == 0 {
+		return 1
+	}
+	return float64(o.ok) / float64(o.count)
+}
+
+// Violations returns the number of requests that missed the SLO or failed.
+func (o *Online) Violations() int { return o.count - o.ok }
+
+// Mean returns the mean end-to-end latency (exact).
+func (o *Online) Mean() time.Duration {
+	if o.count == 0 {
+		return 0
+	}
+	return o.latSum / time.Duration(o.count)
+}
+
+// Max returns the maximum observed latency (exact).
+func (o *Online) Max() time.Duration { return o.latMax }
+
+// Percentile returns the sketch estimate of the p-th latency percentile
+// (p in (0,100]), within SketchAlpha relative error of the Collector's
+// exact nearest-rank value. Small runs (up to the sketch's exact-prefix
+// size) report exact percentiles.
+func (o *Online) Percentile(p float64) time.Duration {
+	return o.sketch.quantile(p / 100)
+}
+
+// MeanBreakdown returns the whole-population mean of each latency component
+// — the constant-memory stand-in for the Collector's percentile-band
+// TailBreakdown.
+func (o *Online) MeanBreakdown() Breakdown {
+	if o.count == 0 {
+		return Breakdown{}
+	}
+	d := time.Duration(o.count)
+	b := o.breakdown
+	return Breakdown{
+		MinExec:      b.MinExec / d,
+		BatchWait:    b.BatchWait / d,
+		QueueDelay:   b.QueueDelay / d,
+		Interference: b.Interference / d,
+		ColdStart:    b.ColdStart / d,
+		Total:        b.Total / d,
+	}
+}
+
+// GoodputRPS returns the rate of requests served within the SLO whose
+// arrivals fall in [from, to). Counts are exact per aligned window; partial
+// edge windows are prorated by overlap, so unaligned bounds are an
+// approximation at the two edges only.
+func (o *Online) GoodputRPS(from, to time.Duration) float64 {
+	return o.windowRate(o.okWin, from, to)
+}
+
+// ArrivalRPS returns the arrival rate over [from, to), with the same
+// aligned-exact / edge-prorated semantics as GoodputRPS.
+func (o *Online) ArrivalRPS(from, to time.Duration) float64 {
+	return o.windowRate(o.totWin, from, to)
+}
+
+func (o *Online) windowRate(win []uint32, from, to time.Duration) float64 {
+	if to <= from || win == nil {
+		return 0
+	}
+	sum := 0.0
+	for i, c := range win {
+		if c == 0 {
+			continue
+		}
+		wFrom := time.Duration(i) * o.goodWindow
+		wTo := wFrom + o.goodWindow
+		overlap := minDur(wTo, to) - maxDur(wFrom, from)
+		if overlap <= 0 {
+			continue
+		}
+		sum += float64(c) * float64(overlap) / float64(o.goodWindow)
+	}
+	return sum / (to - from).Seconds()
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- quantile sketch ---------------------------------------------------------
+
+// sketchExactPrefix is how many observations the sketch keeps exactly
+// before answering from buckets; runs at or under it report exact
+// nearest-rank percentiles (matching the Collector bit-for-bit).
+const sketchExactPrefix = 64
+
+// latencySketch is a DDSketch-style log-bucketed quantile estimator: value v
+// lands in bucket ceil(log_γ(v)) with γ = (1+α)/(1-α), so one bucket spans
+// at most 2α/(1-α) relative width and the bucket midpoint is within α of
+// every value in it — a structural guarantee that holds for any
+// distribution, unlike moment- or marker-based sketches (P², notably, can
+// be badly wrong on the bimodal fast-path/surge latency mix this simulator
+// produces). Memory is one counter per occupied bucket: O(log(max/min)/α),
+// ~1400 buckets at α=1% for the full 1 ns..1000 s latency range,
+// independent of request count. Deterministic: same inputs, same answers.
+type latencySketch struct {
+	gamma   float64
+	lnGamma float64
+	counts  map[int]uint64
+	n       uint64
+	zeros   uint64 // non-positive observations (latency 0)
+
+	exact []time.Duration // first sketchExactPrefix observations, verbatim
+}
+
+func newLatencySketch(alpha float64) latencySketch {
+	gamma := (1 + alpha) / (1 - alpha)
+	return latencySketch{
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+		counts:  make(map[int]uint64),
+	}
+}
+
+func (s *latencySketch) add(v time.Duration) {
+	s.n++
+	if len(s.exact) < sketchExactPrefix {
+		s.exact = append(s.exact, v)
+	}
+	if v <= 0 {
+		s.zeros++
+		return
+	}
+	s.counts[s.bucket(v)]++
+}
+
+func (s *latencySketch) bucket(v time.Duration) int {
+	return int(math.Ceil(math.Log(float64(v)) / s.lnGamma))
+}
+
+// quantile returns the q-th quantile (q in (0,1]) using the Collector's
+// nearest-rank convention. At or under the exact prefix it is exact; above
+// it, within α relative error.
+func (s *latencySketch) quantile(q float64) time.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.n {
+		rank = s.n
+	}
+	if s.n <= uint64(len(s.exact)) {
+		sorted := make([]time.Duration, s.n)
+		copy(sorted, s.exact[:s.n])
+		slices.Sort(sorted)
+		return sorted[rank-1]
+	}
+	if rank <= s.zeros {
+		return 0
+	}
+	rank -= s.zeros
+	// Walk the occupied buckets in ascending order until the cumulative
+	// count reaches the rank; the bucket midpoint is within α of the true
+	// value. Queries are rare (end of run), so sorting keys here is cheap.
+	keys := make([]int, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	var cum uint64
+	for _, k := range keys {
+		cum += s.counts[k]
+		if cum >= rank {
+			// Bucket k spans (γ^(k-1), γ^k]; 2γ^k/(γ+1) is its midpoint in
+			// relative terms.
+			return time.Duration(2 * math.Pow(s.gamma, float64(k)) / (s.gamma + 1))
+		}
+	}
+	return s.maxSeen()
+}
+
+func (s *latencySketch) maxSeen() time.Duration {
+	maxK := 0
+	found := false
+	for k := range s.counts {
+		if !found || k > maxK {
+			maxK, found = k, true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return time.Duration(2 * math.Pow(s.gamma, float64(maxK)) / (s.gamma + 1))
+}

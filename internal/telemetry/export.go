@@ -11,20 +11,20 @@ import (
 // spanJSON is the stable JSONL schema for one span. Times are integer
 // nanoseconds of virtual time; -1 marks a stage the request never reached.
 type spanJSON struct {
-	Req        int64  `json:"req"`
-	Tenant     int    `json:"tenant"`
-	Node       int    `json:"node"`
-	Spec       string `json:"spec"`
-	Job        int64  `json:"job"`
-	Batch      int    `json:"batch"`
-	Mode       string `json:"mode"`
-	Failed     bool   `json:"failed"`
-	ArrivedNs  int64  `json:"arrived_ns"`
-	BatchWaitNs int64 `json:"batch_wait_ns"`
-	ColdNs     int64  `json:"cold_ns"`
-	QueueNs    int64  `json:"queue_ns"`
-	ExecNs     int64  `json:"exec_ns"`
-	LatencyNs  int64  `json:"latency_ns"`
+	Req         int64  `json:"req"`
+	Tenant      int    `json:"tenant"`
+	Node        int    `json:"node"`
+	Spec        string `json:"spec"`
+	Job         int64  `json:"job"`
+	Batch       int    `json:"batch"`
+	Mode        string `json:"mode"`
+	Failed      bool   `json:"failed"`
+	ArrivedNs   int64  `json:"arrived_ns"`
+	BatchWaitNs int64  `json:"batch_wait_ns"`
+	ColdNs      int64  `json:"cold_ns"`
+	QueueNs     int64  `json:"queue_ns"`
+	ExecNs      int64  `json:"exec_ns"`
+	LatencyNs   int64  `json:"latency_ns"`
 }
 
 func toJSON(s *Span) spanJSON {
@@ -88,30 +88,38 @@ func ReadSpansJSONL(rd io.Reader) ([]*Span, error) {
 	}
 }
 
+// eventJSON is the stable JSONL schema for one raw event, shared by the
+// buffering Recorder and the streaming StreamWriter so both emit
+// byte-identical lines.
+type eventJSON struct {
+	AtNs   int64   `json:"at_ns"`
+	Kind   string  `json:"kind"`
+	Req    int64   `json:"req"`
+	Job    int64   `json:"job,omitempty"`
+	Node   int     `json:"node"`
+	Tenant int     `json:"tenant,omitempty"`
+	Spec   string  `json:"spec,omitempty"`
+	N      int     `json:"n,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// encodeEvent writes one event as a JSONL line.
+func encodeEvent(enc *json.Encoder, e Event) error {
+	return enc.Encode(eventJSON{
+		AtNs: int64(e.At), Kind: e.Kind.String(), Req: e.Req, Job: e.Job,
+		Node: e.Node, Tenant: e.Tenant, Spec: e.Spec, N: e.N,
+		Value: e.Value, Detail: e.Detail,
+	})
+}
+
 // WriteEventsJSONL writes every recorded event as one JSON object per
 // line, in emission order — the raw feed behind spans and series.
 func (r *Recorder) WriteEventsJSONL(w io.Writer) error {
-	type eventJSON struct {
-		AtNs   int64   `json:"at_ns"`
-		Kind   string  `json:"kind"`
-		Req    int64   `json:"req"`
-		Job    int64   `json:"job,omitempty"`
-		Node   int     `json:"node"`
-		Tenant int     `json:"tenant,omitempty"`
-		Spec   string  `json:"spec,omitempty"`
-		N      int     `json:"n,omitempty"`
-		Value  float64 `json:"value,omitempty"`
-		Detail string  `json:"detail,omitempty"`
-	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, e := range r.events {
-		ej := eventJSON{
-			AtNs: int64(e.At), Kind: e.Kind.String(), Req: e.Req, Job: e.Job,
-			Node: e.Node, Tenant: e.Tenant, Spec: e.Spec, N: e.N,
-			Value: e.Value, Detail: e.Detail,
-		}
-		if err := enc.Encode(ej); err != nil {
+		if err := encodeEvent(enc, e); err != nil {
 			return err
 		}
 	}

@@ -7,8 +7,7 @@ package telemetry
 type Recorder struct {
 	events []Event
 	spans  []*Span
-	open   map[spanKey]*Span
-	jobs   map[int64][]*Span // job ID -> member spans awaiting exec stamps
+	asm    assembler
 	series *SeriesSet
 
 	nodes     []nodeInfo // node ID -> spec, in first-seen order
@@ -27,12 +26,13 @@ type nodeInfo struct {
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{
-		open:      make(map[spanKey]*Span),
-		jobs:      make(map[int64][]*Span),
+	r := &Recorder{
+		asm:       newAssembler(),
 		series:    NewSeriesSet(),
 		nodeIndex: make(map[int]int),
 	}
+	r.asm.onNew = func(s *Span) { r.spans = append(r.spans, s) }
+	return r
 }
 
 // Event implements Sink.
@@ -44,57 +44,11 @@ func (r *Recorder) Event(e Event) {
 			r.nodes = append(r.nodes, nodeInfo{id: e.Node, spec: e.Spec})
 		}
 	}
-	switch e.Kind {
-	case Arrived:
-		s := r.span(e)
-		s.Arrived = e.At
-	case Batched:
-		r.span(e).Batched = e.At
-	case Dispatched:
-		s := r.span(e)
-		s.Dispatched = e.At
-		s.Job = e.Job
-		s.Node = e.Node
-		s.Spec = e.Spec
-		s.BatchSize = e.N
-		s.Mode = e.Detail
-		if e.Job > 0 {
-			r.jobs[e.Job] = append(r.jobs[e.Job], s)
-		}
-	case Queued:
-		for _, s := range r.jobs[e.Job] {
-			s.Queued = e.At
-		}
-	case ExecStart:
-		for _, s := range r.jobs[e.Job] {
-			s.ExecStart = e.At
-		}
-	case ExecEnd:
-		for _, s := range r.jobs[e.Job] {
-			s.ExecEnd = e.At
-		}
-		delete(r.jobs, e.Job)
-	case Completed, Failed:
-		s := r.span(e)
-		s.Completed = e.At
-		s.Failed = e.Kind == Failed
-		delete(r.open, spanKey{e.Tenant, e.Req})
-	case Sample:
+	if e.Kind == Sample {
 		r.series.Observe(e.Detail, e.At, e.Value)
+		return
 	}
-}
-
-// span returns the open span for the event's request, creating one on
-// first sight (events may arrive without a prior Arrived in unit tests).
-func (r *Recorder) span(e Event) *Span {
-	k := spanKey{e.Tenant, e.Req}
-	if s, ok := r.open[k]; ok {
-		return s
-	}
-	s := newSpan(e.Req, e.Tenant)
-	r.open[k] = s
-	r.spans = append(r.spans, s)
-	return s
+	r.asm.observe(e)
 }
 
 // Events returns every recorded event in emission order.

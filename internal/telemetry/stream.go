@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// assembler turns the lifecycle event feed into Spans. It is the shared
+// core behind the buffering Recorder and the flush-as-you-go StreamWriter:
+// both see exactly the same span contents because both run this code.
+type assembler struct {
+	open    map[spanKey]*Span
+	jobs    map[int64][]*Span // job ID -> member spans awaiting exec stamps
+	waiting map[int64][]*Span // terminal spans awaiting their job's ExecEnd
+
+	// onNew fires when a span is first created; onDone fires when a span is
+	// terminal and its job stamps are resolved, i.e. it will never change
+	// again. Either may be nil.
+	onNew  func(*Span)
+	onDone func(*Span)
+}
+
+func newAssembler() assembler {
+	return assembler{
+		open:    make(map[spanKey]*Span),
+		jobs:    make(map[int64][]*Span),
+		waiting: make(map[int64][]*Span),
+	}
+}
+
+// observe absorbs one lifecycle event. Sample events are not lifecycle
+// events and must be handled by the caller.
+func (a *assembler) observe(e Event) {
+	switch e.Kind {
+	case Arrived:
+		a.span(e).Arrived = e.At
+	case Batched:
+		a.span(e).Batched = e.At
+	case Dispatched:
+		s := a.span(e)
+		s.Dispatched = e.At
+		s.Job = e.Job
+		s.Node = e.Node
+		s.Spec = e.Spec
+		s.BatchSize = e.N
+		s.Mode = e.Detail
+		if e.Job > 0 {
+			a.jobs[e.Job] = append(a.jobs[e.Job], s)
+		}
+	case Queued:
+		for _, s := range a.jobs[e.Job] {
+			s.Queued = e.At
+		}
+	case ExecStart:
+		for _, s := range a.jobs[e.Job] {
+			s.ExecStart = e.At
+		}
+	case ExecEnd:
+		for _, s := range a.jobs[e.Job] {
+			s.ExecEnd = e.At
+		}
+		delete(a.jobs, e.Job)
+		if ws := a.waiting[e.Job]; ws != nil {
+			delete(a.waiting, e.Job)
+			if a.onDone != nil {
+				for _, s := range ws {
+					a.onDone(s)
+				}
+			}
+		}
+	case Completed, Failed:
+		s := a.span(e)
+		s.Completed = e.At
+		s.Failed = e.Kind == Failed
+		delete(a.open, spanKey{e.Tenant, e.Req})
+		if s.Job > 0 {
+			if _, pending := a.jobs[s.Job]; pending {
+				// Completion outran the batch's ExecEnd; hold the span until
+				// the exec stamps land.
+				a.waiting[s.Job] = append(a.waiting[s.Job], s)
+				return
+			}
+		}
+		if a.onDone != nil {
+			a.onDone(s)
+		}
+	}
+}
+
+// span returns the open span for the event's request, creating one on
+// first sight (events may arrive without a prior Arrived in unit tests).
+func (a *assembler) span(e Event) *Span {
+	k := spanKey{e.Tenant, e.Req}
+	if s, ok := a.open[k]; ok {
+		return s
+	}
+	s := newSpan(e.Req, e.Tenant)
+	a.open[k] = s
+	if a.onNew != nil {
+		a.onNew(s)
+	}
+	return s
+}
+
+// inFlight is the number of spans the assembler currently retains.
+func (a *assembler) inFlight() int {
+	n := len(a.open)
+	for _, ws := range a.waiting {
+		n += len(ws)
+	}
+	return n
+}
+
+// unflushed returns every span the assembler still holds (never-terminal
+// requests plus terminal spans whose job never stamped ExecEnd), in a
+// deterministic order.
+func (a *assembler) unflushed() []*Span {
+	var out []*Span
+	for _, s := range a.open {
+		out = append(out, s)
+	}
+	for _, ws := range a.waiting {
+		out = append(out, ws...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrived != out[j].Arrived {
+			return out[i].Arrived < out[j].Arrived
+		}
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Req < out[j].Req
+	})
+	return out
+}
+
+// StreamWriter is the bounded-memory Sink: it assembles spans exactly like
+// the Recorder but writes each span to its JSONL writer the moment the span
+// can no longer change, instead of buffering the whole run. Memory is
+// O(in-flight requests), independent of trace length. Spans appear in the
+// output in completion order (the Recorder writes arrival order); the
+// per-span bytes are identical. The optional events writer receives the raw
+// event feed line by line, byte-identical to Recorder.WriteEventsJSONL.
+// Sample events still feed an in-memory SeriesSet, whose size is bounded by
+// run duration and sample cadence, not request count.
+type StreamWriter struct {
+	asm    assembler
+	series *SeriesSet
+
+	spans  *bufio.Writer
+	spanE  *json.Encoder
+	events *bufio.Writer
+	eventE *json.Encoder
+
+	written int
+	peak    int
+	err     error
+}
+
+// NewStreamWriter returns a StreamWriter flushing spans to spans and, when
+// events is non-nil, the raw event feed to events. Call Close to flush
+// still-open spans and the underlying buffers.
+func NewStreamWriter(spans, events io.Writer) *StreamWriter {
+	w := &StreamWriter{asm: newAssembler(), series: NewSeriesSet()}
+	w.spans = bufio.NewWriter(spans)
+	w.spanE = json.NewEncoder(w.spans)
+	if events != nil {
+		w.events = bufio.NewWriter(events)
+		w.eventE = json.NewEncoder(w.events)
+	}
+	w.asm.onDone = w.flush
+	return w
+}
+
+// Event implements Sink. Write errors are sticky and reported by Close.
+func (w *StreamWriter) Event(e Event) {
+	if w.eventE != nil && w.err == nil {
+		if err := encodeEvent(w.eventE, e); err != nil {
+			w.err = err
+		}
+	}
+	if e.Kind == Sample {
+		w.series.Observe(e.Detail, e.At, e.Value)
+		return
+	}
+	w.asm.observe(e)
+	if n := w.asm.inFlight(); n > w.peak {
+		w.peak = n
+	}
+}
+
+func (w *StreamWriter) flush(s *Span) {
+	if w.err != nil {
+		return
+	}
+	if err := w.spanE.Encode(toJSON(s)); err != nil {
+		w.err = err
+		return
+	}
+	w.written++
+}
+
+// Close writes any spans still held (requests that never completed, or
+// whose batch never stamped ExecEnd), flushes the buffers, and returns the
+// first error encountered.
+func (w *StreamWriter) Close() error {
+	for _, s := range w.asm.unflushed() {
+		w.flush(s)
+	}
+	w.asm = newAssembler()
+	w.asm.onDone = w.flush
+	if err := w.spans.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	if w.events != nil {
+		if err := w.events.Flush(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	return w.err
+}
+
+// Series returns the time series collected from Sample events.
+func (w *StreamWriter) Series() *SeriesSet { return w.series }
+
+// SpansWritten is the number of spans flushed so far.
+func (w *StreamWriter) SpansWritten() int { return w.written }
+
+// PeakInFlight is the maximum number of spans held at once — the writer's
+// actual memory high-water mark in spans.
+func (w *StreamWriter) PeakInFlight() int { return w.peak }

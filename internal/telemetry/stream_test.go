@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// feedMany pushes n request lifecycles through the sink, with every k-th
+// request failed before dispatch and completions interleaved so several
+// spans are in flight at once.
+func feedMany(s Sink, n int) {
+	for i := 0; i < n; i++ {
+		req, job := int64(i+1), int64(i+1)
+		a := Ev(ms(i), Arrived)
+		a.Req = req
+		s.Event(a)
+		if i%7 == 3 {
+			f := Ev(ms(i+100), Failed)
+			f.Req = req
+			s.Event(f)
+			continue
+		}
+		d := Ev(ms(i+5), Dispatched)
+		d.Req, d.Job, d.Node, d.Spec, d.N, d.Detail = req, job, i%3, "g4dn.xlarge", 2, "queued"
+		s.Event(d)
+		q := Ev(ms(i+6), Queued)
+		q.Job = job
+		s.Event(q)
+		q.Kind = ExecStart
+		q.At = ms(i + 8)
+		s.Event(q)
+		q.Kind = ExecEnd
+		q.At = ms(i + 20)
+		s.Event(q)
+		c := Ev(ms(i+20), Completed)
+		c.Req, c.Job = req, job
+		s.Event(c)
+	}
+	// A request that never completes: must still appear at Close.
+	a := Ev(ms(n+1), Arrived)
+	a.Req = int64(n + 1)
+	s.Event(a)
+	// A sample event for the series path.
+	smp := Ev(ms(n+2), Sample)
+	smp.Detail, smp.Value = "pool/busy", 3
+	s.Event(smp)
+}
+
+func sortLines(b []byte) []string {
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	sort.Strings(lines)
+	return lines
+}
+
+// TestStreamWriterMatchesRecorder pins the tentpole's telemetry claim: the
+// streaming writer must emit the same span set as the buffering Recorder
+// (same bytes per span; ordering is completion order vs. arrival order) and
+// a byte-identical raw event feed.
+func TestStreamWriterMatchesRecorder(t *testing.T) {
+	rec := NewRecorder()
+	var spanBuf, eventBuf bytes.Buffer
+	sw := NewStreamWriter(&spanBuf, &eventBuf)
+
+	feedMany(Combine(rec, sw), 200)
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var recSpans, recEvents bytes.Buffer
+	if err := rec.WriteSpansJSONL(&recSpans); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteEventsJSONL(&recEvents); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(recEvents.Bytes(), eventBuf.Bytes()) {
+		t.Error("streamed events JSONL is not byte-identical to the Recorder's")
+	}
+	got, want := sortLines(spanBuf.Bytes()), sortLines(recSpans.Bytes())
+	if len(got) != len(want) {
+		t.Fatalf("span count: stream %d, recorder %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("span line %d differs:\nstream   %s\nrecorder %s", i, got[i], want[i])
+		}
+	}
+	if sw.SpansWritten() != len(rec.Spans()) {
+		t.Errorf("SpansWritten = %d, want %d", sw.SpansWritten(), len(rec.Spans()))
+	}
+}
+
+// TestStreamWriterBoundedMemory: the writer's span retention must track the
+// number of in-flight requests, not the total request count.
+func TestStreamWriterBoundedMemory(t *testing.T) {
+	var spanBuf bytes.Buffer
+	sw := NewStreamWriter(&spanBuf, nil)
+	feedMany(sw, 5000)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// feedMany keeps at most a handful of requests open at once (each
+	// lifecycle completes before the next begins, plus the final dangler).
+	if sw.PeakInFlight() > 4 {
+		t.Errorf("PeakInFlight = %d; want O(in-flight), not O(N)", sw.PeakInFlight())
+	}
+	if sw.SpansWritten() != 5001 {
+		t.Errorf("SpansWritten = %d, want 5001 (incl. the never-completed span)", sw.SpansWritten())
+	}
+}
+
+// TestStreamWriterHoldsForExecEnd: a span whose Completed event arrives
+// before its job's ExecEnd must not be flushed with unset exec stamps.
+func TestStreamWriterHoldsForExecEnd(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, nil)
+
+	d := Ev(ms(1), Dispatched)
+	d.Req, d.Job = 1, 9
+	sw.Event(d)
+	c := Ev(ms(5), Completed)
+	c.Req, c.Job = 1, 9
+	sw.Event(c)
+	if sw.SpansWritten() != 0 {
+		t.Fatal("span flushed before its job's ExecEnd")
+	}
+	e := Ev(ms(4), ExecEnd)
+	e.Job = 9
+	sw.Event(e)
+	if sw.SpansWritten() != 1 {
+		t.Fatal("span not flushed once exec stamps landed")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"exec_ns"`) {
+		t.Fatal("no exec field in flushed span")
+	}
+}
+
+// TestStreamWriterSeries: Sample events must still feed the series set.
+func TestStreamWriterSeries(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, nil)
+	for i := 0; i < 3; i++ {
+		e := Ev(ms(i), Sample)
+		e.Detail, e.Value = "x", float64(i)
+		sw.Event(e)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ss := sw.Series().Get("x")
+	if ss == nil || len(ss.Points) != 3 {
+		t.Fatalf("series not collected: %+v", ss)
+	}
+}
+
+// TestStreamWriterWriteError: write failures surface from Close.
+func TestStreamWriterWriteError(t *testing.T) {
+	sw := NewStreamWriter(failWriter{}, nil)
+	feedLifecycle(sw)
+	if err := sw.Close(); err == nil {
+		t.Fatal("Close did not report the write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk full") }

@@ -20,6 +20,12 @@ const AzureDuration = 25 * time.Minute
 // violent surges, scaled so the peak (over 1 s windows) targets peakRPS and
 // the resulting peak:mean ratio is close to 673:55.
 func Azure(rng *sim.RNG, peakRPS float64, dur time.Duration) *Trace {
+	return AzureCurve(rng, peakRPS, dur).Realize(rng)
+}
+
+// AzureCurve builds the Azure rate curve without realizing it; Stream it for
+// a constant-memory arrival source or Realize it for the full Trace.
+func AzureCurve(rng *sim.RNG, peakRPS float64, dur time.Duration) *Curve {
 	name := fmt.Sprintf("azure(peak=%.0f,dur=%v)", peakRPS, dur)
 	r := rng.Stream("curve/" + name)
 	n := int(dur / curveBucket)
@@ -80,7 +86,7 @@ func Azure(rng *sim.RNG, peakRPS float64, dur time.Duration) *Trace {
 	// Scale so the realized peak hits the target; the mean then follows the
 	// designed ratio.
 	scaleToPeak(rates, peakRPS)
-	return FromRateCurve(rng, name, rates, curveBucket)
+	return &Curve{Name: name, Rates: rates, Bucket: curveBucket}
 }
 
 // WikipediaCompression is the default time compression applied to the 5-day
@@ -93,6 +99,11 @@ const WikipediaCompression = 48
 // peakRPS, ~16 h of high traffic per day), time-compressed by the given
 // factor (>= 1).
 func Wikipedia(rng *sim.RNG, peakRPS float64, days int, compression int) *Trace {
+	return WikipediaCurve(rng, peakRPS, days, compression).Realize(rng)
+}
+
+// WikipediaCurve builds the diurnal Wikipedia rate curve without realizing it.
+func WikipediaCurve(rng *sim.RNG, peakRPS float64, days int, compression int) *Curve {
 	if compression < 1 {
 		compression = 1
 	}
@@ -117,7 +128,7 @@ func Wikipedia(rng *sim.RNG, peakRPS float64, days int, compression int) *Trace 
 		}
 	}
 	scaleToPeak(rates, peakRPS)
-	return FromRateCurve(rng, name, rates, curveBucket)
+	return &Curve{Name: name, Rates: rates, Bucket: curveBucket}
 }
 
 // TwitterDuration is the paper's Twitter sample length (90 minutes).
@@ -127,6 +138,11 @@ const TwitterDuration = 90 * time.Minute
 // multiplicative random walk with abrupt jumps, scaled to the target mean
 // rate (the paper uses 5x the Azure sample's mean).
 func Twitter(rng *sim.RNG, meanRPS float64, dur time.Duration) *Trace {
+	return TwitterCurve(rng, meanRPS, dur).Realize(rng)
+}
+
+// TwitterCurve builds the erratic Twitter rate curve without realizing it.
+func TwitterCurve(rng *sim.RNG, meanRPS float64, dur time.Duration) *Curve {
 	name := fmt.Sprintf("twitter(mean=%.0f,dur=%v)", meanRPS, dur)
 	r := rng.Stream("curve/" + name)
 	n := int(dur / curveBucket)
@@ -147,25 +163,35 @@ func Twitter(rng *sim.RNG, meanRPS float64, dur time.Duration) *Trace {
 		rates[i] = level
 	}
 	scaleToMean(rates, meanRPS)
-	return FromRateCurve(rng, name, rates, curveBucket)
+	return &Curve{Name: name, Rates: rates, Bucket: curveBucket}
 }
 
 // Poisson synthesizes a constant-rate Poisson arrival process — the paper's
 // resource-exhaustion workload (mean ~700 rps of GoogleNet).
 func Poisson(rng *sim.RNG, rateRPS float64, dur time.Duration) *Trace {
+	return PoissonCurve(rng, rateRPS, dur).Realize(rng)
+}
+
+// PoissonCurve builds the constant-rate curve without realizing it.
+func PoissonCurve(_ *sim.RNG, rateRPS float64, dur time.Duration) *Curve {
 	name := fmt.Sprintf("poisson(rate=%.0f,dur=%v)", rateRPS, dur)
 	n := int(dur / curveBucket)
 	rates := make([]float64, n)
 	for i := range rates {
 		rates[i] = rateRPS
 	}
-	return FromRateCurve(rng, name, rates, curveBucket)
+	return &Curve{Name: name, Rates: rates, Bucket: curveBucket}
 }
 
 // Stable synthesizes the "relatively stable" Wikipedia-derived trace of the
 // motivation experiment (Fig. 1): traffic wanders gently (±~15%) around the
 // target mean.
 func Stable(rng *sim.RNG, meanRPS float64, dur time.Duration) *Trace {
+	return StableCurve(rng, meanRPS, dur).Realize(rng)
+}
+
+// StableCurve builds the gently wandering rate curve without realizing it.
+func StableCurve(rng *sim.RNG, meanRPS float64, dur time.Duration) *Curve {
 	name := fmt.Sprintf("stable(mean=%.0f,dur=%v)", meanRPS, dur)
 	r := rng.Stream("curve/" + name)
 	n := int(dur / curveBucket)
@@ -179,5 +205,5 @@ func Stable(rng *sim.RNG, meanRPS float64, dur time.Duration) *Trace {
 		}
 	}
 	scaleToMean(rates, meanRPS)
-	return FromRateCurve(rng, name, rates, curveBucket)
+	return &Curve{Name: name, Rates: rates, Bucket: curveBucket}
 }

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"math"
+	mrand "math/rand"
+	"slices"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Stream yields the arrivals of one trace lazily, in ascending order. It is
+// the constant-memory counterpart of the materialized Trace: the runner pulls
+// one arrival at a time, so multi-million-request traces never exist as a
+// slice. Implementations are single-use (Next consumes); anything a consumer
+// needs before the first arrival (warm-start rate, duration) is answered
+// without consuming.
+type Stream interface {
+	// Name identifies the generator and parameters, for reports.
+	Name() string
+	// Duration is the trace length; arrivals all fall before it.
+	Duration() time.Duration
+	// Next returns the next arrival offset; ok is false once the trace is
+	// exhausted.
+	Next() (arrival time.Duration, ok bool)
+	// InitRPS is the realized mean arrival rate over [0, window) — what a
+	// control plane warm-starting at t=0 would have observed. It does not
+	// consume the stream.
+	InitRPS(window time.Duration) float64
+}
+
+// Materializer is implemented by streams backed by a fully materialized
+// Trace; clairvoyant predictors need it to read the future.
+type Materializer interface {
+	Materialized() *Trace
+}
+
+// Materialized returns the trace backing s when s is materialized-backed.
+func Materialized(s Stream) (*Trace, bool) {
+	m, ok := s.(Materializer)
+	if !ok {
+		return nil, false
+	}
+	return m.Materialized(), true
+}
+
+// --- materialized adapter ----------------------------------------------------
+
+// TraceStream iterates over a materialized Trace. It is the Stream every
+// existing Trace provides, making the materialized path one implementation of
+// the streaming contract.
+type TraceStream struct {
+	t *Trace
+	i int
+}
+
+// Stream returns a single-use Stream view over the trace.
+func (t *Trace) Stream() *TraceStream { return &TraceStream{t: t} }
+
+// Name implements Stream.
+func (s *TraceStream) Name() string { return s.t.Name }
+
+// Duration implements Stream.
+func (s *TraceStream) Duration() time.Duration { return s.t.Duration }
+
+// Next implements Stream.
+func (s *TraceStream) Next() (time.Duration, bool) {
+	if s.i >= len(s.t.Arrivals) {
+		return 0, false
+	}
+	a := s.t.Arrivals[s.i]
+	s.i++
+	return a, true
+}
+
+// InitRPS implements Stream; it matches Trace.Slice(0, window).MeanRPS()
+// bit-for-bit so a streaming run warm-starts exactly like a materialized one.
+func (s *TraceStream) InitRPS(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return s.t.Slice(0, window).MeanRPS()
+}
+
+// Materialized implements Materializer.
+func (s *TraceStream) Materialized() *Trace { return s.t }
+
+// --- rate-curve stream -------------------------------------------------------
+
+// Curve is an unrealized arrival recipe: a per-bucket rate curve plus the
+// seeded RNG contract. It is the shared source behind both realizations —
+// Realize materializes the full Trace, Stream yields the exact same arrivals
+// one bucket at a time in constant memory. Both consume the RNG stream
+// "trace/<name>" identically, so they are interchangeable bit-for-bit.
+type Curve struct {
+	// Name identifies the generator and parameters.
+	Name string
+	// Rates is the arrival rate (rps) per aligned bucket.
+	Rates []float64
+	// Bucket is the curve resolution.
+	Bucket time.Duration
+}
+
+// Duration is the trace length the curve realizes to.
+func (c *Curve) Duration() time.Duration {
+	return time.Duration(len(c.Rates)) * c.Bucket
+}
+
+// MeanRPS is the curve's design mean arrival rate (the realized mean differs
+// by Poisson noise).
+func (c *Curve) MeanRPS() float64 {
+	if len(c.Rates) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range c.Rates {
+		sum += r
+	}
+	return sum / float64(len(c.Rates))
+}
+
+// PeakRPS is the curve's design peak rate.
+func (c *Curve) PeakRPS() float64 {
+	max := 0.0
+	for _, r := range c.Rates {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// ExpectedRequests is the expected number of realized arrivals.
+func (c *Curve) ExpectedRequests() float64 {
+	return c.MeanRPS() * c.Duration().Seconds()
+}
+
+// Realize materializes the curve into a full Trace (the historical
+// FromRateCurve behaviour, byte-identical).
+func (c *Curve) Realize(rng *sim.RNG) *Trace {
+	s := c.Stream(rng)
+	var arrivals []time.Duration
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		arrivals = append(arrivals, a)
+	}
+	return &Trace{Name: c.Name, Arrivals: arrivals, Duration: c.Duration()}
+}
+
+// Stream returns a constant-memory iterator over the curve's realization.
+// Peak memory is one bucket's worth of arrivals (~rate x bucket), regardless
+// of trace length.
+func (c *Curve) Stream(rng *sim.RNG) *CurveStream {
+	return &CurveStream{c: c, rng: rng, r: rng.Stream("trace/" + c.Name)}
+}
+
+// CurveStream realizes an inhomogeneous Poisson process bucket by bucket:
+// for each bucket it draws a Poisson count, places the arrivals uniformly
+// inside the bucket, sorts them, and yields them one at a time. Because
+// buckets are disjoint intervals, per-bucket sorting produces exactly the
+// globally sorted arrival sequence of the materialized Trace, from exactly
+// the same RNG draws.
+type CurveStream struct {
+	c   *Curve
+	rng *sim.RNG    // root, for InitRPS replay clones
+	r   *mrand.Rand // realization stream ("trace/<name>")
+	i   int         // next bucket to realize
+	buf []time.Duration
+	pos int
+}
+
+// Name implements Stream.
+func (s *CurveStream) Name() string { return s.c.Name }
+
+// Duration implements Stream.
+func (s *CurveStream) Duration() time.Duration { return s.c.Duration() }
+
+// Next implements Stream.
+func (s *CurveStream) Next() (time.Duration, bool) {
+	for s.pos >= len(s.buf) {
+		if s.i >= len(s.c.Rates) {
+			return 0, false
+		}
+		s.buf = realizeBucket(s.r, s.c.Rates[s.i], s.i, s.c.Bucket, s.buf[:0])
+		s.pos = 0
+		s.i++
+	}
+	a := s.buf[s.pos]
+	s.pos++
+	return a, true
+}
+
+// InitRPS implements Stream: it replays a fresh clone of the realization
+// stream (same seed, same name, hence the same Poisson draws) and counts the
+// arrivals before window, so the result equals the materialized trace's
+// Slice(0, window).MeanRPS() exactly.
+func (s *CurveStream) InitRPS(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	clone := s.c.Stream(s.rng)
+	n := 0
+	for {
+		a, ok := clone.Next()
+		if !ok || a >= window {
+			break
+		}
+		n++
+	}
+	return float64(n) / window.Seconds()
+}
+
+// realizeBucket draws bucket i's arrivals into buf (reused across buckets)
+// and returns it sorted. It performs the exact RNG draws the historical
+// FromRateCurve loop performed for this bucket.
+func realizeBucket(r *mrand.Rand, rate float64, i int, bucket time.Duration, buf []time.Duration) []time.Duration {
+	if rate <= 0 {
+		return buf
+	}
+	mean := rate * bucket.Seconds()
+	n := poisson(r.Float64, mean)
+	base := time.Duration(i) * bucket
+	for j := 0; j < n; j++ {
+		buf = append(buf, base+time.Duration(r.Float64()*float64(bucket)))
+	}
+	slices.Sort(buf)
+	return buf
+}
+
+// Collect drains a stream into a materialized Trace (tests and tools).
+func Collect(s Stream) *Trace {
+	var arrivals []time.Duration
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		arrivals = append(arrivals, a)
+	}
+	return &Trace{Name: s.Name(), Arrivals: arrivals, Duration: s.Duration()}
+}
+
+// DurationForRequests sizes a trace duration so a curve with the given mean
+// rate realizes approximately n requests (in expectation), rounded up to
+// whole curve buckets.
+func DurationForRequests(n int, meanRPS float64) time.Duration {
+	if n <= 0 || meanRPS <= 0 {
+		return 0
+	}
+	d := time.Duration(float64(n) / meanRPS * float64(time.Second))
+	buckets := time.Duration(math.Ceil(float64(d) / float64(curveBucket)))
+	return buckets * curveBucket
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// curveCases builds every generator's curve at a small duration.
+func curveCases(rng *sim.RNG) map[string]*Curve {
+	return map[string]*Curve{
+		"azure":     AzureCurve(rng, 400, 2*time.Minute),
+		"wikipedia": WikipediaCurve(rng, 300, 1, WikipediaCompression),
+		"twitter":   TwitterCurve(rng, 120, 2*time.Minute),
+		"poisson":   PoissonCurve(rng, 200, 90*time.Second),
+		"stable":    StableCurve(rng, 150, 90*time.Second),
+	}
+}
+
+// TestCurveStreamMatchesRealize pins the tentpole's equivalence claim at the
+// trace layer: for every generator, the lazy stream yields exactly the
+// arrival sequence the materialized Realize produces, from the same seed.
+func TestCurveStreamMatchesRealize(t *testing.T) {
+	for name, c := range curveCases(sim.NewRNG(7)) {
+		t.Run(name, func(t *testing.T) {
+			mat := c.Realize(sim.NewRNG(7))
+			got := Collect(c.Stream(sim.NewRNG(7)))
+			if !reflect.DeepEqual(mat, got) {
+				t.Fatalf("stream realization differs from materialized trace:\nmat %d arrivals, stream %d",
+					len(mat.Arrivals), len(got.Arrivals))
+			}
+		})
+	}
+}
+
+// TestGeneratorsUnchangedByCurveRefactor pins that the public generator
+// functions still produce the same traces they did before the Curve split:
+// Azure(rng, ...) must equal AzureCurve(rng, ...).Realize(rng), etc.
+func TestGeneratorsUnchangedByCurveRefactor(t *testing.T) {
+	rng := sim.NewRNG(11)
+	cases := map[string]struct {
+		direct  *Trace
+		byCurve *Trace
+	}{
+		"azure":     {Azure(rng, 400, 2*time.Minute), AzureCurve(rng, 400, 2*time.Minute).Realize(rng)},
+		"wikipedia": {Wikipedia(rng, 300, 1, WikipediaCompression), WikipediaCurve(rng, 300, 1, WikipediaCompression).Realize(rng)},
+		"twitter":   {Twitter(rng, 120, 2*time.Minute), TwitterCurve(rng, 120, 2*time.Minute).Realize(rng)},
+		"poisson":   {Poisson(rng, 200, time.Minute), PoissonCurve(rng, 200, time.Minute).Realize(rng)},
+		"stable":    {Stable(rng, 150, time.Minute), StableCurve(rng, 150, time.Minute).Realize(rng)},
+	}
+	for name, c := range cases {
+		if !reflect.DeepEqual(c.direct, c.byCurve) {
+			t.Errorf("%s: generator and curve realization disagree", name)
+		}
+	}
+}
+
+// TestTraceStreamYieldsArrivals checks the materialized adapter: same
+// arrivals, same duration, and Materialized round-trips.
+func TestTraceStreamYieldsArrivals(t *testing.T) {
+	tr := Poisson(sim.NewRNG(3), 100, time.Minute)
+	s := tr.Stream()
+	if got, ok := Materialized(s); !ok || got != tr {
+		t.Fatalf("Materialized() = %v, %v; want the backing trace", got, ok)
+	}
+	got := Collect(tr.Stream())
+	if !reflect.DeepEqual(got.Arrivals, tr.Arrivals) || got.Duration != tr.Duration {
+		t.Fatal("TraceStream does not reproduce the trace")
+	}
+}
+
+// TestInitRPSMatchesMaterializedSlice: both stream implementations must
+// report the exact warm-start rate the materialized path computes, so a
+// streaming run selects the same initial hardware.
+func TestInitRPSMatchesMaterializedSlice(t *testing.T) {
+	const window = 2 * time.Second
+	for name, c := range curveCases(sim.NewRNG(13)) {
+		t.Run(name, func(t *testing.T) {
+			mat := c.Realize(sim.NewRNG(13))
+			want := mat.Slice(0, window).MeanRPS()
+			if got := c.Stream(sim.NewRNG(13)).InitRPS(window); got != want {
+				t.Errorf("CurveStream.InitRPS = %v, want %v", got, want)
+			}
+			if got := mat.Stream().InitRPS(window); got != want {
+				t.Errorf("TraceStream.InitRPS = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestInitRPSDoesNotConsume: InitRPS must leave the stream's own arrival
+// sequence untouched.
+func TestInitRPSDoesNotConsume(t *testing.T) {
+	c := PoissonCurve(nil, 100, time.Minute)
+	plain := Collect(c.Stream(sim.NewRNG(5)))
+	s := c.Stream(sim.NewRNG(5))
+	s.InitRPS(2 * time.Second)
+	probed := Collect(s)
+	if !reflect.DeepEqual(plain.Arrivals, probed.Arrivals) {
+		t.Fatal("InitRPS consumed the stream")
+	}
+}
+
+// TestCurveStreamBoundedBuffer: the stream's working set is one bucket of
+// arrivals, independent of trace length.
+func TestCurveStreamBoundedBuffer(t *testing.T) {
+	long := PoissonCurve(nil, 500, 10*time.Minute)
+	s := long.Stream(sim.NewRNG(1))
+	maxBuf, n := 0, 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+		if len(s.buf) > maxBuf {
+			maxBuf = len(s.buf)
+		}
+	}
+	if n < 100000 {
+		t.Fatalf("expected a large trace, got %d arrivals", n)
+	}
+	// 500 rps x 100 ms = 50 expected per bucket; allow generous Poisson slack.
+	if maxBuf > 200 {
+		t.Fatalf("per-bucket buffer reached %d arrivals; want bucket-bounded (~50)", maxBuf)
+	}
+}
+
+// TestCurveStats sanity-checks the design-rate helpers used by -requests
+// sizing.
+func TestCurveStats(t *testing.T) {
+	c := PoissonCurve(nil, 200, time.Minute)
+	if m := c.MeanRPS(); math.Abs(m-200) > 1e-9 {
+		t.Errorf("MeanRPS = %v, want 200", m)
+	}
+	if p := c.PeakRPS(); math.Abs(p-200) > 1e-9 {
+		t.Errorf("PeakRPS = %v, want 200", p)
+	}
+	if e := c.ExpectedRequests(); math.Abs(e-12000) > 1e-6 {
+		t.Errorf("ExpectedRequests = %v, want 12000", e)
+	}
+	if d := DurationForRequests(12000, 200); d != time.Minute {
+		t.Errorf("DurationForRequests = %v, want 1m", d)
+	}
+	if d := DurationForRequests(0, 200); d != 0 {
+		t.Errorf("DurationForRequests(0) = %v, want 0", d)
+	}
+}

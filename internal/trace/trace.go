@@ -12,7 +12,6 @@ package trace
 import (
 	"fmt"
 	"math"
-	"slices"
 	"sort"
 	"time"
 
@@ -104,27 +103,10 @@ const curveBucket = 100 * time.Millisecond
 
 // FromRateCurve realizes an inhomogeneous Poisson process: for each bucket of
 // the given width with rate rates[i] (rps), it draws a Poisson count and
-// places the arrivals uniformly inside the bucket.
+// places the arrivals uniformly inside the bucket. It is Curve.Realize with
+// the historical signature; Curve.Stream yields the same arrivals lazily.
 func FromRateCurve(rng *sim.RNG, name string, rates []float64, bucket time.Duration) *Trace {
-	r := rng.Stream("trace/" + name)
-	var arrivals []time.Duration
-	for i, rate := range rates {
-		if rate <= 0 {
-			continue
-		}
-		mean := rate * bucket.Seconds()
-		n := poisson(r.Float64, mean)
-		base := time.Duration(i) * bucket
-		for j := 0; j < n; j++ {
-			arrivals = append(arrivals, base+time.Duration(r.Float64()*float64(bucket)))
-		}
-	}
-	slices.Sort(arrivals)
-	return &Trace{
-		Name:     name,
-		Arrivals: arrivals,
-		Duration: time.Duration(len(rates)) * bucket,
-	}
+	return (&Curve{Name: name, Rates: rates, Bucket: bucket}).Realize(rng)
 }
 
 // poisson draws from Poisson(mean) using inversion for small means and a
