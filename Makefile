@@ -7,8 +7,8 @@ GO ?= go
 # proxy, no global install needed).
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test vet lint race bench bench-smoke scale-smoke experiments \
-	figures fuzz fuzz-smoke test-invariants test-determinism clean
+.PHONY: build test vet lint race bench bench-smoke scale-smoke live-smoke \
+	experiments figures fuzz fuzz-smoke test-invariants test-determinism clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ test: vet
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -cpu 1,4 -run 'SerialParallel|SharedPool' ./internal/experiments/
+	$(GO) test -race -cpu 1,4 -run 'OnlineConcurrentSnapshot' ./internal/metrics/
 
 # Benchstat-comparable benchmark pass (3 counts): one benchmark per paper
 # figure/table plus the serial-vs-parallel grid pair. Compare runs with
@@ -59,6 +60,12 @@ bench-smoke:
 # into the streaming path.
 scale-smoke:
 	$(GO) run ./cmd/paldia-sim -stream -requests 1000000 -max-heap-mib 256
+
+# Live observability plane end-to-end: serve a short paced replay, scrape
+# /metrics, read the SSE feed, assert clean shutdown. curl-based; see the
+# script for the exact checks.
+live-smoke:
+	sh scripts/live_smoke.sh
 
 # Full-scale regeneration of the evaluation (writes results + SVG figures).
 experiments:

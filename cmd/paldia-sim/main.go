@@ -15,6 +15,17 @@
 //
 //	paldia-sim -stream -requests 1000000 -max-heap-mib 256
 //
+// Live mode (-serve) replays the run against the wall clock and serves the
+// observability plane while it happens — an embedded dashboard at /, a
+// Prometheus text scrape at /metrics, a JSON snapshot at /state and an SSE
+// telemetry feed at /events; -speedup paces virtual against wall time,
+// -linger keeps serving after the replay, and -progress prints one-line
+// reports from the same thread-safe snapshots. -fail-every/-fail-for inject
+// periodic node outages and -objective tightens the burn-rate error budget:
+//
+//	paldia-sim -serve :8080 -speedup 60 -progress 2s
+//	paldia-sim -serve :8080 -speedup 60 -fail-every 40s -fail-for 10s -objective 0.999
+//
 // Telemetry (single-scheme runs): -trace-out writes a Chrome trace_event
 // timeline (chrome://tracing, Perfetto) plus a derived series CSV;
 // -spans-out / -events-out / -series-out / -timeline-svg export the other
@@ -22,9 +33,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -35,7 +49,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -58,6 +74,15 @@ func main() {
 		stream     = flag.Bool("stream", false, "realize arrivals lazily from the rate curve with constant-memory metrics (no per-request records)")
 		requests   = flag.Int("requests", 0, "with -stream: size the trace so ~N requests arrive in expectation (overrides -duration)")
 		maxHeapMiB = flag.Int("max-heap-mib", 0, "fail if sampled heap (runtime HeapAlloc) ever exceeds this many MiB (0 = no limit)")
+
+		failEvery = flag.Duration("fail-every", 0, "inject a node failure on this virtual-time period (0 = none)")
+		failFor   = flag.Duration("fail-for", 10*time.Second, "how long each injected node failure lasts")
+
+		serveAddr  = flag.String("serve", "", "serve the live observability plane on this address (e.g. :8080) while replaying; implies -stream")
+		speedup    = flag.Float64("speedup", 0, "with -serve: virtual seconds replayed per wall second (0 = as fast as possible)")
+		objective  = flag.Float64("objective", 0.99, "with -serve/-progress: SLO-compliance objective whose complement is the burn-rate error budget")
+		linger     = flag.Duration("linger", 0, "with -serve: keep serving this long after the replay finishes")
+		progressIv = flag.Duration("progress", 0, "print a one-line progress report on this wall-clock cadence; implies -stream")
 
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (also derives a series CSV next to it)")
 		spansOut    = flag.String("spans-out", "", "write per-request spans as JSONL")
@@ -87,6 +112,12 @@ func main() {
 
 	heap := watchHeap(*maxHeapMiB)
 
+	// The live plane and the progress line both ride the streaming path:
+	// that is where the shared Online aggregator and the arrival stream live.
+	if *serveAddr != "" || *progressIv > 0 {
+		*stream = true
+	}
+
 	if *stream {
 		if *csvPath != "" || *timeline || *traceOut != "" {
 			fmt.Fprintln(os.Stderr, "-stream keeps no per-request records; -csv, -timeline and -trace-out need a materialized run")
@@ -97,6 +128,9 @@ func main() {
 			requests: *requests, seed: *seed, slo: *slo, schemeArg: *schemeArg,
 			jobs: *jobs, spansOut: *spansOut, eventsOut: *eventsOut,
 			seriesOut: *seriesOut, svgOut: *timelineSVG, sample: *sampleEvery,
+			serve: *serveAddr, speedup: *speedup, linger: *linger,
+			progress: *progressIv, objective: *objective,
+			failEvery: *failEvery, failFor: *failFor,
 		})
 		heap.report()
 		return
@@ -126,11 +160,13 @@ func main() {
 	recs := make([]*telemetry.Recorder, len(schemes))
 	pool.Map(len(schemes), func(i int) {
 		cfg := core.Config{
-			Model:  m,
-			Trace:  tr,
-			Scheme: schemes[i],
-			SLO:    *slo,
-			Seed:   *seed,
+			Model:           m,
+			Trace:           tr,
+			Scheme:          schemes[i],
+			SLO:             *slo,
+			Seed:            *seed,
+			FailureEvery:    *failEvery,
+			FailureDuration: *failFor,
 		}
 		if telemetryOn {
 			recs[i] = telemetry.NewRecorder()
@@ -178,6 +214,13 @@ type streamRun struct {
 	seriesOut string
 	svgOut    string
 	sample    time.Duration
+	serve     string
+	speedup   float64
+	linger    time.Duration
+	progress  time.Duration
+	objective float64
+	failEvery time.Duration
+	failFor   time.Duration
 }
 
 // runStream is the constant-memory serving path: arrivals come one at a time
@@ -203,6 +246,11 @@ func runStream(o streamRun) {
 		fmt.Fprintln(os.Stderr, "telemetry flags (-spans-out, ...) require a single scheme, not -scheme all")
 		os.Exit(1)
 	}
+	live := o.serve != "" || o.progress > 0
+	if live && len(schemes) > 1 {
+		fmt.Fprintln(os.Stderr, "-serve and -progress attach to a single run, not -scheme all")
+		os.Exit(1)
+	}
 
 	var sw *telemetry.StreamWriter
 	var files []*os.File
@@ -226,6 +274,35 @@ func runStream(o streamRun) {
 		sw = telemetry.NewStreamWriter(spansW, eventsW)
 	}
 
+	// The live observability plane attaches through three read-only seams
+	// (sink, pacer, shared aggregator), so the run's outputs are identical
+	// with or without it; the HTTP server reads mid-run snapshots only.
+	var (
+		plane  *obs.Plane
+		online *metrics.Online
+		srv    *http.Server
+	)
+	if live {
+		online = metrics.NewOnline(o.slo, c.Duration(), metrics.DefaultGoodputWindow)
+		plane = obs.NewPlane(obs.Options{
+			SLO: o.slo, Objective: o.objective, Online: online, Speedup: o.speedup,
+		})
+		if o.serve != "" {
+			ln, err := net.Listen("tcp", o.serve)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+			srv = obs.NewServer(o.serve, plane)
+			go func() {
+				if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "live plane on http://%s  (/ dashboard, /metrics, /state, /events)\n", ln.Addr())
+		}
+	}
+
 	// Curve streams are reproducible: every c.Stream(rng) replays the same
 	// seeded realization, so each scheme serves the identical arrival
 	// sequence and -j parallelism changes nothing.
@@ -238,21 +315,46 @@ func runStream(o streamRun) {
 		pool = experiments.NewPool(o.jobs)
 	}
 	results := make([]core.Result, len(schemes))
-	pool.Map(len(schemes), func(i int) {
+	runOne := func(i int) {
 		cfg := core.Config{
-			Model:   o.model,
-			Stream:  streams[i],
-			Scheme:  schemes[i],
-			SLO:     o.slo,
-			Seed:    o.seed,
-			Metrics: core.MetricsOnline,
+			Model:           o.model,
+			Stream:          streams[i],
+			Scheme:          schemes[i],
+			SLO:             o.slo,
+			Seed:            o.seed,
+			Metrics:         core.MetricsOnline,
+			FailureEvery:    o.failEvery,
+			FailureDuration: o.failFor,
 		}
 		if sw != nil {
 			cfg.Telemetry = sw
 			cfg.SampleEvery = o.sample
 		}
+		if plane != nil { // live => single scheme
+			cfg.Telemetry = telemetry.Combine(cfg.Telemetry, plane.Sink())
+			cfg.Pacer = plane.Pacer()
+			cfg.Aggregator = online
+			cfg.SampleEvery = o.sample
+		}
 		results[i] = core.Run(cfg)
-	})
+	}
+	stopProgress := startProgress(o.progress, online, plane)
+	pool.Map(len(schemes), runOne)
+	stopProgress()
+	if plane != nil {
+		plane.MarkDone()
+		if o.linger > 0 {
+			fmt.Fprintf(os.Stderr, "replay done; serving for another %v\n", o.linger)
+			time.Sleep(o.linger)
+		}
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		cancel()
+	}
 	for _, res := range results {
 		printResult(res)
 	}
@@ -352,6 +454,42 @@ type heapWatch struct {
 	limit uint64
 	peak  atomic.Uint64
 	stop  chan struct{}
+}
+
+// startProgress prints a one-line report to stderr on a wall-clock cadence,
+// reading only thread-safe snapshots (metrics.Online.Snapshot and the replay
+// driver), so the run itself is untouched. The returned function stops the
+// reporter and waits for it to exit. A non-positive cadence is a no-op.
+func startProgress(every time.Duration, online *metrics.Online, plane *obs.Plane) func() {
+	if every <= 0 || online == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s := online.Snapshot()
+				runtime.ReadMemStats(&ms)
+				var vt time.Duration
+				if plane != nil {
+					vt = plane.Driver().VirtualNow()
+				}
+				fmt.Fprintf(os.Stderr,
+					"progress: vt=%v requests=%d compliance=%.2f%% p99=%v heap=%dMiB\n",
+					vt.Round(time.Second), s.Count, 100*s.Compliance,
+					s.P99.Round(time.Millisecond), ms.HeapAlloc>>20)
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
 }
 
 func watchHeap(limitMiB int) *heapWatch {

@@ -90,6 +90,21 @@ type Config struct {
 	// Metrics selects the aggregator; the zero value is the exact Collector.
 	Metrics MetricsMode
 
+	// Aggregator, when set, overrides Metrics: the run feeds this aggregator
+	// instead of constructing its own. The live observability plane passes
+	// the metrics.Online it also serves mid-run snapshots from, so /metrics
+	// reads the very sketch the simulation is filling. The aggregator must
+	// be fresh (single-run) and judge against the same SLO as the config.
+	Aggregator metrics.Aggregator
+
+	// Pacer, when set, observes every advance of the virtual clock — once
+	// per distinct instant, before the events there fire — and may block:
+	// the wall-clock replay driver (internal/obs) sleeps here to map virtual
+	// time onto real time at a configured speedup. It must not mutate
+	// simulation state, so the run's trajectory and outputs are identical
+	// with or without it; nil costs one branch per clock advance.
+	Pacer func(now time.Duration)
+
 	// SLO defaults to 200 ms.
 	SLO time.Duration
 	// Seed drives all randomness (trace realization happens before the
@@ -311,10 +326,16 @@ func Run(cfg Config) Result {
 		r.arr = cfg.Trace.Stream()
 	}
 	r.end = r.arr.Duration()
-	if cfg.Metrics == MetricsOnline {
+	switch {
+	case cfg.Aggregator != nil:
+		r.col = cfg.Aggregator
+	case cfg.Metrics == MetricsOnline:
 		r.col = metrics.NewOnline(cfg.SLO, r.end, metrics.DefaultGoodputWindow)
-	} else {
+	default:
 		r.col = metrics.NewCollector(cfg.SLO)
+	}
+	if cfg.Pacer != nil {
+		r.eng.SetOnAdvance(cfg.Pacer)
 	}
 	r.clu = cluster.New(r.eng)
 	r.tel = telemetry.Combine(cfg.Telemetry, telemetry.AdaptOnEvent(cfg.OnEvent),

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOnlineConcurrentSnapshot is the thread-safety contract behind the live
+// observability plane: one goroutine Adds (the simulation) while several
+// others take Snapshots and run every reader concurrently (the HTTP
+// handlers). Run under -race -cpu 1,4 in CI; without -race it still checks
+// that concurrent reads never observe torn counters (violations, compliance
+// and count must stay mutually consistent, and counts never go backwards).
+func TestOnlineConcurrentSnapshot(t *testing.T) {
+	const n = 20000
+	o := NewOnline(100*time.Millisecond, time.Hour, time.Second)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := o.Snapshot()
+				if s.Count < last {
+					t.Errorf("count went backwards: %d after %d", s.Count, last)
+					return
+				}
+				last = s.Count
+				if s.OK+s.Violations != s.Count {
+					t.Errorf("torn snapshot: ok %d + violations %d != count %d",
+						s.OK, s.Violations, s.Count)
+					return
+				}
+				if s.Count > 0 && (s.Compliance < 0 || s.Compliance > 1) {
+					t.Errorf("compliance %v out of range", s.Compliance)
+					return
+				}
+				// Exercise the remaining readers for the race detector.
+				o.Percentile(99)
+				o.Mean()
+				o.Max()
+				o.MeanBreakdown()
+				o.GoodputRPS(0, time.Minute)
+				o.ArrivalRPS(0, time.Minute)
+				o.SLOCompliance()
+				o.Violations()
+				o.Failed()
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		lat := time.Duration(i%250) * time.Millisecond
+		o.Add(Record{
+			Arrival: time.Duration(i) * time.Millisecond,
+			Latency: lat,
+			MinExec: lat / 2,
+			Failed:  i%97 == 0,
+		})
+	}
+	close(stop)
+	wg.Wait()
+
+	s := o.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	if s.Failed == 0 || s.Violations == 0 {
+		t.Fatalf("expected failures and violations, got failed=%d violations=%d",
+			s.Failed, s.Violations)
+	}
+	if s.OK+s.Violations != s.Count {
+		t.Fatalf("final snapshot inconsistent: %+v", s)
+	}
+	if got, want := s.Compliance, float64(s.OK)/float64(n); got != want {
+		t.Fatalf("compliance %v, want %v", got, want)
+	}
+	if s.P50 <= 0 || s.P99 < s.P50 {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v", s.P50, s.P99)
+	}
+	if s.Max != 249*time.Millisecond {
+		t.Fatalf("max %v, want 249ms", s.Max)
+	}
+}

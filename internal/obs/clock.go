@@ -1,0 +1,85 @@
+// Package obs is the live observability plane: a wall-clock replay driver
+// that paces the deterministic simulation against real time, an HTTP server
+// exposing Prometheus-style /metrics, a JSON /state snapshot and a
+// Server-Sent-Events /events stream of the telemetry feed, and a
+// multi-window SLO error-budget burn-rate tracker with threshold-crossing
+// alerts.
+//
+// The plane is strictly an observer. It attaches to a run through three
+// read-only seams — a telemetry.Sink combined into Config.Telemetry, the
+// Config.Pacer clock-advance hook, and mid-run snapshots of the run's
+// metrics.Online aggregator — and none of them feed anything back into the
+// simulation, so a run's Result, per-request CSV and span JSONL are
+// byte-identical with the plane attached or detached (pinned by tests).
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so the replay driver is testable: production
+// uses the real clock, tests a fake whose Sleep returns instantly while
+// advancing its reading, making paced replays deterministic and instant.
+type Clock interface {
+	// Now returns the current wall-clock reading.
+	Now() time.Time
+	// Sleep blocks for d (or merely advances the reading, for fakes).
+	Sleep(d time.Duration)
+}
+
+// RealClock is the production Clock, backed by package time.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a deterministic Clock for tests: Sleep advances the reading
+// and returns immediately, so a paced replay runs at full speed while the
+// driver still performs its real arithmetic. Safe for concurrent use.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+
+	slept time.Duration
+}
+
+// NewFakeClock returns a fake clock starting at an arbitrary fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: the reading jumps by d, no real time passes.
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.slept += d
+	c.mu.Unlock()
+}
+
+// Slept returns the total time slept — what a real clock would have waited.
+func (c *FakeClock) Slept() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slept
+}
+
+// Advance moves the reading forward without counting as sleep.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

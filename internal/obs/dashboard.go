@@ -1,0 +1,160 @@
+package obs
+
+// dashboardHTML is the embedded single-file dashboard served at /. It is
+// deliberately dependency-free: stat tiles refreshed from /state plus a live
+// feed tail from /events (SSE). Status color is never the only signal — the
+// alert banner always carries a text label.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>paldia live replay</title>
+<style>
+  :root {
+    --bg: #fafaf9; --surface: #ffffff; --border: #e7e5e4;
+    --ink: #1c1917; --ink-2: #57534e; --ink-3: #a8a29e;
+    --good: #1a7f37; --critical: #b91c1c; --critical-bg: #fef2f2;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      --bg: #1c1917; --surface: #292524; --border: #44403c;
+      --ink: #fafaf9; --ink-2: #d6d3d1; --ink-3: #78716c;
+      --good: #3fb950; --critical: #f87171; --critical-bg: #3f1d1d;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 24px; background: var(--bg); color: var(--ink);
+    font: 14px/1.5 ui-sans-serif, system-ui, sans-serif;
+  }
+  h1 { font-size: 16px; font-weight: 600; margin: 0 0 4px; }
+  .sub { color: var(--ink-2); margin: 0 0 20px; }
+  .sub code { color: var(--ink); }
+  #banner {
+    display: none; margin: 0 0 16px; padding: 10px 14px; border-radius: 8px;
+    border: 1px solid var(--critical); background: var(--critical-bg);
+    color: var(--critical); font-weight: 600;
+  }
+  #banner.firing { display: block; }
+  .tiles {
+    display: grid; gap: 12px;
+    grid-template-columns: repeat(auto-fill, minmax(160px, 1fr));
+    margin-bottom: 20px;
+  }
+  .tile {
+    background: var(--surface); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 14px;
+  }
+  .tile .label {
+    color: var(--ink-2); font-size: 12px; text-transform: uppercase;
+    letter-spacing: .04em;
+  }
+  .tile .value {
+    font-size: 24px; font-weight: 600; font-variant-numeric: tabular-nums;
+    margin-top: 2px;
+  }
+  .tile .hint { color: var(--ink-3); font-size: 12px; }
+  table {
+    width: 100%; border-collapse: collapse; background: var(--surface);
+    border: 1px solid var(--border); border-radius: 8px; overflow: hidden;
+    margin-bottom: 20px;
+  }
+  caption { text-align: left; font-weight: 600; padding: 0 0 6px; }
+  th, td {
+    text-align: right; padding: 6px 12px; border-top: 1px solid var(--border);
+    font-variant-numeric: tabular-nums;
+  }
+  th { color: var(--ink-2); font-weight: 500; border-top: none; }
+  th:first-child, td:first-child { text-align: left; }
+  #feed {
+    background: var(--surface); border: 1px solid var(--border);
+    border-radius: 8px; padding: 10px 14px; height: 220px; overflow-y: auto;
+    font: 12px/1.6 ui-monospace, monospace; color: var(--ink-2);
+    white-space: pre-wrap; word-break: break-all;
+  }
+  #feed .alert { color: var(--critical); font-weight: 600; }
+</style>
+</head>
+<body>
+<h1>paldia live replay</h1>
+<p class="sub">scrape <code>/metrics</code> · snapshot <code>/state</code> · stream <code>/events</code></p>
+<div id="banner">SLO burn-rate alert FIRING</div>
+<div class="tiles">
+  <div class="tile"><div class="label">virtual time</div><div class="value" id="vt">–</div></div>
+  <div class="tile"><div class="label">completed</div><div class="value" id="completed">–</div></div>
+  <div class="tile"><div class="label">compliance</div><div class="value" id="compliance">–</div></div>
+  <div class="tile"><div class="label">in flight</div><div class="value" id="inflight">–</div></div>
+  <div class="tile"><div class="label">cold starts</div><div class="value" id="cold">–</div></div>
+  <div class="tile"><div class="label">cost</div><div class="value" id="cost">–</div></div>
+  <div class="tile"><div class="label">burn 5m</div><div class="value" id="burn5m">–</div><div class="hint">1 = budget pace</div></div>
+  <div class="tile"><div class="label">burn 1h</div><div class="value" id="burn1h">–</div><div class="hint">1 = budget pace</div></div>
+</div>
+<table>
+  <caption>Per-tenant ledger</caption>
+  <thead><tr><th>tenant</th><th>arrived</th><th>completed</th><th>failed</th><th>violations</th><th>compliance</th></tr></thead>
+  <tbody id="tenants"></tbody>
+</table>
+<div id="feed"></div>
+<script>
+"use strict";
+var $ = function (id) { return document.getElementById(id); };
+function fmtDur(ns) {
+  var s = ns / 1e9;
+  if (s < 120) return s.toFixed(1) + "s";
+  if (s < 7200) return (s / 60).toFixed(1) + "m";
+  return (s / 3600).toFixed(2) + "h";
+}
+function fmtPct(x) { return (100 * x).toFixed(2) + "%"; }
+function render(st) {
+  $("vt").textContent = fmtDur(st.virtual_time_ns || 0);
+  var completed = 0;
+  var rows = "";
+  (st.tenants || []).forEach(function (t) {
+    completed += t.completed;
+    rows += "<tr><td>" + t.tenant + "</td><td>" + t.arrived +
+      "</td><td>" + t.completed + "</td><td>" + t.failed +
+      "</td><td>" + t.violations + "</td><td>" + fmtPct(t.compliance) + "</td></tr>";
+  });
+  $("tenants").innerHTML = rows;
+  $("completed").textContent = completed.toLocaleString();
+  var fin = 0, bad = 0;
+  (st.tenants || []).forEach(function (t) {
+    fin += t.completed + t.failed; bad += t.violations;
+  });
+  $("compliance").textContent = fin ? fmtPct((fin - bad) / fin) : "–";
+  $("inflight").textContent = st.in_flight_requests;
+  $("cold").textContent = st.cold_boots;
+  var cost = (st.gauges || {})["cost_usd"];
+  $("cost").textContent = cost === undefined ? "–" : "$" + cost.toFixed(2);
+  var burn = st.burn || {};
+  $("burn5m").textContent = burn["5m"] === undefined ? "–" : burn["5m"].toFixed(2);
+  $("burn1h").textContent = burn["1h"] === undefined ? "–" : burn["1h"].toFixed(2);
+  $("banner").className = st.burn_firing ? "firing" : "";
+}
+function poll() {
+  fetch("/state").then(function (r) { return r.json(); }).then(render).catch(function () {});
+}
+setInterval(poll, 1000);
+poll();
+
+var feed = $("feed"), lines = 0;
+function tail(cls, text) {
+  var div = document.createElement("div");
+  if (cls) div.className = cls;
+  div.textContent = text;
+  feed.appendChild(div);
+  while (++lines > 500) { feed.removeChild(feed.firstChild); lines--; }
+  feed.scrollTop = feed.scrollHeight;
+}
+var es = new EventSource("/events");
+["span", "gauge", "ctrl", "alert", "done"].forEach(function (name) {
+  es.addEventListener(name, function (ev) {
+    tail(name === "alert" ? "alert" : "", name + " " + ev.data);
+    if (name === "done") es.close();
+  });
+});
+</script>
+</body>
+</html>
+`

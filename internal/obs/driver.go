@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Driver maps virtual time onto wall-clock time at a configurable speedup.
+// Its Pace method is shaped for core.Config.Pacer: the engine calls it once
+// per distinct virtual instant, before the events there fire, and the
+// driver sleeps until the corresponding wall instant. Speedup is virtual
+// seconds per wall second — 1 replays in real time, 60 replays a minute of
+// trace per second, and 0 (or anything non-positive) disables pacing so the
+// replay runs as fast as the hardware allows while everything else about
+// the plane still works.
+//
+// The driver never slows virtual time down relative to the model and never
+// reorders anything: it only inserts wall-clock waits between instants, so
+// the simulation's trajectory is exactly the unpaced one.
+type Driver struct {
+	clock   Clock
+	speedup float64
+
+	mu        sync.Mutex
+	started   bool
+	wallStart time.Time
+	vt        time.Duration // latest virtual instant observed
+}
+
+// NewDriver returns a driver pacing at the given speedup on the given
+// clock. A nil clock uses the real one.
+func NewDriver(clock Clock, speedup float64) *Driver {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Driver{clock: clock, speedup: speedup}
+}
+
+// Speedup returns the configured virtual-per-wall ratio (0 = unpaced).
+func (d *Driver) Speedup() float64 {
+	if d.speedup <= 0 {
+		return 0
+	}
+	return d.speedup
+}
+
+// Pace observes the virtual clock advancing to vt and blocks until the
+// wall clock catches up to vt/speedup past the replay's start. Lag is never
+// "made up" by running virtual time faster — if the simulation falls behind
+// (an expensive instant), subsequent instants simply sleep less.
+func (d *Driver) Pace(vt time.Duration) {
+	d.mu.Lock()
+	if !d.started {
+		d.started = true
+		d.wallStart = d.clock.Now()
+	}
+	d.vt = vt
+	wallStart := d.wallStart
+	d.mu.Unlock()
+
+	if d.speedup <= 0 {
+		return
+	}
+	target := wallStart.Add(time.Duration(float64(vt) / d.speedup))
+	if wait := target.Sub(d.clock.Now()); wait > 0 {
+		d.clock.Sleep(wait)
+	}
+}
+
+// VirtualNow returns the latest virtual instant the driver has observed.
+func (d *Driver) VirtualNow() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.vt
+}
+
+// WallElapsed returns how much wall time has passed since the replay
+// started (zero before the first paced instant).
+func (d *Driver) WallElapsed() time.Duration {
+	d.mu.Lock()
+	started, wallStart := d.started, d.wallStart
+	d.mu.Unlock()
+	if !started {
+		return 0
+	}
+	return d.clock.Now().Sub(wallStart)
+}

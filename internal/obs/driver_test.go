@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// At speedup 60, a minute of virtual time maps onto one wall second; the
+// driver sleeps exactly the gap between "now" and the target instant.
+func TestDriverPacesVirtualOntoWall(t *testing.T) {
+	clk := NewFakeClock()
+	d := NewDriver(clk, 60)
+
+	d.Pace(60 * time.Second) // target = start + 1s, now = start
+	if got := clk.Slept(); got != time.Second {
+		t.Fatalf("slept %v after first instant, want 1s", got)
+	}
+	d.Pace(120 * time.Second) // target = start + 2s, now = start + 1s
+	if got := clk.Slept(); got != 2*time.Second {
+		t.Fatalf("slept %v after second instant, want 2s", got)
+	}
+	if got := d.VirtualNow(); got != 120*time.Second {
+		t.Fatalf("VirtualNow = %v, want 2m", got)
+	}
+	if got := d.WallElapsed(); got != 2*time.Second {
+		t.Fatalf("WallElapsed = %v, want 2s", got)
+	}
+}
+
+// When the simulation falls behind the wall clock the driver never sleeps —
+// lag is absorbed, not compounded.
+func TestDriverAbsorbsLag(t *testing.T) {
+	clk := NewFakeClock()
+	d := NewDriver(clk, 60)
+	d.Pace(60 * time.Second)
+	clk.Advance(10 * time.Second) // an expensive instant: wall ran ahead
+	d.Pace(120 * time.Second)     // target start+2s is already past
+	if got := clk.Slept(); got != time.Second {
+		t.Fatalf("slept %v, want only the first instant's 1s", got)
+	}
+}
+
+// Speedup <= 0 disables pacing entirely.
+func TestDriverUnpaced(t *testing.T) {
+	clk := NewFakeClock()
+	d := NewDriver(clk, 0)
+	d.Pace(time.Hour)
+	if got := clk.Slept(); got != 0 {
+		t.Fatalf("unpaced driver slept %v", got)
+	}
+	if d.Speedup() != 0 {
+		t.Fatalf("Speedup = %v, want 0", d.Speedup())
+	}
+	if d.WallElapsed() != 0 {
+		t.Fatalf("WallElapsed should be 0 on a clock that never moved, got %v", d.WallElapsed())
+	}
+}
+
+func TestFakeClockSleepAdvancesReading(t *testing.T) {
+	clk := NewFakeClock()
+	t0 := clk.Now()
+	clk.Sleep(3 * time.Second)
+	clk.Sleep(-time.Second) // negative sleeps are ignored
+	if got := clk.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("reading advanced %v, want 3s", got)
+	}
+	if got := clk.Slept(); got != 3*time.Second {
+		t.Fatalf("Slept = %v, want 3s", got)
+	}
+}

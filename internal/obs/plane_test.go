@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// testTrace realizes the shared workload for the non-perturbation tests.
+// The trace must be regenerated per run (realization mutates the RNG), but
+// the same seed makes every realization identical.
+func testTrace() *trace.Trace {
+	return trace.Azure(sim.NewRNG(42), 250, 2*time.Minute)
+}
+
+// Non-perturbation, exact-metrics path: attaching the full plane — sink
+// combined onto the bus, pacer driving a fake clock at speedup, burn
+// tracking live — leaves the Result, the per-request CSV and the span JSONL
+// byte-identical to a detached run. Failure injection is on so the plane
+// also observes the cluster.Fail path without disturbing it.
+func TestPlaneDoesNotPerturbExactRun(t *testing.T) {
+	type snapshot struct {
+		res   core.Result
+		csv   bytes.Buffer
+		spans bytes.Buffer
+	}
+	run := func(p *Plane) *snapshot {
+		rec := telemetry.NewRecorder()
+		cfg := core.Config{
+			Model:           model.MustByName("ResNet 50"),
+			Trace:           testTrace(),
+			Scheme:          core.NewPaldia(),
+			Seed:            42,
+			Telemetry:       rec,
+			SampleEvery:     time.Second,
+			FailureEvery:    40 * time.Second,
+			FailureDuration: 10 * time.Second,
+		}
+		if p != nil {
+			cfg.Telemetry = telemetry.Combine(rec, p.Sink())
+			cfg.Pacer = p.Pacer()
+		}
+		var s snapshot
+		s.res = core.Run(cfg)
+		if err := s.res.Collector.WriteCSV(&s.csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteSpansJSONL(&s.spans); err != nil {
+			t.Fatal(err)
+		}
+		return &s
+	}
+
+	detached := run(nil)
+	clk := NewFakeClock()
+	plane := NewPlane(Options{Clock: clk, Speedup: 600})
+	attached := run(plane)
+	plane.MarkDone()
+
+	ra, rb := detached.res, attached.res
+	ra.Collector, rb.Collector = nil, nil
+	if !reflect.DeepEqual(ra, rb) {
+		t.Errorf("Result changed with the plane attached:\n%+v\nvs\n%+v", ra, rb)
+	}
+	if !bytes.Equal(detached.csv.Bytes(), attached.csv.Bytes()) {
+		t.Error("per-request CSV changed with the plane attached")
+	}
+	if !bytes.Equal(detached.spans.Bytes(), attached.spans.Bytes()) {
+		t.Error("span JSONL changed with the plane attached")
+	}
+	if detached.csv.Len() == 0 || detached.spans.Len() == 0 {
+		t.Fatalf("exports empty: csv=%d spans=%d", detached.csv.Len(), detached.spans.Len())
+	}
+
+	// The comparison is only meaningful if the plane really observed the run.
+	st := plane.Hub().Snapshot()
+	if st.EventsSeen == 0 || len(st.Tenants) == 0 || st.VirtualTime == 0 {
+		t.Fatalf("plane saw nothing: %+v", st)
+	}
+	if st.Tenants[0].Completed == 0 {
+		t.Fatal("plane assembled no completed spans")
+	}
+	if !st.Done {
+		t.Fatal("MarkDone did not latch")
+	}
+	if clk.Slept() == 0 {
+		t.Fatal("paced replay never slept on the fake clock; the pacer was not wired")
+	}
+	// 2m of trace plus the 30s drain at speedup 600 is 250ms of wall time;
+	// the fake clock slept at most that (lag is absorbed, never compounded).
+	if max := (2*time.Minute + core.DefaultDrain) / 600; clk.Slept() > max {
+		t.Fatalf("slept %v, more than the %v the speedup allows", clk.Slept(), max)
+	}
+	if res := attached.res; res.FailuresInjected == 0 {
+		t.Error("failure injection never fired; the non-perturbation check lost coverage")
+	}
+}
+
+// Non-perturbation, streaming-metrics path: a run feeding the plane's
+// shared Online aggregator (the one /metrics snapshots mid-run) matches a
+// detached MetricsOnline run — same Result, same span JSONL, and the two
+// aggregators end in identical states.
+func TestPlaneDoesNotPerturbOnlineRun(t *testing.T) {
+	dur := testTrace().Duration // r.end in core.Run: the arrival stream's span
+	type snapshot struct {
+		res   core.Result
+		snap  metrics.Snapshot
+		spans bytes.Buffer
+	}
+	run := func(p *Plane) *snapshot {
+		rec := telemetry.NewRecorder()
+		cfg := core.Config{
+			Model:       model.MustByName("ResNet 50"),
+			Trace:       testTrace(),
+			Scheme:      core.NewPaldia(),
+			Seed:        42,
+			Telemetry:   rec,
+			SampleEvery: time.Second,
+			Metrics:     core.MetricsOnline,
+		}
+		if p != nil {
+			cfg.Telemetry = telemetry.Combine(rec, p.Sink())
+			cfg.Pacer = p.Pacer()
+			cfg.Aggregator = p.Online()
+		}
+		var s snapshot
+		s.res = core.Run(cfg)
+		s.snap = s.res.Online.Snapshot()
+		if err := rec.WriteSpansJSONL(&s.spans); err != nil {
+			t.Fatal(err)
+		}
+		return &s
+	}
+
+	detached := run(nil)
+	// Mirror the aggregator core.Run would build for MetricsOnline.
+	online := metrics.NewOnline(core.DefaultSLO, dur, metrics.DefaultGoodputWindow)
+	plane := NewPlane(Options{Online: online, Clock: NewFakeClock(), Speedup: 600})
+	attached := run(plane)
+
+	if attached.res.Online != online {
+		t.Fatal("run did not adopt the plane's aggregator")
+	}
+	ra, rb := detached.res, attached.res
+	ra.Online, rb.Online = nil, nil
+	if !reflect.DeepEqual(ra, rb) {
+		t.Errorf("Result changed with the plane attached:\n%+v\nvs\n%+v", ra, rb)
+	}
+	if !reflect.DeepEqual(detached.snap, attached.snap) {
+		t.Errorf("Online snapshots diverged:\n%+v\nvs\n%+v", detached.snap, attached.snap)
+	}
+	if !bytes.Equal(detached.spans.Bytes(), attached.spans.Bytes()) {
+		t.Error("span JSONL changed with the plane attached")
+	}
+	if a, b := detached.snap.Count, attached.res.Requests; a == 0 || a != b {
+		t.Fatalf("aggregator drained %d records for %d requests", a, b)
+	}
+}

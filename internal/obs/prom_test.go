@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// shortReplay runs a small trace with the plane fully attached (sink,
+// pacer, shared Online aggregator) and returns the plane, ready to serve.
+func shortReplay(t *testing.T) *Plane {
+	t.Helper()
+	tr := trace.Azure(sim.NewRNG(11), 80, 30*time.Second)
+	online := metrics.NewOnline(core.DefaultSLO, tr.Duration, metrics.DefaultGoodputWindow)
+	plane := NewPlane(Options{Online: online, Clock: NewFakeClock(), Speedup: 600})
+	core.Run(core.Config{
+		Model:       model.MustByName("ResNet 50"),
+		Trace:       tr,
+		Scheme:      core.NewPaldia(),
+		Seed:        11,
+		Telemetry:   plane.Sink(),
+		SampleEvery: time.Second,
+		Aggregator:  online,
+		Pacer:       plane.Pacer(),
+	})
+	plane.MarkDone()
+	return plane
+}
+
+// The exposition must round-trip: render -> parse -> re-render reproduces
+// every sample line byte-for-byte. This is the acceptance criterion pinning
+// that /metrics really is Prometheus text format (the hand-rolled writer
+// and parser cross-check each other).
+func TestPromTextRoundTrips(t *testing.T) {
+	plane := shortReplay(t)
+	var buf bytes.Buffer
+	set := buildMetrics(plane.Hub().Snapshot(), plane.Online(), plane.Driver())
+	if err := set.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("rendered exposition does not parse: %v", err)
+	}
+
+	var origLines []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		origLines = append(origLines, line)
+	}
+	if len(parsed) != len(origLines) {
+		t.Fatalf("parsed %d samples from %d sample lines", len(parsed), len(origLines))
+	}
+	for i, m := range parsed {
+		if got := m.String(); got != origLines[i] {
+			t.Errorf("line %d did not round-trip:\n  orig: %s\n  back: %s", i, origLines[i], got)
+		}
+	}
+}
+
+// The exposition carries the families the operator story leans on, with
+// sane values from a real replay.
+func TestPromExpositionContents(t *testing.T) {
+	plane := shortReplay(t)
+	var buf bytes.Buffer
+	if err := buildMetrics(plane.Hub().Snapshot(), plane.Online(), plane.Driver()).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byKey := make(map[string]float64)
+	for _, m := range parsed {
+		key := m.Name
+		for _, l := range m.Labels {
+			key += "|" + l.Name + "=" + l.Value
+		}
+		if _, dup := byKey[key]; dup {
+			t.Errorf("duplicate sample %q", key)
+		}
+		byKey[key] = m.Value
+	}
+
+	mustHave := []string{
+		"paldia_virtual_time_seconds",
+		"paldia_wall_elapsed_seconds",
+		"paldia_replay_speedup",
+		"paldia_replay_done",
+		"paldia_bus_events_total",
+		"paldia_requests_arrived_total|tenant=0",
+		"paldia_requests_completed_total|tenant=0",
+		"paldia_slo_compliance|tenant=0",
+		"paldia_latency_seconds|quantile=0.5",
+		"paldia_latency_seconds|quantile=0.95",
+		"paldia_latency_seconds|quantile=0.99",
+		"paldia_latency_seconds_sum",
+		"paldia_latency_seconds_count",
+		"paldia_slo_burn_rate|window=5m",
+		"paldia_slo_burn_rate|window=1h",
+		"paldia_slo_burn_firing",
+		"paldia_cold_starts_total",
+		"paldia_cost_usd",
+		"paldia_active_nodes",
+		"paldia_sampled_gauge|series=cost_usd",
+	}
+	for _, key := range mustHave {
+		if _, ok := byKey[key]; !ok {
+			t.Errorf("exposition missing %q", key)
+		}
+	}
+
+	if v := byKey["paldia_virtual_time_seconds"]; v < 30 {
+		t.Errorf("virtual time %v s, want at least the 30s trace", v)
+	}
+	if v := byKey["paldia_replay_done"]; v != 1 {
+		t.Errorf("replay_done = %v after MarkDone, want 1", v)
+	}
+	if v := byKey["paldia_replay_speedup"]; v != 600 {
+		t.Errorf("speedup = %v, want 600", v)
+	}
+	if v := byKey["paldia_requests_completed_total|tenant=0"]; v <= 0 {
+		t.Errorf("completed = %v, want > 0", v)
+	}
+	if v := byKey["paldia_slo_compliance|tenant=0"]; v <= 0 || v > 1 {
+		t.Errorf("compliance = %v, want in (0, 1]", v)
+	}
+	if v := byKey["paldia_latency_seconds|quantile=0.95"]; v <= 0 {
+		t.Errorf("p95 = %v, want > 0", v)
+	}
+	if c := byKey["paldia_latency_seconds_count"]; c != byKey["paldia_requests_arrived_total|tenant=0"] {
+		t.Errorf("summary count %v != arrived %v", c, byKey["paldia_requests_arrived_total|tenant=0"])
+	}
+}
+
+// Label values with quotes, backslashes and commas survive the writer ->
+// parser round-trip.
+func TestPromLabelEscaping(t *testing.T) {
+	in := Metric{
+		Name: "paldia_test",
+		Labels: []Label{
+			{Name: "a", Value: `plain`},
+			{Name: "b", Value: `has "quotes" and \slashes\`},
+			{Name: "c", Value: `comma, separated`},
+		},
+		Value: 1.5,
+	}
+	parsed, err := ParsePromText(strings.NewReader(in.String() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 {
+		t.Fatalf("parsed %d metrics, want 1", len(parsed))
+	}
+	if got := parsed[0].String(); got != in.String() {
+		t.Fatalf("escaping did not round-trip:\n  in:  %s\n  out: %s", in.String(), got)
+	}
+}
+
+func TestParsePromTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		`unterminated{a="b 1` + "\n",
+		`badvalue{a="b"} one` + "\n",
+		`unquoted{a=b} 1` + "\n",
+	} {
+		if _, err := ParsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePromText accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// NewServer returns an http.Server serving the plane on addr:
+//
+//	/         minimal live dashboard (embedded HTML)
+//	/metrics  Prometheus text exposition
+//	/state    full JSON state snapshot
+//	/events   Server-Sent Events telemetry feed
+//	/healthz  liveness probe
+//
+// ReadHeaderTimeout and IdleTimeout are set so a stuck client can't pin a
+// connection forever; there is deliberately no WriteTimeout because /events
+// is a long-lived stream.
+func NewServer(addr string, p *Plane) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           Handler(p),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// Handler returns the plane's HTTP routes (for embedding and tests).
+func Handler(p *Plane) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, dashboardHTML)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		set := buildMetrics(p.hub.Snapshot(), p.online, p.driver)
+		if err := set.WriteText(w); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		st := p.hub.Snapshot()
+		_ = enc.Encode(stateJSON{
+			State:       st,
+			WallElapsed: p.driver.WallElapsed(),
+			Speedup:     p.driver.Speedup(),
+		})
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(p, w, r)
+	})
+	return mux
+}
+
+// stateJSON decorates the hub state with replay-driver readings.
+type stateJSON struct {
+	State
+	WallElapsed time.Duration `json:"wall_elapsed_ns"`
+	Speedup     float64       `json:"speedup"`
+}
+
+// serveSSE streams the hub feed to one client until it disconnects or the
+// replay finishes. Every event is `event: <name>` + `data: <json>` per the
+// SSE wire format; a `hello` event with the current state snapshot opens
+// the stream so late subscribers start with full context.
+func serveSSE(p *Plane, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	sub := p.hub.Subscribe(0)
+	defer p.hub.Unsubscribe(sub)
+
+	hello, err := json.Marshal(p.hub.Snapshot())
+	if err == nil {
+		fmt.Fprintf(w, "event: hello\ndata: %s\n\n", hello)
+		fl.Flush()
+	}
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, ev.Data); err != nil {
+				return
+			}
+			fl.Flush()
+			if ev.Name == "done" {
+				return
+			}
+		}
+	}
+}

@@ -174,6 +174,14 @@ type Engine struct {
 	// onFire, when set, observes the virtual time of every fired event
 	// (invariant checking); nil costs one branch per event.
 	onFire func(at time.Duration)
+
+	// onAdvance, when set, observes the clock moving to a strictly later
+	// instant, before any event at that instant fires. Unlike onFire it runs
+	// once per distinct time, not once per event, and it is allowed to block
+	// — the live replay driver sleeps here to map virtual time onto
+	// wall-clock time. It must not touch engine state; nil costs one branch
+	// per advance.
+	onAdvance func(at time.Duration)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -187,6 +195,14 @@ func (e *Engine) Now() time.Duration { return e.now }
 // SetOnFire installs an observer invoked with the clock value of every fired
 // event, before its callback runs. Pass nil to disable (the default).
 func (e *Engine) SetOnFire(fn func(at time.Duration)) { e.onFire = fn }
+
+// SetOnAdvance installs an observer invoked with the new clock value every
+// time virtual time advances to a strictly later instant — once per instant,
+// before the first event there fires, and once more for the final jump to
+// Run's bound when no event lands exactly on it. The observer may block
+// (wall-clock pacing) but must not mutate the engine or the model. Pass nil
+// to disable (the default).
+func (e *Engine) SetOnAdvance(fn func(at time.Duration)) { e.onAdvance = fn }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -275,6 +291,9 @@ func (e *Engine) Step() bool {
 			e.recycle(ev)
 			continue
 		}
+		if ev.at > e.now && e.onAdvance != nil {
+			e.onAdvance(ev.at)
+		}
 		e.now = ev.at
 		e.fired++
 		if e.onFire != nil {
@@ -307,6 +326,9 @@ func (e *Engine) Run(until time.Duration) {
 		e.Step()
 	}
 	if e.now < until {
+		if e.onAdvance != nil {
+			e.onAdvance(until)
+		}
 		e.now = until
 	}
 }

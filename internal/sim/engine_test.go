@@ -491,3 +491,48 @@ func TestFIFOUnderInterleavedScheduleAndScheduleAt(t *testing.T) {
 		t.Fatalf("clock = %v, want %v", e.Now(), at)
 	}
 }
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// TestOnAdvanceObservesEachInstantOnce: the advance observer fires once per
+// distinct instant (not once per event), before the events at that instant,
+// strictly increasing, and once more for the final jump to Run's bound.
+func TestOnAdvanceObservesEachInstantOnce(t *testing.T) {
+	e := NewEngine()
+	var advances []time.Duration
+	var fires []time.Duration
+	e.SetOnAdvance(func(at time.Duration) {
+		// The clock must not have moved yet when the observer runs.
+		if e.Now() >= at {
+			t.Fatalf("onAdvance(%v) ran with clock already at %v", at, e.Now())
+		}
+		advances = append(advances, at)
+	})
+	for _, at := range []time.Duration{ms(10), ms(10), ms(10), ms(25), ms(25), ms(40)} {
+		e.ScheduleAt(at, func() { fires = append(fires, e.Now()) })
+	}
+	e.Run(ms(100))
+
+	want := fmt.Sprint([]time.Duration{ms(10), ms(25), ms(40), ms(100)})
+	if got := fmt.Sprint(advances); got != want {
+		t.Fatalf("advances %v, want %v", got, want)
+	}
+	if len(fires) != 6 {
+		t.Fatalf("fired %d events, want 6", len(fires))
+	}
+	if e.Now() != ms(100) {
+		t.Fatalf("clock = %v, want %v", e.Now(), ms(100))
+	}
+}
+
+// TestOnAdvanceNilByDefault: an engine without the observer behaves exactly
+// as before (the hook is one nil-check per advance).
+func TestOnAdvanceNilByDefault(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(ms(5), func() { fired++ })
+	e.Run(ms(10))
+	if fired != 1 || e.Now() != ms(10) {
+		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+}

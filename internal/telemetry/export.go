@@ -40,6 +40,12 @@ func toJSON(s *Span) spanJSON {
 	}
 }
 
+// SpanJSON returns the span's stable JSON object — the exact value the
+// Recorder and StreamWriter encode per JSONL line — for external encoders
+// (the live observability plane's SSE feed marshals it verbatim, so a span
+// seen over /events is byte-identical to the exported one).
+func SpanJSON(s *Span) any { return toJSON(s) }
+
 // WriteSpansJSONL writes one JSON object per span, in request-arrival
 // order. The output is byte-identical across runs of the same seeded
 // simulation.

@@ -136,6 +136,45 @@ func (a *assembler) unflushed() []*Span {
 	return out
 }
 
+// SpanAssembler is the exported face of the event->span assembler for
+// consumers outside this package — the live observability plane (internal/
+// obs) assembles spans from the event feed to stream them over SSE and to
+// judge SLO compliance per tenant. It shares the exact assembly code behind
+// the Recorder and the StreamWriter, so a span observed through it is
+// byte-identical to the one those sinks would export.
+//
+// SpanAssembler is not itself safe for concurrent use; callers observing
+// from one goroutine and reading from another must synchronize (the obs hub
+// holds its own lock around both).
+type SpanAssembler struct {
+	a assembler
+}
+
+// NewSpanAssembler returns an assembler invoking done with every span the
+// moment it can no longer change (terminal and job-stamped).
+func NewSpanAssembler(done func(*Span)) *SpanAssembler {
+	sa := &SpanAssembler{a: newAssembler()}
+	sa.a.onDone = done
+	return sa
+}
+
+// Observe absorbs one lifecycle event; Sample events are ignored (they
+// carry no span information).
+func (sa *SpanAssembler) Observe(e Event) {
+	if e.Kind == Sample {
+		return
+	}
+	sa.a.observe(e)
+}
+
+// InFlight is the number of spans currently open — the assembler's memory
+// high-water contribution and the live "in flight requests" reading.
+func (sa *SpanAssembler) InFlight() int { return sa.a.inFlight() }
+
+// Unflushed returns every span still held (requests that never reached a
+// terminal state), in deterministic order, without mutating the assembler.
+func (sa *SpanAssembler) Unflushed() []*Span { return sa.a.unflushed() }
+
 // StreamWriter is the bounded-memory Sink: it assembles spans exactly like
 // the Recorder but writes each span to its JSONL writer the moment the span
 // can no longer change, instead of buffering the whole run. Memory is
@@ -221,6 +260,13 @@ func (w *StreamWriter) Close() error {
 	}
 	return w.err
 }
+
+// Err returns the first write error encountered so far; nil while healthy.
+// Errors are sticky: after the first failure no further spans or events are
+// written, and Close reports the same error. Long-running callers (the
+// streaming CLI) can poll Err mid-run instead of discovering a dead sink
+// only at Close.
+func (w *StreamWriter) Err() error { return w.err }
 
 // Series returns the time series collected from Sample events.
 func (w *StreamWriter) Series() *SeriesSet { return w.series }

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// failAfter accepts the first n bytes, then fails every write — a sink whose
+// disk filled up (or whose pipe closed) mid-run.
+type failAfter struct {
+	n       int
+	err     error
+	written int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, w.err
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// shortWriter reports fewer bytes written than given, with no error — the
+// io contract violation bufio must turn into io.ErrShortWrite rather than
+// silently losing the tail.
+type shortWriter struct{ writes int }
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if len(p) > 1 {
+		return len(p) - 1, nil
+	}
+	return len(p), nil
+}
+
+// TestStreamWriterSurfacesSinkFailure: a span sink that dies mid-run must
+// surface its error through Err() and Close(), never silently dropping
+// spans. The write error appears once the buffered writer first flushes to
+// the broken sink; everything before that is reported written.
+func TestStreamWriterSurfacesSinkFailure(t *testing.T) {
+	sinkErr := errors.New("sink: no space left on device")
+	w := NewStreamWriter(&failAfter{n: 512, err: sinkErr}, nil)
+	feedMany(w, 200)
+	err := w.Close()
+	if err == nil {
+		t.Fatal("Close returned nil after the span sink failed")
+	}
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("Close error = %v, want the sink's %v", err, sinkErr)
+	}
+	if w.Err() == nil || !errors.Is(w.Err(), sinkErr) {
+		t.Fatalf("Err() = %v, want the sink's error available mid-run", w.Err())
+	}
+}
+
+// TestStreamWriterSurfacesEventSinkFailure: the raw-event feed is optional,
+// but when requested its failures must surface exactly like span failures.
+func TestStreamWriterSurfacesEventSinkFailure(t *testing.T) {
+	sinkErr := errors.New("sink: connection reset")
+	w := NewStreamWriter(io.Discard, &failAfter{n: 256, err: sinkErr})
+	feedMany(w, 200)
+	if err := w.Close(); err == nil || !errors.Is(err, sinkErr) {
+		t.Fatalf("Close error = %v, want the event sink's %v", err, sinkErr)
+	}
+}
+
+// TestStreamWriterSurfacesShortWrite: a writer that under-reports without an
+// error must yield io.ErrShortWrite, not quietly truncated JSONL.
+func TestStreamWriterSurfacesShortWrite(t *testing.T) {
+	sw := &shortWriter{}
+	w := NewStreamWriter(sw, nil)
+	feedMany(w, 400)
+	if err := w.Close(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Close error = %v, want io.ErrShortWrite", err)
+	}
+	if sw.writes == 0 {
+		t.Fatal("short writer never reached; test lost coverage")
+	}
+}
+
+// TestStreamWriterSurfacesClosedFile: writing spans to an already-closed
+// *os.File — the realistic "sink closed under us" case — errors at Close.
+func TestStreamWriterSurfacesClosedFile(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "spans-*.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w := NewStreamWriter(f, nil)
+	feedMany(w, 200)
+	err = w.Close()
+	if err == nil {
+		t.Fatal("Close returned nil writing to a closed file")
+	}
+	if !errors.Is(err, os.ErrClosed) && !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Close error = %v, want a file-closed error", err)
+	}
+}
+
+// TestStreamWriterErrNilOnHealthySink: the happy path keeps Err() nil
+// throughout and Close clean.
+func TestStreamWriterErrNilOnHealthySink(t *testing.T) {
+	w := NewStreamWriter(io.Discard, io.Discard)
+	feedMany(w, 50)
+	if w.Err() != nil {
+		t.Fatalf("Err() = %v mid-run on a healthy sink", w.Err())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close = %v on a healthy sink", err)
+	}
+}
