@@ -54,12 +54,13 @@ bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/paldia-bench -gate
 
-# Million-request streaming run under a hard heap ceiling — the scale mode's
-# constant-memory contract (lazy curve arrivals + online metrics). Observed
-# peak is ~10 MiB; 256 MiB only trips if an O(requests) buffer sneaks back
-# into the streaming path.
+# Ten-million-request sharded streaming run under a hard heap ceiling — the
+# scale mode's constant-memory contract (lazy curve arrivals + online metrics
+# + shared partitioned rate curve). Observed peak is ~110 MiB, dominated by
+# the 91h rate curve; 256 MiB only trips if an O(requests) buffer or a
+# per-lane curve copy sneaks back into the streaming path.
 scale-smoke:
-	$(GO) run ./cmd/paldia-sim -stream -requests 1000000 -max-heap-mib 256
+	$(GO) run ./cmd/paldia-sim -stream -requests 10000000 -tenants 4 -shards 4 -max-heap-mib 256
 
 # Live observability plane end-to-end: serve a short paced replay, scrape
 # /metrics, read the SSE feed, assert clean shutdown. curl-based; see the
@@ -92,10 +93,11 @@ test-invariants:
 	$(GO) test ./internal/experiments/ -run TestAllExperimentsCleanUnderInvariants -count=1 -v
 
 # The seed-determinism contract — byte-identical Result, per-request CSV,
-# spans JSONL and series CSV from identically seeded runs — under the race
-# detector at 1 and 4 procs.
+# spans JSONL and series CSV from identically seeded runs, and byte-identical
+# sharded output at any worker count — under the race detector at 1 and 4
+# procs.
 test-determinism:
-	$(GO) test -race -cpu 1,4 -run 'Deterministic' ./internal/core/ -count=1
+	$(GO) test -race -cpu 1,4 -run 'Deterministic' ./internal/core/ ./internal/shard/ -count=1
 
 clean:
 	rm -rf figures

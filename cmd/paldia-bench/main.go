@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"testing"
@@ -29,6 +30,9 @@ import (
 	"repro/internal/model"
 	"repro/internal/perfmodel"
 	"repro/internal/profile"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 type benchResult struct {
@@ -41,9 +45,10 @@ type benchResult struct {
 }
 
 type benchCase struct {
-	name  string
-	gated bool // allocs/op must be 0
-	fn    func(b *testing.B) map[string]float64
+	name        string
+	gated       bool // runs under -gate: ns/op regression-checked vs baseline
+	allocExempt bool // gated but allowed to allocate (whole simulations inside)
+	fn          func(b *testing.B) map[string]float64
 }
 
 // typicalInputs is the grid the monitor loop probes every tick for the
@@ -134,9 +139,45 @@ func schedState(rate float64) *core.State {
 	}
 }
 
+// shardedGridCase measures the sharded executor's wall-clock scaling: the
+// same fixed 4-tenant grid at 1, 2 and 4 workers, so the ns/op curve across
+// the three cases is the speedup curve. Whole simulations run inside, so the
+// cases are exempt from the zero-alloc check but still ns/op-gated against
+// the baseline (normalized like every other gated benchmark).
+func shardedGridCase(workers int) benchCase {
+	return benchCase{
+		name:        fmt.Sprintf("shard/ShardedScale/shards=%d", workers),
+		gated:       true,
+		allocExempt: true,
+		fn: func(b *testing.B) map[string]float64 {
+			var requests int
+			for i := 0; i < b.N; i++ {
+				curve := trace.PoissonCurve(sim.NewRNG(7), 240, time.Minute)
+				lanes := curve.Partition(4)
+				cfgs := make([]core.Config, len(lanes))
+				for j, lane := range lanes {
+					cfgs[j] = core.Config{
+						Model:   model.MustByName("ResNet 50"),
+						Stream:  lane.Stream(sim.NewRNG(7)),
+						Scheme:  core.NewPaldia(),
+						Seed:    7,
+						Metrics: core.MetricsOnline,
+					}
+				}
+				res := shard.Run(cfgs, shard.Options{Shards: workers})
+				requests = 0
+				for _, r := range res {
+					requests += r.Requests
+				}
+			}
+			return map[string]float64{"requests_per_op": float64(requests)}
+		},
+	}
+}
+
 func cases(includeE2E bool) []benchCase {
 	cs := []benchCase{
-		{"perfmodel/TMax", true, func(b *testing.B) map[string]float64 {
+		{"perfmodel/TMax", true, false, func(b *testing.B) map[string]float64 {
 			in := typicalInputs()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -144,7 +185,7 @@ func cases(includeE2E bool) []benchCase {
 			}
 			return nil
 		}},
-		{"perfmodel/BestY/typical", true, func(b *testing.B) map[string]float64 {
+		{"perfmodel/BestY/typical", true, false, func(b *testing.B) map[string]float64 {
 			in := typicalInputs()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -152,7 +193,7 @@ func cases(includeE2E bool) []benchCase {
 			}
 			return nil
 		}},
-		{"perfmodel/BestY/idle-memo", true, func(b *testing.B) map[string]float64 {
+		{"perfmodel/BestY/idle-memo", true, false, func(b *testing.B) map[string]float64 {
 			in := idleInputs()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -160,7 +201,7 @@ func cases(includeE2E bool) []benchCase {
 			}
 			return nil
 		}},
-		{"perfmodel/BestY/worst-grid", true, func(b *testing.B) map[string]float64 {
+		{"perfmodel/BestY/worst-grid", true, false, func(b *testing.B) map[string]float64 {
 			in := worstInputs()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -168,7 +209,7 @@ func cases(includeE2E bool) []benchCase {
 			}
 			return nil
 		}},
-		{"perfmodel/BestY-fanout-reference/typical", false, func(b *testing.B) map[string]float64 {
+		{"perfmodel/BestY-fanout-reference/typical", false, false, func(b *testing.B) map[string]float64 {
 			in := typicalInputs()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -176,7 +217,7 @@ func cases(includeE2E bool) []benchCase {
 			}
 			return nil
 		}},
-		{"perfmodel/BestY-fanout-reference/worst-grid", false, func(b *testing.B) map[string]float64 {
+		{"perfmodel/BestY-fanout-reference/worst-grid", false, false, func(b *testing.B) map[string]float64 {
 			in := worstInputs()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -184,7 +225,7 @@ func cases(includeE2E bool) []benchCase {
 			}
 			return nil
 		}},
-		{"core/SplitY", true, func(b *testing.B) map[string]float64 {
+		{"core/SplitY", true, false, func(b *testing.B) map[string]float64 {
 			st := schedState(400)
 			p := core.NewPaldia().Policy
 			b.ReportAllocs()
@@ -193,7 +234,7 @@ func cases(includeE2E bool) []benchCase {
 			}
 			return nil
 		}},
-		{"core/DesiredHardware", true, func(b *testing.B) map[string]float64 {
+		{"core/DesiredHardware", true, false, func(b *testing.B) map[string]float64 {
 			st := schedState(400)
 			p := core.NewPaldia().Policy
 			b.ReportAllocs()
@@ -204,7 +245,7 @@ func cases(includeE2E bool) []benchCase {
 		}},
 	}
 	if includeE2E {
-		cs = append(cs, benchCase{"experiments/Fig3-end-to-end", false, func(b *testing.B) map[string]float64 {
+		cs = append(cs, benchCase{"experiments/Fig3-end-to-end", false, false, func(b *testing.B) map[string]float64 {
 			var slo float64
 			for i := 0; i < b.N; i++ {
 				t := experiments.Fig3(experiments.Options{Seed: uint64(i) + 1, Reps: 1, Scale: 0.12})
@@ -222,17 +263,54 @@ func cases(includeE2E bool) []benchCase {
 			return map[string]float64{"paldia_slo_pct": slo}
 		}})
 	}
+	cs = append(cs, shardedGridCase(1), shardedGridCase(2), shardedGridCase(4))
 	return cs
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		out      = flag.String("out", "BENCH_sched.json", "output path for the JSON results ('-' for stdout)")
 		gate     = flag.Bool("gate", false, "run only allocation-gated benchmarks and fail if any allocates or slows past -tolerance vs -baseline (skips the end-to-end pass; writes no file unless -out is set explicitly)")
 		baseline = flag.String("baseline", "BENCH_sched.json", "committed baseline for the -gate ns/op regression check ('' disables)")
 		tol      = flag.Float64("tolerance", 0.25, "allowed relative ns/op slowdown vs the baseline before -gate fails")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote cpu profile to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote allocation profile to %s\n", *memprofile)
+		}()
+	}
 	outSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "out" {
@@ -258,7 +336,7 @@ func main() {
 		}
 		results = append(results, br)
 		status := ""
-		if c.gated && br.AllocsPerOp > 0 {
+		if c.gated && !c.allocExempt && br.AllocsPerOp > 0 {
 			status = "  <-- FAIL: gated benchmark allocates"
 			failed = true
 		}
@@ -276,14 +354,14 @@ func main() {
 		enc, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		enc = append(enc, '\n')
 		if *out == "-" {
 			os.Stdout.Write(enc)
 		} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
-			os.Exit(1)
+			return 1
 		} else {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 		}
@@ -293,8 +371,9 @@ func main() {
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "scheduling gate FAILED (allocation or ns/op regression above)")
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // checkBaseline compares each result's ns/op against the committed baseline

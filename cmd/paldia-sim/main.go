@@ -42,6 +42,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -49,9 +51,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -74,6 +78,13 @@ func main() {
 		stream     = flag.Bool("stream", false, "realize arrivals lazily from the rate curve with constant-memory metrics (no per-request records)")
 		requests   = flag.Int("requests", 0, "with -stream: size the trace so ~N requests arrive in expectation (overrides -duration)")
 		maxHeapMiB = flag.Int("max-heap-mib", 0, "fail if sampled heap (runtime HeapAlloc) ever exceeds this many MiB (0 = no limit)")
+
+		tenants = flag.Int("tenants", 1, "partition the workload into this many independent tenant lanes (the logical decomposition; implies -stream when >1)")
+		shards  = flag.Int("shards", 1, "worker goroutines executing tenant lanes (0 = all cores); changes wall-clock only, never output")
+		check   = flag.Bool("check", false, "run the runtime invariant checker alongside the simulation; fail on any violation")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 
 		failEvery = flag.Duration("fail-every", 0, "inject a node failure on this virtual-time period (0 = none)")
 		failFor   = flag.Duration("fail-for", 10*time.Second, "how long each injected node failure lasts")
@@ -111,11 +122,18 @@ func main() {
 	}
 
 	heap := watchHeap(*maxHeapMiB)
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
-	// The live plane and the progress line both ride the streaming path:
-	// that is where the shared Online aggregator and the arrival stream live.
-	if *serveAddr != "" || *progressIv > 0 {
+	// The live plane, the progress line and the tenant grid all ride the
+	// streaming path: that is where the shared Online aggregator and the
+	// arrival stream live.
+	if *serveAddr != "" || *progressIv > 0 || *tenants > 1 {
 		*stream = true
+	}
+	if *tenants < 1 {
+		fmt.Fprintln(os.Stderr, "-tenants must be at least 1")
+		os.Exit(1)
 	}
 
 	if *stream {
@@ -131,6 +149,7 @@ func main() {
 			serve: *serveAddr, speedup: *speedup, linger: *linger,
 			progress: *progressIv, objective: *objective,
 			failEvery: *failEvery, failFor: *failFor,
+			tenants: *tenants, shards: *shards, check: *check,
 		})
 		heap.report()
 		return
@@ -158,6 +177,7 @@ func main() {
 	}
 	results := make([]core.Result, len(schemes))
 	recs := make([]*telemetry.Recorder, len(schemes))
+	checks := make([]*invariant.Checker, len(schemes))
 	pool.Map(len(schemes), func(i int) {
 		cfg := core.Config{
 			Model:           m,
@@ -173,8 +193,13 @@ func main() {
 			cfg.Telemetry = recs[i]
 			cfg.SampleEvery = *sampleEvery
 		}
+		if *check {
+			checks[i] = invariant.New()
+			cfg.Invariants = checks[i]
+		}
 		results[i] = core.Run(cfg)
 	})
+	reportInvariants(checks)
 
 	for i, res := range results {
 		printResult(res)
@@ -221,6 +246,9 @@ type streamRun struct {
 	objective float64
 	failEvery time.Duration
 	failFor   time.Duration
+	tenants   int
+	shards    int
+	check     bool
 }
 
 // runStream is the constant-memory serving path: arrivals come one at a time
@@ -229,6 +257,10 @@ type streamRun struct {
 // when requested, goes through the flush-as-you-go StreamWriter instead of
 // the buffering Recorder.
 func runStream(o streamRun) {
+	if o.tenants > 1 {
+		runStreamGrid(o)
+		return
+	}
 	rng := sim.NewRNG(o.seed)
 	c := buildCurve(rng, o.trace, o.peak, o.dur, o.requests)
 	fmt.Printf("curve %s: ~%.0f requests expected, mean %.1f rps, peak %.0f rps, %v\n\n",
@@ -315,6 +347,7 @@ func runStream(o streamRun) {
 		pool = experiments.NewPool(o.jobs)
 	}
 	results := make([]core.Result, len(schemes))
+	checks := make([]*invariant.Checker, len(schemes))
 	runOne := func(i int) {
 		cfg := core.Config{
 			Model:           o.model,
@@ -336,11 +369,16 @@ func runStream(o streamRun) {
 			cfg.Aggregator = online
 			cfg.SampleEvery = o.sample
 		}
+		if o.check {
+			checks[i] = invariant.New()
+			cfg.Invariants = checks[i]
+		}
 		results[i] = core.Run(cfg)
 	}
-	stopProgress := startProgress(o.progress, online, plane)
+	stopProgress := startProgress(o.progress, online, plane, nil)
 	pool.Map(len(schemes), runOne)
 	stopProgress()
+	reportInvariants(checks)
 	if plane != nil {
 		plane.MarkDone()
 		if o.linger > 0 {
@@ -396,6 +434,265 @@ func runStream(o streamRun) {
 				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+}
+
+// runStreamGrid is the sharded multi-tenant path: the rate curve is
+// partitioned into `-tenants` independent lanes (a workload decision fixed
+// before any execution), each lane runs as its own constant-memory streaming
+// simulation, and `-shards` worker goroutines execute them under the
+// conservative virtual-time barrier. Worker count changes wall-clock only:
+// per-lane trajectories, the merged telemetry and the aggregate panel are
+// byte-identical at any -shards.
+func runStreamGrid(o streamRun) {
+	rng := sim.NewRNG(o.seed)
+	c := buildCurve(rng, o.trace, o.peak, o.dur, o.requests)
+	workers := o.shards
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > o.tenants {
+		workers = o.tenants
+	}
+	fmt.Printf("curve %s: ~%.0f requests expected, mean %.1f rps, peak %.0f rps, %v\n",
+		c.Name, c.ExpectedRequests(), c.MeanRPS(), c.PeakRPS(), c.Duration())
+	// The lane decomposition is part of the workload, so it prints to
+	// stdout; the worker count is an execution detail that must not vary
+	// the output, so it goes to stderr.
+	fmt.Printf("grid: %d tenant lanes at 1/%d rate each\n\n", o.tenants, o.tenants)
+	fmt.Fprintf(os.Stderr, "executing %d lanes on %d workers, lookahead %v\n",
+		o.tenants, workers, shard.DefaultLookahead())
+
+	if len(pickSchemes(o.schemeArg)) > 1 {
+		fmt.Fprintln(os.Stderr, "-tenants runs a single scheme per grid, not -scheme all")
+		os.Exit(1)
+	}
+	if pickSchemes(o.schemeArg)[0].Clairvoyant {
+		fmt.Fprintf(os.Stderr, "clairvoyant schemes need a materialized trace; drop -stream/-tenants\n")
+		os.Exit(1)
+	}
+
+	telemetryOn := o.spansOut != "" || o.eventsOut != "" || o.seriesOut != "" || o.svgOut != ""
+	live := o.serve != "" || o.progress > 0
+
+	var files []*os.File
+	open := func(path string) io.Writer {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		files = append(files, f)
+		return f
+	}
+	var mw *telemetry.MergeWriter
+	if telemetryOn {
+		spansW, eventsW := open(o.spansOut), open(o.eventsOut)
+		if spansW == nil {
+			spansW = io.Discard
+		}
+		mw = telemetry.NewMergeWriter(spansW, eventsW, o.tenants)
+	}
+
+	// The live plane attaches exactly as in the single-lane path — sink,
+	// pacer, shared aggregator — all concurrency-safe and read-only toward
+	// the simulation, so a sharded -serve perturbs nothing. Lane feeds into
+	// the hub carry the lane index as Tenant so spans don't collide.
+	var (
+		plane  *obs.Plane
+		online *metrics.Online
+		srv    *http.Server
+	)
+	if live {
+		online = metrics.NewOnline(o.slo, c.Duration(), metrics.DefaultGoodputWindow)
+		plane = obs.NewPlane(obs.Options{
+			SLO: o.slo, Objective: o.objective, Online: online, Speedup: o.speedup,
+		})
+		if o.serve != "" {
+			ln, err := net.Listen("tcp", o.serve)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+			srv = obs.NewServer(o.serve, plane)
+			go func() {
+				if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "live plane on http://%s  (/ dashboard, /metrics, /state, /events)\n", ln.Addr())
+		}
+	}
+
+	lanes := c.Partition(o.tenants)
+	cfgs := make([]core.Config, o.tenants)
+	checks := make([]*invariant.Checker, o.tenants)
+	for i, lane := range lanes {
+		cfg := core.Config{
+			Model:           o.model,
+			Stream:          lane.Stream(rng),
+			Scheme:          pickSchemes(o.schemeArg)[0],
+			SLO:             o.slo,
+			Seed:            o.seed,
+			Metrics:         core.MetricsOnline,
+			FailureEvery:    o.failEvery,
+			FailureDuration: o.failFor,
+		}
+		if mw != nil {
+			cfg.Telemetry = mw.Lane(i)
+			cfg.SampleEvery = o.sample
+		}
+		if plane != nil {
+			// Each lane keeps its own Online (the Result's primary) and
+			// mirrors every record into the plane's shared aggregator.
+			cfg.Aggregator = metrics.NewTee(
+				metrics.NewOnline(o.slo, c.Duration(), metrics.DefaultGoodputWindow), online)
+			cfg.Telemetry = telemetry.Combine(cfg.Telemetry, telemetry.WithTenant(plane.Sink(), i))
+			cfg.Pacer = plane.Pacer()
+			cfg.SampleEvery = o.sample
+		}
+		if o.check {
+			checks[i] = invariant.New()
+			cfg.Invariants = checks[i]
+		}
+		cfgs[i] = cfg
+	}
+
+	board := shard.NewVTBoard(o.tenants)
+	stopProgress := startProgress(o.progress, online, plane, board)
+	results := shard.Run(cfgs, shard.Options{
+		Shards: workers, Merge: mw, Board: board,
+	})
+	stopProgress()
+	reportInvariants(checks)
+	if plane != nil {
+		plane.MarkDone()
+		if o.linger > 0 {
+			fmt.Fprintf(os.Stderr, "replay done; serving for another %v\n", o.linger)
+			time.Sleep(o.linger)
+		}
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		cancel()
+	}
+
+	agg := shard.Aggregate(results, o.slo)
+	printResult(agg)
+	fmt.Println("  per-tenant lanes:")
+	for i, r := range results {
+		fmt.Printf("    tenant %-3d requests %-8d compliance %6.2f%%  p99 %-10v cost $%.4f\n",
+			i, r.Requests, r.SLOCompliance*100, r.P99, r.Cost)
+	}
+	fmt.Println()
+
+	if mw != nil {
+		if err := mw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		if o.spansOut != "" {
+			fmt.Fprintf(os.Stderr, "wrote %d spans to %s (peak %d queued per lane)\n",
+				mw.SpansWritten(), o.spansOut, mw.PeakQueued())
+		}
+		if o.eventsOut != "" {
+			fmt.Fprintf(os.Stderr, "wrote events to %s\n", o.eventsOut)
+		}
+		writeSet := func(path, what string, fn func(f *os.File) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err == nil {
+				if err = fn(f); err == nil {
+					err = f.Close()
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s to %s\n", what, path)
+		}
+		writeSet(o.seriesOut, "series", func(f *os.File) error { return mw.Series().WriteCSV(f) })
+		writeSet(o.svgOut, "series timeline SVG", func(f *os.File) error {
+			return mw.Series().TimelineSVG(f, "sampled runtime series")
+		})
+		for _, f := range files {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// reportInvariants prints any -check violations and exits non-zero; nil
+// entries (checking disabled) are skipped.
+func reportInvariants(checks []*invariant.Checker) {
+	bad := false
+	for i, chk := range checks {
+		if chk == nil {
+			continue
+		}
+		if err := chk.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "invariants (run %d):\n%v\n", i, err)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(3)
+	}
+}
+
+// startProfiles starts a CPU profile and arranges for an allocation profile
+// at exit; either path may be empty. The returned stop function finishes
+// both.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote cpu profile to %s\n", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // flush recent allocations into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote allocation profile to %s\n", memPath)
 		}
 	}
 }
@@ -457,10 +754,13 @@ type heapWatch struct {
 }
 
 // startProgress prints a one-line report to stderr on a wall-clock cadence,
-// reading only thread-safe snapshots (metrics.Online.Snapshot and the replay
-// driver), so the run itself is untouched. The returned function stops the
-// reporter and waits for it to exit. A non-positive cadence is a no-op.
-func startProgress(every time.Duration, online *metrics.Online, plane *obs.Plane) func() {
+// reading only thread-safe snapshots (metrics.Online.Snapshot, the replay
+// driver, and the shard board's atomics), so the run itself is untouched.
+// With a board (sharded grids) the line also reports the slowest lane's
+// virtual time and the fastest-to-slowest lag — bounded by the lookahead
+// while the barrier loop runs. The returned function stops the reporter and
+// waits for it to exit. A non-positive cadence is a no-op.
+func startProgress(every time.Duration, online *metrics.Online, plane *obs.Plane, board *shard.VTBoard) func() {
 	if every <= 0 || online == nil {
 		return func() {}
 	}
@@ -482,10 +782,16 @@ func startProgress(every time.Duration, online *metrics.Online, plane *obs.Plane
 				if plane != nil {
 					vt = plane.Driver().VirtualNow()
 				}
+				lag := ""
+				if board != nil {
+					lo, hi := board.Bounds()
+					lag = fmt.Sprintf(" vt-slowest=%v shard-lag=%v",
+						lo.Round(time.Second), (hi - lo).Round(time.Millisecond))
+				}
 				fmt.Fprintf(os.Stderr,
-					"progress: vt=%v requests=%d compliance=%.2f%% p99=%v heap=%dMiB\n",
+					"progress: vt=%v requests=%d compliance=%.2f%% p99=%v heap=%dMiB%s\n",
 					vt.Round(time.Second), s.Count, 100*s.Compliance,
-					s.P99.Round(time.Millisecond), ms.HeapAlloc>>20)
+					s.P99.Round(time.Millisecond), ms.HeapAlloc>>20, lag)
 			}
 		}
 	}()
@@ -497,6 +803,12 @@ func watchHeap(limitMiB int) *heapWatch {
 		return nil
 	}
 	w := &heapWatch{limit: uint64(limitMiB) << 20, stop: make(chan struct{})}
+	// Pace the GC against the ceiling rather than GOGC's 2x-live default:
+	// without this the watcher trips on floating garbage whenever live state
+	// passes half the limit, even though the live set fits comfortably. If
+	// live state genuinely exceeds the limit the GC cannot hold HeapAlloc
+	// under it and the watcher still fires.
+	debug.SetMemoryLimit(int64(w.limit))
 	go func() {
 		t := time.NewTicker(50 * time.Millisecond)
 		defer t.Stop()

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/invariant"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// The phased API contract behind the sharded executor: Start + any monotone
+// schedule of StepTo calls + Finish is byte-identical to one Run — same
+// Result, same per-request CSV, same spans JSONL — because Engine.Run(a);
+// Engine.Run(b) fires the identical event sequence as Engine.Run(b) for
+// a < b, and no model code runs between the calls. Failure injection and the
+// invariant checker stay on, like the seed-determinism test.
+func TestPhasedRunDeterministicEquivalence(t *testing.T) {
+	type snapshot struct {
+		res   Result
+		csv   bytes.Buffer
+		spans bytes.Buffer
+	}
+	mkCfg := func(rec *telemetry.Recorder, chk *invariant.Checker) Config {
+		return Config{
+			Model:           model.MustByName("ResNet 50"),
+			Trace:           trace.Azure(sim.NewRNG(42), 250, 2*time.Minute),
+			Scheme:          NewPaldia(),
+			Seed:            42,
+			Telemetry:       rec,
+			SampleEvery:     time.Second,
+			FailureEvery:    40 * time.Second,
+			FailureDuration: 10 * time.Second,
+			Invariants:      chk,
+		}
+	}
+	capture := func(res Result, rec *telemetry.Recorder, chk *invariant.Checker) *snapshot {
+		if err := chk.Err(); err != nil {
+			t.Fatalf("run not invariant-clean:\n%v", err)
+		}
+		s := &snapshot{res: res}
+		if err := res.Collector.WriteCSV(&s.csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteSpansJSONL(&s.spans); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Reference: the one-shot Run.
+	recA, chkA := telemetry.NewRecorder(), invariant.New()
+	a := capture(Run(mkCfg(recA, chkA)), recA, chkA)
+
+	// Phased: step in uneven increments (some smaller than any event gap,
+	// some spanning many, one past the horizon to exercise the clamp).
+	recB, chkB := telemetry.NewRecorder(), invariant.New()
+	ru := Start(mkCfg(recB, chkB))
+	for _, step := range []time.Duration{
+		1 * time.Millisecond, 500 * time.Millisecond, 7 * time.Second,
+		29 * time.Second, time.Minute, 2 * time.Minute, 10 * time.Minute,
+	} {
+		ru.StepTo(ru.Now() + step)
+	}
+	if ru.Now() != ru.Horizon() {
+		t.Fatalf("StepTo past the horizon should clamp: now=%v horizon=%v",
+			ru.Now(), ru.Horizon())
+	}
+	b := capture(ru.Finish(), recB, chkB)
+
+	ra, rb := a.res, b.res
+	ra.Collector, rb.Collector = nil, nil
+	if !reflect.DeepEqual(ra, rb) {
+		t.Errorf("phased Result differs from one-shot Run:\n%+v\nvs\n%+v", ra, rb)
+	}
+	if !bytes.Equal(a.csv.Bytes(), b.csv.Bytes()) {
+		t.Error("phased per-request CSV differs from one-shot Run")
+	}
+	if !bytes.Equal(a.spans.Bytes(), b.spans.Bytes()) {
+		t.Error("phased spans JSONL differs from one-shot Run")
+	}
+	if a.csv.Len() == 0 || a.spans.Len() == 0 {
+		t.Fatalf("exports empty: csv=%d spans=%d bytes", a.csv.Len(), a.spans.Len())
+	}
+	if a.res.FailuresInjected == 0 {
+		t.Error("failure injection never fired; the equivalence check lost coverage")
+	}
+}
+
+// Finish is single-use; driving past it must fail loudly rather than
+// silently re-settle the run.
+func TestPhasedFinishIsSingleUse(t *testing.T) {
+	ru := Start(Config{
+		Model:  model.MustByName("MobileNet"),
+		Trace:  trace.Stable(sim.NewRNG(1), 20, 5*time.Second),
+		Scheme: NewPaldia(),
+	})
+	ru.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Finish did not panic")
+		}
+	}()
+	ru.Finish()
+}

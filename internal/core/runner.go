@@ -314,8 +314,28 @@ type runner struct {
 	boots, syncColds uint64 // accumulated from retired pools
 }
 
-// Run executes the configured simulation and returns its results.
+// Run executes the configured simulation and returns its results. It is
+// exactly Start followed by Finish; the phased form exists so a caller (the
+// sharded executor in internal/shard) can interleave StepTo calls with other
+// lanes' — Engine.Run(a); Engine.Run(b) fires the identical event sequence as
+// Engine.Run(b) for a < b, so the phased run is byte-identical to this one.
 func Run(cfg Config) Result {
+	return Start(cfg).Finish()
+}
+
+// Running is an in-flight simulation between Start and Finish. It is not safe
+// for concurrent use — one goroutine drives one Running — but distinct
+// Running values share nothing and may be driven from distinct goroutines.
+type Running struct {
+	r    *runner
+	done bool
+}
+
+// Start constructs the simulation — cluster, warm-start node, arrival stream,
+// dispatch/monitor/failure ticks — without firing any timed event past t=0.
+// Drive it with StepTo and settle it with Finish, or call Finish directly for
+// the whole run.
+func Start(cfg Config) *Running {
 	cfg.applyDefaults()
 	r := &runner{
 		cfg: cfg,
@@ -356,6 +376,43 @@ func Run(cfg Config) Result {
 	if cfg.FailureEvery > 0 {
 		r.eng.Schedule(cfg.FailureEvery, r.failureTick)
 	}
+	return &Running{r: r}
+}
+
+// Now returns the simulation's current virtual time.
+func (ru *Running) Now() time.Duration { return ru.r.eng.Now() }
+
+// End returns the arrival stream's duration (the trace end).
+func (ru *Running) End() time.Duration { return ru.r.end }
+
+// Horizon is the virtual time Finish drives the run to before settling:
+// trace end plus the drain window. StepTo clamps to it.
+func (ru *Running) Horizon() time.Duration { return ru.r.end + DefaultDrain }
+
+// Count returns the number of request outcomes recorded so far.
+func (ru *Running) Count() int { return ru.r.col.Count() }
+
+// StepTo fires every event up to and including virtual time t (clamped to
+// Horizon), leaving the clock at min(t, Horizon). Calls with t <= Now are
+// no-ops, so any monotone schedule of StepTo calls ending at Horizon fires
+// exactly the event sequence one Finish would.
+func (ru *Running) StepTo(t time.Duration) {
+	if h := ru.Horizon(); t > h {
+		t = h
+	}
+	ru.r.eng.Run(t)
+}
+
+// Finish drives the simulation to Horizon, keeps simulating while backlogged
+// requests still drain, records anything still unserved as failed, and returns the
+// run's Result. It must be called exactly once.
+func (ru *Running) Finish() Result {
+	if ru.done {
+		panic("core: Running.Finish called twice")
+	}
+	ru.done = true
+	r := ru.r
+	cfg := r.cfg
 	r.eng.Run(r.end + DefaultDrain)
 	// Overloaded runs can still hold deep backlogs at the drain bound; keep
 	// simulating until every request completes (so conservation holds and
@@ -719,7 +776,13 @@ func (r *runner) results() Result {
 		HeldBySpec:       r.clu.HeldBySpec(),
 		SwitchHistory:    r.history,
 	}
-	switch col := r.col.(type) {
+	col := r.col
+	if tee, ok := col.(*metrics.Tee); ok {
+		// A teed run's own aggregator is the primary; the mirror belongs to
+		// whoever attached it (the live plane's shared Online).
+		col = tee.Primary
+	}
+	switch col := col.(type) {
 	case *metrics.Collector:
 		res.Collector = col
 	case *metrics.Online:

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/metrics"
+)
+
+// Aggregate folds per-lane Results into one grid-level Result, as if a single
+// accountant had watched every lane: counts, cost, energy and failures add;
+// latency statistics come from merging the lanes' aggregators (exact when all
+// lanes kept Collectors, sketch-merged when they streamed Online); device
+// utilization is the held-time-weighted mean. It is deterministic in the
+// input slice: lane order fixes merge order everywhere, including the merged
+// Collector's record order (lane-major) and every floating-point summation.
+//
+// SwitchHistory stays nil — each lane has its own primary-node timeline and
+// they do not compose into one; read them from the per-lane Results.
+func Aggregate(results []core.Result, slo time.Duration) core.Result {
+	if len(results) == 0 {
+		return core.Result{}
+	}
+	agg := core.Result{
+		Scheme: results[0].Scheme,
+		Model:  results[0].Model,
+	}
+	exact := true
+	var parts []*metrics.Online
+	var heldCPU, heldGPU time.Duration
+	var busyCPU, busyGPU float64 // in held-duration units
+	for _, r := range results {
+		agg.Cost += r.Cost
+		agg.CPUCost += r.CPUCost
+		agg.GPUCost += r.GPUCost
+		agg.EnergyWh += r.EnergyWh
+		// Lanes share one virtual clock (same horizon), so lane average
+		// powers over that clock add.
+		agg.AvgPowerW += r.AvgPowerW
+		agg.Boots += r.Boots
+		agg.SyncColdStarts += r.SyncColdStarts
+		agg.Switches += r.Switches
+		agg.FailedRequests += r.FailedRequests
+		agg.FailuresInjected += r.FailuresInjected
+		if r.Collector == nil {
+			exact = false
+		}
+		parts = append(parts, r.Online)
+
+		if len(r.HeldBySpec) > 0 {
+			if agg.HeldBySpec == nil {
+				agg.HeldBySpec = make(map[string]time.Duration, len(r.HeldBySpec))
+			}
+			// Sorted keys keep the float utilization sums independent of
+			// map iteration order.
+			names := make([]string, 0, len(r.HeldBySpec))
+			for name := range r.HeldBySpec {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				held := r.HeldBySpec[name]
+				agg.HeldBySpec[name] += held
+				spec, ok := hardware.ByName(name)
+				if !ok {
+					continue
+				}
+				if spec.IsGPU() {
+					heldGPU += held
+					busyGPU += r.UtilGPU * float64(held)
+				} else {
+					heldCPU += held
+					busyCPU += r.UtilCPU * float64(held)
+				}
+			}
+		}
+	}
+	if heldCPU > 0 {
+		agg.UtilCPU = busyCPU / float64(heldCPU)
+	}
+	if heldGPU > 0 {
+		agg.UtilGPU = busyGPU / float64(heldGPU)
+	}
+
+	if exact {
+		col := MergedCollector(results, slo)
+		agg.Collector = col
+		agg.Requests = col.Count()
+		agg.SLOCompliance = col.SLOCompliance()
+		agg.P50 = col.Percentile(50)
+		agg.P99 = col.Percentile(99)
+		agg.MeanLatency = col.Mean()
+		return agg
+	}
+	on := metrics.MergeOnline(parts)
+	agg.Online = on
+	agg.Requests = on.Count()
+	agg.SLOCompliance = on.SLOCompliance()
+	agg.P50 = on.Percentile(50)
+	agg.P99 = on.Percentile(99)
+	agg.MeanLatency = on.Mean()
+	return agg
+}
+
+// MergedCollector concatenates the lanes' per-request records, lane-major,
+// into one exact Collector. Within a lane records keep their completion
+// order, so the merged CSV is the lane CSVs concatenated — a deterministic
+// order that does not depend on how lanes interleaved in wall-clock.
+func MergedCollector(results []core.Result, slo time.Duration) *metrics.Collector {
+	col := metrics.NewCollector(slo)
+	for _, r := range results {
+		if r.Collector == nil {
+			continue
+		}
+		for _, rec := range r.Collector.Records() {
+			col.Add(rec)
+		}
+	}
+	return col
+}

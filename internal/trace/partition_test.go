@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestPartitionSplitsRateKeepsShape(t *testing.T) {
+	rng := sim.NewRNG(11)
+	c := AzureCurve(rng, 400, 4*time.Minute)
+	const n = 4
+	lanes := c.Partition(n)
+	if len(lanes) != n {
+		t.Fatalf("got %d lanes, want %d", len(lanes), n)
+	}
+	seen := map[string]bool{}
+	for i, lane := range lanes {
+		if lane.Duration() != c.Duration() {
+			t.Errorf("lane %d duration %v != curve %v", i, lane.Duration(), c.Duration())
+		}
+		if lane.Bucket != c.Bucket {
+			t.Errorf("lane %d bucket %v != curve %v", i, lane.Bucket, c.Bucket)
+		}
+		if seen[lane.Name] {
+			t.Errorf("duplicate lane name %q (RNG streams would collide)", lane.Name)
+		}
+		seen[lane.Name] = true
+		if lane.Name == c.Name {
+			t.Errorf("lane %d kept the parent name %q", i, c.Name)
+		}
+		if &lane.Rates[0] != &c.Rates[0] {
+			t.Errorf("lane %d copied the Rates slice instead of sharing it", i)
+		}
+		for j := range lane.Rates {
+			if want := c.rate(j) / n; math.Abs(lane.rate(j)-want) > 1e-12 {
+				t.Fatalf("lane %d bucket %d rate %v, want %v", i, j, lane.rate(j), want)
+			}
+		}
+		if math.Abs(lane.MeanRPS()-c.MeanRPS()/n) > 1e-9 {
+			t.Errorf("lane %d mean %v, want %v", i, lane.MeanRPS(), c.MeanRPS()/n)
+		}
+		if math.Abs(lane.PeakRPS()-c.PeakRPS()/n) > 1e-9 {
+			t.Errorf("lane %d peak %v, want %v", i, lane.PeakRPS(), c.PeakRPS()/n)
+		}
+	}
+}
+
+// Lane realization is deterministic and independent of sibling lanes: a lane
+// streamed alone yields the same arrivals as one streamed among its
+// siblings, from the same root seed.
+func TestPartitionLanesRealizeIndependently(t *testing.T) {
+	rng := sim.NewRNG(23)
+	c := PoissonCurve(rng, 120, 2*time.Minute)
+	lanes := c.Partition(3)
+
+	alone := Collect(lanes[1].Stream(rng))
+	together := make([]*Trace, len(lanes))
+	for i, lane := range lanes {
+		together[i] = Collect(lane.Stream(rng))
+	}
+	if len(alone.Arrivals) == 0 {
+		t.Fatal("lane realized no arrivals")
+	}
+	if len(alone.Arrivals) != len(together[1].Arrivals) {
+		t.Fatalf("lane 1 arrivals differ when streamed alone: %d vs %d",
+			len(alone.Arrivals), len(together[1].Arrivals))
+	}
+	for i := range alone.Arrivals {
+		if alone.Arrivals[i] != together[1].Arrivals[i] {
+			t.Fatalf("lane 1 arrival %d differs: %v vs %v",
+				i, alone.Arrivals[i], together[1].Arrivals[i])
+		}
+	}
+	// Distinct lanes must draw from distinct streams.
+	if len(together[0].Arrivals) > 0 && len(together[2].Arrivals) > 0 &&
+		len(together[0].Arrivals) == len(together[2].Arrivals) {
+		same := true
+		for i := range together[0].Arrivals {
+			if together[0].Arrivals[i] != together[2].Arrivals[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("lanes 0 and 2 realized identical arrivals; RNG streams collide")
+		}
+	}
+}
+
+func TestPartitionOfOneIsIdentity(t *testing.T) {
+	rng := sim.NewRNG(5)
+	c := StableCurve(rng, 50, time.Minute)
+	lanes := c.Partition(1)
+	if len(lanes) != 1 || lanes[0] != c {
+		t.Fatalf("Partition(1) should return the curve itself, got %v", lanes)
+	}
+}

@@ -99,7 +99,24 @@ type Curve struct {
 	Rates []float64
 	// Bucket is the curve resolution.
 	Bucket time.Duration
+	// Scale multiplies every bucket rate; zero means 1. Partition uses it
+	// to derive per-lane curves that share the parent's Rates slice instead
+	// of copying it — at multi-day durations the rate array is tens of MiB,
+	// and lanes differ from the parent only by this uniform factor.
+	Scale float64
 }
+
+// scale returns the rate multiplier, treating the zero value as 1 so
+// literal curves without the field keep their historical meaning.
+func (c *Curve) scale() float64 {
+	if c.Scale == 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// rate is bucket i's effective arrival rate.
+func (c *Curve) rate(i int) float64 { return c.Rates[i] * c.scale() }
 
 // Duration is the trace length the curve realizes to.
 func (c *Curve) Duration() time.Duration {
@@ -116,7 +133,7 @@ func (c *Curve) MeanRPS() float64 {
 	for _, r := range c.Rates {
 		sum += r
 	}
-	return sum / float64(len(c.Rates))
+	return sum * c.scale() / float64(len(c.Rates))
 }
 
 // PeakRPS is the curve's design peak rate.
@@ -127,7 +144,7 @@ func (c *Curve) PeakRPS() float64 {
 			max = r
 		}
 	}
-	return max
+	return max * c.scale()
 }
 
 // ExpectedRequests is the expected number of realized arrivals.
@@ -184,7 +201,7 @@ func (s *CurveStream) Next() (time.Duration, bool) {
 		if s.i >= len(s.c.Rates) {
 			return 0, false
 		}
-		s.buf = realizeBucket(s.r, s.c.Rates[s.i], s.i, s.c.Bucket, s.buf[:0])
+		s.buf = realizeBucket(s.r, s.c.rate(s.i), s.i, s.c.Bucket, s.buf[:0])
 		s.pos = 0
 		s.i++
 	}
