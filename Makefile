@@ -8,8 +8,11 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: build test vet lint race bench bench-smoke scale-smoke live-smoke \
-	experiments figures fuzz fuzz-smoke test-invariants test-determinism clean
+	experiments figures fuzz fuzz-smoke test-invariants test-determinism \
+	pgo profile clean
 
+# go build applies cmd/paldia-sim/default.pgo automatically (profile-guided
+# optimization); refresh it with `make pgo` after hot-path changes.
 build:
 	$(GO) build ./...
 
@@ -56,11 +59,32 @@ bench-smoke:
 
 # Ten-million-request sharded streaming run under a hard heap ceiling — the
 # scale mode's constant-memory contract (lazy curve arrivals + online metrics
-# + shared partitioned rate curve). Observed peak is ~110 MiB, dominated by
-# the 91h rate curve; 256 MiB only trips if an O(requests) buffer or a
+# + shared partitioned rate curve). Observed peak is ~80 MiB, dominated by
+# the 91h rate curve; 192 MiB only trips if an O(requests) buffer or a
 # per-lane curve copy sneaks back into the streaming path.
 scale-smoke:
-	$(GO) run ./cmd/paldia-sim -stream -requests 10000000 -tenants 4 -shards 4 -max-heap-mib 256
+	$(GO) run ./cmd/paldia-sim -stream -requests 10000000 -tenants 4 -shards 4 -max-heap-mib 192
+
+# Refresh the committed PGO profile from the representative sharded
+# 10M-request streaming run (the same workload as scale-smoke). go build
+# picks cmd/paldia-sim/default.pgo up automatically, so committing the
+# refreshed profile is all it takes for every subsequent build — local and
+# CI — to be guided by it.
+pgo:
+	$(GO) run ./cmd/paldia-sim -stream -requests 10000000 -tenants 4 -shards 4 -cpuprofile cmd/paldia-sim/default.pgo
+	@echo "refreshed cmd/paldia-sim/default.pgo — commit it to apply everywhere"
+
+# CPU + allocation profiles of the same sharded 10M grid, for pprof work
+# (see EXPERIMENTS.md "Profiling the hot path"). Writes profiles/ next to a
+# paldia-sim binary built with the committed PGO profile so the flame graph
+# matches what ships.
+profile:
+	mkdir -p profiles
+	$(GO) build -o profiles/paldia-sim ./cmd/paldia-sim
+	profiles/paldia-sim -stream -requests 10000000 -tenants 4 -shards 4 \
+		-cpuprofile profiles/scale.cpu.pprof -memprofile profiles/scale.allocs.pprof
+	$(GO) tool pprof -top -nodecount 15 profiles/paldia-sim profiles/scale.cpu.pprof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space profiles/paldia-sim profiles/scale.allocs.pprof
 
 # Live observability plane end-to-end: serve a short paced replay, scrape
 # /metrics, read the SSE feed, assert clean shutdown. curl-based; see the

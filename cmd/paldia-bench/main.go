@@ -7,15 +7,16 @@
 // With -gate it runs only the allocation-gated benchmarks and exits non-zero
 // if any of them allocates — the CI regression tripwire for the
 // allocation-free scheduling paths. The gate also compares each benchmark's
-// ns/op against the committed baseline (-baseline, default BENCH_sched.json)
-// and fails on a slowdown beyond the tolerance; re-baseline by committing a
-// fresh `make bench` run.
+// ns/op and bytes/op against the committed baseline (-baseline, default
+// BENCH_sched.json) and fails on a regression beyond the tolerance;
+// re-baseline by committing a fresh `make bench` run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/shard"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -264,7 +266,74 @@ func cases(includeE2E bool) []benchCase {
 		}})
 	}
 	cs = append(cs, shardedGridCase(1), shardedGridCase(2), shardedGridCase(4))
+	cs = append(cs, streamWriterCase(), curveStreamCase())
 	return cs
+}
+
+// streamWriterCase measures the streaming telemetry path per request: one
+// full lifecycle (arrival through completion) through the StreamWriter —
+// event-feed JSONL encoding, span assembly, span JSONL encoding, span
+// recycling — against discarded writers. Steady-state allocations are the
+// assembler's per-job bookkeeping, so the case is alloc-exempt but ns/op-
+// and bytes/op-gated.
+func streamWriterCase() benchCase {
+	return benchCase{
+		name:        "telemetry/StreamWriter-lifecycle",
+		gated:       true,
+		allocExempt: true,
+		fn: func(b *testing.B) map[string]float64 {
+			w := telemetry.NewStreamWriter(io.Discard, io.Discard)
+			defer w.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req, at := int64(i), time.Duration(i)*time.Microsecond
+				e := telemetry.Ev(at, telemetry.Arrived)
+				e.Req = req
+				w.Event(e)
+				e = telemetry.Ev(at+time.Millisecond, telemetry.Dispatched)
+				e.Req, e.Job, e.Spec, e.N, e.Detail = req, req+1, "M60", 1, "spatial"
+				w.Event(e)
+				for _, k := range []telemetry.Kind{telemetry.Queued, telemetry.ExecStart, telemetry.ExecEnd} {
+					e = telemetry.Ev(at+2*time.Millisecond, k)
+					e.Req, e.Job = req, req+1
+					w.Event(e)
+				}
+				e = telemetry.Ev(at+40*time.Millisecond, telemetry.Completed)
+				e.Req = req
+				w.Event(e)
+			}
+			return nil
+		},
+	}
+}
+
+// curveStreamCase measures lazy arrival generation: draining one minute of a
+// 240 rps Poisson curve (~14k arrivals) through the batched per-bucket
+// realization — the generator behind every -stream run.
+func curveStreamCase() benchCase {
+	return benchCase{
+		name:        "trace/CurveStream-minute",
+		gated:       true,
+		allocExempt: true,
+		fn: func(b *testing.B) map[string]float64 {
+			curve := trace.PoissonCurve(sim.NewRNG(7), 240, time.Minute)
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				s := curve.Stream(sim.NewRNG(7))
+				n = 0
+				for {
+					if _, ok := s.Next(); !ok {
+						break
+					}
+					n++
+				}
+			}
+			return map[string]float64{"requests_per_op": float64(n)}
+		},
+	}
 }
 
 func main() { os.Exit(run()) }
@@ -272,9 +341,9 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		out      = flag.String("out", "BENCH_sched.json", "output path for the JSON results ('-' for stdout)")
-		gate     = flag.Bool("gate", false, "run only allocation-gated benchmarks and fail if any allocates or slows past -tolerance vs -baseline (skips the end-to-end pass; writes no file unless -out is set explicitly)")
-		baseline = flag.String("baseline", "BENCH_sched.json", "committed baseline for the -gate ns/op regression check ('' disables)")
-		tol      = flag.Float64("tolerance", 0.25, "allowed relative ns/op slowdown vs the baseline before -gate fails")
+		gate     = flag.Bool("gate", false, "run only allocation-gated benchmarks and fail if any allocates, slows, or grows bytes/op past -tolerance vs -baseline (skips the end-to-end pass; writes no file unless -out is set explicitly)")
+		baseline = flag.String("baseline", "BENCH_sched.json", "committed baseline for the -gate ns/op + bytes/op regression check ('' disables)")
+		tol      = flag.Float64("tolerance", 0.25, "allowed relative ns/op or bytes/op regression vs the baseline before -gate fails")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -334,6 +403,11 @@ func run() int {
 			Gated:       c.gated,
 			Metrics:     metrics,
 		}
+		if rpo := br.Metrics["requests_per_op"]; rpo > 0 && br.NsPerOp > 0 {
+			// Derived throughput for the simulation-scale cases: simulated
+			// requests retired per wall-clock second.
+			br.Metrics["requests_per_sec"] = rpo / (br.NsPerOp / 1e9)
+		}
 		results = append(results, br)
 		status := ""
 		if c.gated && !c.allocExempt && br.AllocsPerOp > 0 {
@@ -376,15 +450,18 @@ func run() int {
 	return 0
 }
 
-// checkBaseline compares each result's ns/op against the committed baseline
-// file and reports false when any benchmark slowed beyond tol. The CI runner
-// and the machine that produced the baseline differ in raw speed, so the
-// per-benchmark ratios are first normalized by their median: a uniform host
-// factor cancels, and what remains is one path regressing relative to the
-// others — the thing a code change can actually cause. Speedups past the same
-// margin only hint at re-baselining (commit a fresh `make bench` run); a
-// missing or unreadable baseline warns and passes, so the gate keeps working
-// on branches that predate the file.
+// checkBaseline compares each result's ns/op and bytes/op against the
+// committed baseline file and reports false when any benchmark regressed
+// beyond tol. The CI runner and the machine that produced the baseline
+// differ in raw speed, so the per-benchmark ns/op ratios are first
+// normalized by their median: a uniform host factor cancels, and what
+// remains is one path regressing relative to the others — the thing a code
+// change can actually cause. Bytes/op needs no normalization (the
+// simulations are deterministic, so allocation volume is host-independent)
+// and is compared directly. Speedups past the same margin only hint at
+// re-baselining (commit a fresh `make bench` run); a missing or unreadable
+// baseline warns and passes, so the gate keeps working on branches that
+// predate the file.
 func checkBaseline(path string, results []benchResult, tol float64) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -398,19 +475,24 @@ func checkBaseline(path string, results []benchResult, tol float64) bool {
 		fmt.Fprintf(os.Stderr, "baseline %s malformed (%v); skipping ns/op regression check\n", path, err)
 		return true
 	}
-	base := make(map[string]float64, len(doc.Benchmarks))
+	base := make(map[string]benchResult, len(doc.Benchmarks))
 	for _, b := range doc.Benchmarks {
-		base[b.Name] = b.NsPerOp
+		base[b.Name] = b
 	}
 	type cmp struct {
-		name        string
-		have, want  float64
-		ratio, norm float64
+		name                 string
+		have, want           float64
+		haveBytes, wantBytes int64
+		ratio                float64
 	}
 	var cmps []cmp
 	for _, r := range results {
-		if want := base[r.Name]; want > 0 {
-			cmps = append(cmps, cmp{name: r.Name, have: r.NsPerOp, want: want, ratio: r.NsPerOp / want})
+		if b, ok := base[r.Name]; ok && b.NsPerOp > 0 {
+			cmps = append(cmps, cmp{
+				name: r.Name, have: r.NsPerOp, want: b.NsPerOp,
+				haveBytes: r.BytesPerOp, wantBytes: b.BytesPerOp,
+				ratio: r.NsPerOp / b.NsPerOp,
+			})
 		} else {
 			fmt.Fprintf(os.Stderr, "%-45s not in baseline; skipped\n", r.Name)
 		}
@@ -431,6 +513,10 @@ func checkBaseline(path string, results []benchResult, tol float64) bool {
 	fmt.Fprintf(os.Stderr, "host speed vs baseline machine: %.2fx (median ratio; per-benchmark checks are normalized by it)\n", median)
 	ok := true
 	for _, c := range cmps {
+		if c.wantBytes > 0 && float64(c.haveBytes) > (1+tol)*float64(c.wantBytes) {
+			fmt.Fprintf(os.Stderr, "%-45s %8d B/op vs baseline %d  <-- FAIL: bytes/op regression beyond %.0f%%\n", c.name, c.haveBytes, c.wantBytes, tol*100)
+			ok = false
+		}
 		norm := c.ratio / median
 		switch {
 		case norm > 1+tol:

@@ -917,7 +917,7 @@ func printTimeline(r core.Result, dur time.Duration) {
 	n := int(dur/bucket) + 1
 	viol := make([]int, n)
 	tot := make([]int, n)
-	for _, rec := range r.Collector.Records() {
+	r.Collector.Each(func(rec metrics.Record) {
 		i := int(rec.Arrival / bucket)
 		if i >= n {
 			i = n - 1
@@ -926,7 +926,7 @@ func printTimeline(r core.Result, dur time.Duration) {
 		if rec.Failed || rec.Latency > r.Collector.SLO {
 			viol[i]++
 		}
-	}
+	})
 	fmt.Println("  violations per 30s window (violations/total):")
 	for i := range viol {
 		if viol[i] > 0 {

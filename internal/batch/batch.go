@@ -15,9 +15,14 @@ type Request struct {
 	Arrival time.Duration
 }
 
-// Batcher accumulates pending requests for one model.
+// Batcher accumulates pending requests for one model. Internally it is a
+// head-indexed queue: takes advance head instead of shifting the slice, and
+// the dead prefix is reclaimed lazily (fully-drained reset, or an amortized
+// copy-down once it dominates the backing array), so steady-state
+// enqueue/dequeue churn costs no per-request allocation.
 type Batcher struct {
 	pending []Request
+	head    int
 	nextID  uint64
 	total   uint64
 }
@@ -27,12 +32,24 @@ func (b *Batcher) Add(arrival time.Duration) Request {
 	r := Request{ID: b.nextID, Arrival: arrival}
 	b.nextID++
 	b.total++
+	if b.head == len(b.pending) {
+		// Fully drained: rewind to reuse the whole backing array.
+		b.pending = b.pending[:0]
+		b.head = 0
+	} else if b.head > 64 && 2*b.head >= len(b.pending) {
+		// Dead prefix dominates: compact live requests to the front. The
+		// copy is O(live) and head has grown by at least as much since the
+		// last compaction, so the cost amortizes to O(1) per take.
+		n := copy(b.pending, b.pending[b.head:])
+		b.pending = b.pending[:n]
+		b.head = 0
+	}
 	b.pending = append(b.pending, r)
 	return r
 }
 
 // Pending returns the number of requests waiting for dispatch.
-func (b *Batcher) Pending() int { return len(b.pending) }
+func (b *Batcher) Pending() int { return len(b.pending) - b.head }
 
 // Total returns the number of requests ever enqueued.
 func (b *Batcher) Total() uint64 { return b.total }
@@ -40,32 +57,51 @@ func (b *Batcher) Total() uint64 { return b.total }
 // OldestArrival returns the arrival time of the oldest pending request; the
 // boolean is false when nothing is pending.
 func (b *Batcher) OldestArrival() (time.Duration, bool) {
-	if len(b.pending) == 0 {
+	if b.head == len(b.pending) {
 		return 0, false
 	}
-	return b.pending[0].Arrival, true
+	return b.pending[b.head].Arrival, true
 }
 
-// TakeAll removes and returns every pending request in arrival order.
+// TakeAll removes and returns every pending request in arrival order. The
+// returned slice is owned by the caller; the batcher starts a fresh backing
+// array. (Dispatch hot paths use TakeInto instead, which allocates nothing.)
 func (b *Batcher) TakeAll() []Request {
-	out := b.pending
+	out := b.pending[b.head:]
 	b.pending = nil
+	b.head = 0
 	return out
 }
 
-// TakeUpTo removes and returns up to n of the oldest pending requests.
+// TakeUpTo removes and returns up to n of the oldest pending requests in a
+// freshly allocated slice. (Dispatch hot paths use TakeInto instead.)
 func (b *Batcher) TakeUpTo(n int) []Request {
 	if n <= 0 {
 		return nil
 	}
-	if n > len(b.pending) {
-		n = len(b.pending)
+	if p := b.Pending(); n > p {
+		n = p
 	}
 	out := make([]Request, n)
-	copy(out, b.pending[:n])
-	rest := b.pending[n:]
-	b.pending = append(b.pending[:0], rest...)
+	copy(out, b.pending[b.head:b.head+n])
+	b.head += n
 	return out
+}
+
+// TakeInto appends up to n of the oldest pending requests to dst and returns
+// it. The requests are removed from the batcher in arrival order, identically
+// to TakeUpTo; dst is typically a per-dispatch scratch slice reused across
+// calls, so steady-state takes allocate nothing.
+func (b *Batcher) TakeInto(dst []Request, n int) []Request {
+	if n <= 0 {
+		return dst
+	}
+	if p := b.Pending(); n > p {
+		n = p
+	}
+	dst = append(dst, b.pending[b.head:b.head+n]...)
+	b.head += n
+	return dst
 }
 
 // Split partitions requests into batches of at most batchSize, sized as
@@ -91,4 +127,30 @@ func Split(reqs []Request, batchSize int) [][]Request {
 		i += size
 	}
 	return out
+}
+
+// SplitSizes writes the per-batch sizes of Split(reqs of length n, batchSize)
+// into sizes (reused across calls) and returns it: k = ceil(n/batchSize)
+// batches, as even as possible, larger ones first. Dispatch paths use it to
+// take each batch directly out of a Batcher via TakeInto without
+// materializing the intermediate slice-of-slices.
+func SplitSizes(sizes []int, n, batchSize int) []int {
+	sizes = sizes[:0]
+	if n == 0 {
+		return sizes
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	k := (n + batchSize - 1) / batchSize
+	base := n / k
+	rem := n % k
+	for j := 0; j < k; j++ {
+		size := base
+		if j < rem {
+			size++
+		}
+		sizes = append(sizes, size)
+	}
+	return sizes
 }

@@ -29,6 +29,7 @@ type Pool struct {
 	eng       *sim.Engine
 	coldStart time.Duration
 	keepAlive time.Duration
+	reapFn    func() // bound once; pushIdle schedules it per release
 
 	// Sink, when set, receives container lifecycle events (waits, boots,
 	// pre-warms, reaps) labelled with NodeID/Spec/Tenant. A nil Sink costs
@@ -61,7 +62,9 @@ type Pool struct {
 // window. keepAlive == 0 means containers terminate the moment they go idle
 // (the paper's scale-down-immediately baseline).
 func NewPool(eng *sim.Engine, coldStart, keepAlive time.Duration) *Pool {
-	return &Pool{eng: eng, coldStart: coldStart, keepAlive: keepAlive}
+	p := &Pool{eng: eng, coldStart: coldStart, keepAlive: keepAlive}
+	p.reapFn = p.reap
+	return p
 }
 
 // emit sends one pool lifecycle event; call sites guard Sink != nil.
@@ -293,7 +296,7 @@ func (p *Pool) pushIdle() {
 	// One-shot reap when this container's keep-alive would expire; lazy
 	// reaping at every operation handles the rest.
 	if p.keepAlive > 0 {
-		p.eng.Schedule(p.keepAlive+time.Millisecond, func() { p.reap() })
+		p.eng.Schedule(p.keepAlive+time.Millisecond, p.reapFn)
 	}
 }
 

@@ -16,12 +16,49 @@ import (
 	"repro/internal/telemetry"
 )
 
+// --- pooled per-job dispatch state -------------------------------------------
+
+// jobState is the per-dispatch context of one batch job: the device job, the
+// requests it carries, and the lifecycle closures. States are recycled
+// through the runner's free list when the job completes, and the Done/submit
+// closures are bound once per jobState lifetime, so a steady-state dispatch
+// cycle — take requests, build job, submit, complete, record — allocates
+// nothing.
+type jobState struct {
+	r          *runner
+	node       *servingNode
+	reqs       []batch.Request // owned copy; reused across lifetimes
+	job        device.Job
+	dispatched time.Duration
+	cold       time.Duration // container-wait serialized into the request
+	mode       device.Mode
+	doneFn     func(*device.Job)
+	submitFn   func()
+}
+
+// newJobState returns a recycled jobState or builds one with its closures
+// bound.
+func (r *runner) newJobState() *jobState {
+	if n := len(r.jobPool); n > 0 {
+		js := r.jobPool[n-1]
+		r.jobPool = r.jobPool[:n-1]
+		return js
+	}
+	js := &jobState{r: r}
+	js.doneFn = func(j *device.Job) { js.complete(j) }
+	js.submitFn = func() {
+		js.cold = js.r.eng.Now() - js.dispatched
+		js.node.node.Device.Submit(&js.job)
+	}
+	return js
+}
+
 // --- dispatch ----------------------------------------------------------------
 
 func (r *runner) dispatchTick() {
 	now := r.eng.Now()
 	if now < r.end || r.bat.Pending() > 0 {
-		r.eng.Schedule(r.cfg.DispatchWindow, r.dispatchTick)
+		r.eng.Schedule(r.cfg.DispatchWindow, r.dispatchTickFn)
 	}
 	r.dispatch()
 }
@@ -138,33 +175,43 @@ func (r *runner) dispatchOn(node *servingNode, limit int) {
 			return
 		}
 	}
-	reqs := r.bat.TakeUpTo(spatialN + y)
-	spatial := reqs[:spatialN]
-	queued := reqs[spatialN:]
-
 	// Reactive scale-up: one container per spatial batch (§IV-C), on top of
-	// containers already serving in-flight batches.
-	node.pool.Ensure(node.pool.Busy() + autoscale.ReactiveContainers(len(spatial), bs))
+	// containers already serving in-flight batches. (Taking requests out of
+	// the batcher schedules no events, so sizing the pool before the take is
+	// observationally identical to the historical take-then-ensure order.)
+	node.pool.Ensure(node.pool.Busy() + autoscale.ReactiveContainers(spatialN, bs))
 
-	for _, b := range batch.Split(spatial, bs) {
-		r.dispatchJob(node, b, device.Spatial)
+	// Each batch takes its requests straight out of the batcher, in the same
+	// arrival-order partition batch.Split produced over a materialized take.
+	r.sizesScratch = batch.SplitSizes(r.sizesScratch, spatialN, bs)
+	for _, size := range r.sizesScratch {
+		r.dispatchJob(node, size, device.Spatial)
 	}
-	for _, b := range batch.Split(queued, bs) {
-		r.dispatchJob(node, b, device.Queued)
+	r.sizesScratch = batch.SplitSizes(r.sizesScratch, y, bs)
+	for _, size := range r.sizesScratch {
+		r.dispatchJob(node, size, device.Queued)
 	}
 }
 
-func (r *runner) dispatchJob(node *servingNode, reqs []batch.Request, mode device.Mode) {
+// dispatchJob takes the next n pending requests as one batch job on node.
+func (r *runner) dispatchJob(node *servingNode, n int, mode device.Mode) {
 	now := r.eng.Now()
-	solo := profile.Solo(r.cfg.Model, node.node.Spec, len(reqs))
+	js := r.newJobState()
+	js.node = node
+	js.mode = mode
+	js.dispatched = now
+	js.cold = 0
+	js.reqs = r.bat.TakeInto(js.reqs[:0], n)
+	reqs := js.reqs
 
-	job := &device.Job{
-		Batch:   len(reqs),
-		Solo:    solo,
-		FBR:     node.entry.FBR,
-		Compute: profile.ComputeFraction(r.cfg.Model, node.node.Spec, len(reqs)),
-		Mode:    mode,
-	}
+	job := &js.job
+	job.Reset()
+	job.Batch = len(reqs)
+	job.Solo = profile.Solo(r.cfg.Model, node.node.Spec, len(reqs))
+	job.FBR = node.entry.FBR
+	job.Compute = profile.ComputeFraction(r.cfg.Model, node.node.Spec, len(reqs))
+	job.Mode = mode
+	job.Done = js.doneFn
 	if r.tel != nil {
 		r.jobSeq++
 		job.ID = r.jobSeq
@@ -179,24 +226,18 @@ func (r *runner) dispatchJob(node *servingNode, reqs []batch.Request, mode devic
 			r.tel.Event(e)
 		}
 	}
-	var cold time.Duration // container-wait serialized into the request
-	job.Done = func(j *device.Job) { r.completeJob(node, reqs, j, now, cold, mode) }
-	submit := func() {
-		cold = r.eng.Now() - now
-		node.node.Device.Submit(job)
-	}
 
 	if mode == device.Spatial {
-		node.pool.AcquireOrWait(submit)
+		node.pool.AcquireOrWait(js.submitFn)
 		return
 	}
 	node.queuedOutstanding++
 	if node.laneReady {
 		// Time-shared batches reuse the single warm lane container.
-		submit()
+		js.submitFn()
 		return
 	}
-	node.lanePending = append(node.lanePending, submit)
+	node.lanePending = append(node.lanePending, js.submitFn)
 	if node.laneHeld {
 		return
 	}
@@ -211,15 +252,21 @@ func (r *runner) dispatchJob(node *servingNode, reqs []batch.Request, mode devic
 	})
 }
 
-func (r *runner) completeJob(node *servingNode, reqs []batch.Request, j *device.Job,
-	dispatched time.Duration, cold time.Duration, mode device.Mode) {
+// complete records the outcomes of a finished (or failed) job's requests and
+// recycles the jobState. By the time the device invokes Done the job is out
+// of every device queue, and its submit closure has either run or — for jobs
+// failed while waiting on a container — belongs to a retired pool, so the
+// state cannot be referenced again and is safe to reuse.
+func (js *jobState) complete(j *device.Job) {
+	r := js.r
+	node := js.node
 	finish := r.eng.Now()
 	if r.tel != nil {
 		kind := telemetry.Completed
 		if j.Failed {
 			kind = telemetry.Failed
 		}
-		for _, req := range reqs {
+		for _, req := range js.reqs {
 			e := telemetry.Ev(finish, kind)
 			e.Req = int64(req.ID)
 			e.Job = j.ID
@@ -227,12 +274,12 @@ func (r *runner) completeJob(node *servingNode, reqs []batch.Request, j *device.
 			r.tel.Event(e)
 		}
 	}
-	for _, req := range reqs {
+	for _, req := range js.reqs {
 		rec := metrics.Record{
 			Arrival:      req.Arrival,
 			Latency:      finish - req.Arrival,
-			BatchWait:    dispatched - req.Arrival,
-			ColdStart:    cold,
+			BatchWait:    js.dispatched - req.Arrival,
+			ColdStart:    js.cold,
 			QueueDelay:   j.QueueDelay(),
 			Interference: j.Interference(),
 			MinExec:      j.Solo,
@@ -243,6 +290,8 @@ func (r *runner) completeJob(node *servingNode, reqs []batch.Request, j *device.
 		}
 		r.col.Add(rec)
 	}
+	mode := js.mode
+	r.jobPool = append(r.jobPool, js)
 	if mode == device.Spatial {
 		node.pool.Release()
 		return

@@ -124,6 +124,16 @@ type multiRunner struct {
 	// stScratch backs stateFor's *State, rebuilt per call and never retained
 	// by callers — same reuse discipline as runner.stScratch.
 	stScratch State
+
+	// jobPool and sizesScratch mirror runner.jobPool/sizesScratch: recycled
+	// per-dispatch job contexts and the per-window batch-size partition, so
+	// the multi-tenant dispatch/complete cycle allocates nothing in steady
+	// state. The tick closures are bound once (method values allocate per
+	// reschedule).
+	jobPool        []*tenantJobState
+	sizesScratch   []int
+	dispatchTickFn func()
+	monitorTickFn  func()
 }
 
 // RunMulti executes a multi-tenant simulation.
@@ -170,8 +180,10 @@ func RunMulti(cfg MultiConfig) MultiResult {
 	for _, t := range r.tenants {
 		r.scheduleArrivals(t)
 	}
-	r.eng.Schedule(cfg.DispatchWindow, r.dispatchTick)
-	r.eng.Schedule(cfg.MonitorInterval, r.monitorTick)
+	r.dispatchTickFn = r.dispatchTick
+	r.monitorTickFn = r.monitorTick
+	r.eng.Schedule(cfg.DispatchWindow, r.dispatchTickFn)
+	r.eng.Schedule(cfg.MonitorInterval, r.monitorTickFn)
 	r.eng.Run(r.end + DefaultDrain)
 	// Run to completion so conservation holds even under deep overload;
 	// give up only when a whole chunk passes without progress, then flush
@@ -210,11 +222,11 @@ func RunMulti(cfg MultiConfig) MultiResult {
 		requests, failed := 0, 0
 		for _, t := range r.tenants {
 			requests += t.col.Count()
-			for _, rec := range t.col.Records() {
+			t.col.Each(func(rec metrics.Record) {
 				if rec.Failed {
 					failed++
 				}
-			}
+			})
 		}
 		// Multi-tenant runs never inject node failures.
 		cfg.Invariants.CheckResult(r.eng.Now(), requests, failed, 0)
@@ -456,7 +468,7 @@ func (r *multiRunner) dispatchTick() {
 		pending += t.bat.Pending()
 	}
 	if now < r.end || pending > 0 {
-		r.eng.Schedule(r.cfg.DispatchWindow, r.dispatchTick)
+		r.eng.Schedule(r.cfg.DispatchWindow, r.dispatchTickFn)
 	}
 	if r.cur == nil || r.cur.node.Device == nil || r.cur.node.Device.Failed() {
 		return
@@ -503,35 +515,81 @@ func (r *multiRunner) dispatchTenant(i int, t *tenant) {
 	if max := slots * entry.PreferredBatch; y > max {
 		y = max
 	}
-	reqs := t.bat.TakeUpTo(spatialN + y)
-	if len(reqs) == 0 {
+	if spatialN+y == 0 {
 		return
 	}
-	spatial := reqs[:minInt(spatialN, len(reqs))]
-	queued := reqs[len(spatial):]
-
+	// Pool sizing reads only container counts and taking requests schedules
+	// no events, so sizing before the takes matches the historical
+	// take-then-ensure order observationally; each batch then pulls its
+	// requests straight out of the batcher in the same arrival-order
+	// partition batch.Split produced.
 	node.pools[i].Ensure(node.pools[i].Busy() +
-		autoscale.ReactiveContainers(len(spatial), entry.PreferredBatch))
-	for _, b := range batch.Split(spatial, entry.PreferredBatch) {
-		r.dispatchJob(i, t, entry, b, device.Spatial)
+		autoscale.ReactiveContainers(spatialN, entry.PreferredBatch))
+	r.sizesScratch = batch.SplitSizes(r.sizesScratch, spatialN, entry.PreferredBatch)
+	for _, size := range r.sizesScratch {
+		r.dispatchJob(i, t, entry, size, device.Spatial)
 	}
-	for _, b := range batch.Split(queued, entry.PreferredBatch) {
-		r.dispatchJob(i, t, entry, b, device.Queued)
+	r.sizesScratch = batch.SplitSizes(r.sizesScratch, y, entry.PreferredBatch)
+	for _, size := range r.sizesScratch {
+		r.dispatchJob(i, t, entry, size, device.Queued)
 	}
 }
 
+// tenantJobState is the multi-tenant counterpart of jobState: one batch
+// job's pooled context — requests, device job, bound lifecycle closures —
+// recycled through multiRunner.jobPool on completion.
+type tenantJobState struct {
+	r          *multiRunner
+	i          int
+	t          *tenant
+	node       *tenantNode
+	reqs       []batch.Request
+	job        device.Job
+	dispatched time.Duration
+	cold       time.Duration
+	mode       device.Mode
+	doneFn     func(*device.Job)
+	submitFn   func()
+}
+
+func (r *multiRunner) newJobState() *tenantJobState {
+	if n := len(r.jobPool); n > 0 {
+		js := r.jobPool[n-1]
+		r.jobPool = r.jobPool[:n-1]
+		return js
+	}
+	js := &tenantJobState{r: r}
+	js.doneFn = func(j *device.Job) { js.complete(j) }
+	js.submitFn = func() {
+		js.cold = js.r.eng.Now() - js.dispatched
+		js.node.node.Device.Submit(&js.job)
+	}
+	return js
+}
+
 func (r *multiRunner) dispatchJob(i int, t *tenant, entry profile.Entry,
-	reqs []batch.Request, mode device.Mode) {
+	n int, mode device.Mode) {
 	node := r.cur
 	now := r.eng.Now()
 	spec := node.node.Spec
-	job := &device.Job{
-		Batch:   len(reqs),
-		Solo:    profile.Solo(t.w.Model, spec, len(reqs)),
-		FBR:     entry.FBR,
-		Compute: profile.ComputeFraction(t.w.Model, spec, len(reqs)),
-		Mode:    mode,
-	}
+	js := r.newJobState()
+	js.i = i
+	js.t = t
+	js.node = node
+	js.mode = mode
+	js.dispatched = now
+	js.cold = 0
+	js.reqs = t.bat.TakeInto(js.reqs[:0], n)
+	reqs := js.reqs
+
+	job := &js.job
+	job.Reset()
+	job.Batch = len(reqs)
+	job.Solo = profile.Solo(t.w.Model, spec, len(reqs))
+	job.FBR = entry.FBR
+	job.Compute = profile.ComputeFraction(t.w.Model, spec, len(reqs))
+	job.Mode = mode
+	job.Done = js.doneFn
 	if r.tel != nil {
 		r.jobSeq++
 		job.ID = r.jobSeq
@@ -547,60 +605,16 @@ func (r *multiRunner) dispatchJob(i int, t *tenant, entry profile.Entry,
 			r.tel.Event(e)
 		}
 	}
-	var cold time.Duration
-	job.Done = func(j *device.Job) {
-		finish := r.eng.Now()
-		if r.tel != nil {
-			kind := telemetry.Completed
-			if j.Failed {
-				kind = telemetry.Failed
-			}
-			for _, req := range reqs {
-				e := telemetry.Ev(finish, kind)
-				e.Req = int64(req.ID)
-				e.Tenant = t.idx
-				e.Job = j.ID
-				e.Node = node.node.ID
-				r.tel.Event(e)
-			}
-		}
-		for _, req := range reqs {
-			t.col.Add(metrics.Record{
-				Arrival:      req.Arrival,
-				Latency:      finish - req.Arrival,
-				BatchWait:    now - req.Arrival,
-				ColdStart:    cold,
-				QueueDelay:   j.QueueDelay(),
-				Interference: j.Interference(),
-				MinExec:      j.Solo,
-				Failed:       j.Failed,
-			})
-		}
-		if mode == device.Spatial {
-			node.pools[i].Release()
-			return
-		}
-		node.queuedOutstanding[i]--
-		if node.queuedOutstanding[i] == 0 && node.laneReady[i] {
-			node.pools[i].Release()
-			node.laneHeld[i] = false
-			node.laneReady[i] = false
-		}
-	}
-	submit := func() {
-		cold = r.eng.Now() - now
-		node.node.Device.Submit(job)
-	}
 	if mode == device.Spatial {
-		node.pools[i].AcquireOrWait(submit)
+		node.pools[i].AcquireOrWait(js.submitFn)
 		return
 	}
 	node.queuedOutstanding[i]++
 	if node.laneReady[i] {
-		submit()
+		js.submitFn()
 		return
 	}
-	node.lanePending[i] = append(node.lanePending[i], submit)
+	node.lanePending[i] = append(node.lanePending[i], js.submitFn)
 	if node.laneHeld[i] {
 		return
 	}
@@ -615,10 +629,58 @@ func (r *multiRunner) dispatchJob(i int, t *tenant, entry profile.Entry,
 	})
 }
 
+// complete records the finished job's request outcomes against the tenant's
+// collector and recycles the state (see jobState.complete for the reuse
+// argument; the lane/pool teardown uses the node captured at dispatch, which
+// may differ from r.cur after a hardware switch).
+func (js *tenantJobState) complete(j *device.Job) {
+	r := js.r
+	i, t, node := js.i, js.t, js.node
+	finish := r.eng.Now()
+	if r.tel != nil {
+		kind := telemetry.Completed
+		if j.Failed {
+			kind = telemetry.Failed
+		}
+		for _, req := range js.reqs {
+			e := telemetry.Ev(finish, kind)
+			e.Req = int64(req.ID)
+			e.Tenant = t.idx
+			e.Job = j.ID
+			e.Node = node.node.ID
+			r.tel.Event(e)
+		}
+	}
+	for _, req := range js.reqs {
+		t.col.Add(metrics.Record{
+			Arrival:      req.Arrival,
+			Latency:      finish - req.Arrival,
+			BatchWait:    js.dispatched - req.Arrival,
+			ColdStart:    js.cold,
+			QueueDelay:   j.QueueDelay(),
+			Interference: j.Interference(),
+			MinExec:      j.Solo,
+			Failed:       j.Failed,
+		})
+	}
+	mode := js.mode
+	r.jobPool = append(r.jobPool, js)
+	if mode == device.Spatial {
+		node.pools[i].Release()
+		return
+	}
+	node.queuedOutstanding[i]--
+	if node.queuedOutstanding[i] == 0 && node.laneReady[i] {
+		node.pools[i].Release()
+		node.laneHeld[i] = false
+		node.laneReady[i] = false
+	}
+}
+
 func (r *multiRunner) monitorTick() {
 	now := r.eng.Now()
 	if now < r.end {
-		r.eng.Schedule(r.cfg.MonitorInterval, r.monitorTick)
+		r.eng.Schedule(r.cfg.MonitorInterval, r.monitorTickFn)
 	}
 	desired := r.desiredAggregate()
 	if r.cur != nil && desired.Name == r.cur.node.Spec.Name {
@@ -735,11 +797,4 @@ func (r *multiRunner) results() MultiResult {
 		res.SLOCompliance = 1
 	}
 	return res
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

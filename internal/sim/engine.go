@@ -6,12 +6,21 @@
 // seeded random sources (see rng.go) — makes every simulation in this
 // repository bit-for-bit reproducible.
 //
-// Event structs are recycled through a per-engine free list: model code that
-// schedules and cancels millions of events (the device layer re-arms a finish
-// event on every pool membership change) allocates a bounded number of Event
-// structs instead of one per Schedule call. Cancellation is handled through
-// generation-checked Timer handles, so a stale handle held across recycling
-// can never cancel an unrelated event.
+// Event storage is an index-addressed arena: the queue is a 4-ary min-heap of
+// arena indexes, and fired or cancelled slots return to an index free list.
+// Model code that schedules and cancels millions of events (the device layer
+// re-arms a finish event on every pool membership change) therefore performs
+// no per-event allocation at all in steady state — the only allocations are
+// the amortized growth of the arena and heap backing arrays. Cancellation is
+// handled through generation-checked Timer handles, so a stale handle held
+// across slot recycling can never cancel an unrelated event.
+//
+// Because (at, seq) is a strict total order on events — seq is unique — any
+// correct priority queue pops events in exactly one order. The heap's shape
+// (4-ary here, binary before) is therefore unobservable: fire order, and with
+// it every simulation output, is identical for any conforming implementation.
+// sim's tests assert this against the previous pointer-based binary heap,
+// kept as a reference implementation in heap_reference_test.go.
 package sim
 
 import (
@@ -19,16 +28,16 @@ import (
 	"time"
 )
 
-// Event is a callback bound to a point in virtual time. Events are owned and
-// recycled by the engine; model code only ever holds Timer handles.
-type Event struct {
+// event is one arena slot: a callback bound to a point in virtual time.
+// Slots are addressed by index and recycled through the engine's free list;
+// model code only ever holds Timer handles.
+type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
 
-	eng       *Engine
 	gen       uint64 // bumped on every recycle; Timer handles check it
-	index     int    // heap index; -1 when not queued
+	pos       int32  // heap position; -1 when not queued
 	cancelled bool
 }
 
@@ -37,22 +46,35 @@ type Event struct {
 // outliving its event (fired, cancelled, or recycled into a new event) is
 // safe: the generation check turns every operation into a no-op.
 type Timer struct {
-	ev  *Event
+	eng *Engine
+	idx int32
 	gen uint64
 }
 
-// Active reports whether the timer's event is still queued and will fire.
-func (t Timer) Active() bool {
-	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0 && !t.ev.cancelled
+// ev returns the timer's live arena slot, or nil when the timer is inert
+// (zero, fired, cancelled, or recycled).
+func (t Timer) ev() *event {
+	if t.eng == nil {
+		return nil
+	}
+	ev := &t.eng.arena[t.idx]
+	if ev.gen != t.gen || ev.pos < 0 || ev.cancelled {
+		return nil
+	}
+	return ev
 }
+
+// Active reports whether the timer's event is still queued and will fire.
+func (t Timer) Active() bool { return t.ev() != nil }
 
 // At returns the virtual time the event fires at; ok is false when the timer
 // is inert (zero, fired, cancelled, or recycled).
 func (t Timer) At() (at time.Duration, ok bool) {
-	if !t.Active() {
+	ev := t.ev()
+	if ev == nil {
 		return 0, false
 	}
-	return t.ev.at, true
+	return ev.at, true
 }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
@@ -60,99 +82,26 @@ func (t Timer) At() (at time.Duration, ok bool) {
 // Cancelled events stay in the queue until their fire time or until a lazy
 // compaction sweep reclaims them (see Engine).
 func (t Timer) Cancel() {
-	if !t.Active() {
+	ev := t.ev()
+	if ev == nil {
 		return
 	}
-	t.ev.cancelled = true
-	t.ev.fn = nil // release the closure now; the shell fires as a no-op
-	t.ev.eng.cancelledN++
-	t.ev.eng.maybeCompact()
-}
-
-// eventHeap is a binary min-heap ordered by (at, seq). The sift operations
-// are the textbook container/heap algorithms specialized to the concrete
-// element type: the heap is the single hottest structure in a simulation, and
-// the interface dispatch plus any-boxing of container/heap dominated its
-// cost. The comparison and swap sequences are exactly those of
-// container/heap, so the heap layout — and therefore the event fire order —
-// is identical to the generic implementation's.
-type eventHeap []*Event
-
-func (h eventHeap) less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (h eventHeap) swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h eventHeap) up(j int) {
-	for {
-		i := (j - 1) / 2 // parent
-		if i == j || !h.less(j, i) {
-			break
-		}
-		h.swap(i, j)
-		j = i
-	}
-}
-
-func (h eventHeap) down(i0, n int) {
-	i := i0
-	for {
-		j1 := 2*i + 1
-		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
-			break
-		}
-		j := j1 // left child
-		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
-			j = j2 // = 2*i + 2  // right child
-		}
-		if !h.less(j, i) {
-			break
-		}
-		h.swap(i, j)
-		i = j
-	}
-}
-
-// push adds e to the heap.
-func (h *eventHeap) push(e *Event) {
-	e.index = len(*h)
-	*h = append(*h, e)
-	h.up(e.index)
-}
-
-// popMin removes and returns the minimum (root) event.
-func (h *eventHeap) popMin() *Event {
-	s := *h
-	n := len(s) - 1
-	s.swap(0, n)
-	s.down(0, n)
-	e := s[n]
-	s[n] = nil
-	e.index = -1
-	*h = s[:n]
-	return e
-}
-
-// reinit restores the heap invariant over arbitrary contents (compaction).
-func (h eventHeap) reinit() {
-	n := len(h)
-	for i := n/2 - 1; i >= 0; i-- {
-		h.down(i, n)
-	}
+	ev.cancelled = true
+	ev.fn = nil // release the closure now; the shell fires as a no-op
+	t.eng.cancelledN++
+	t.eng.maybeCompact()
 }
 
 // compactMin is the queue size below which cancelled events are not worth
 // sweeping: they drain naturally at their fire time.
 const compactMin = 32
+
+// heapArity is the fan-out of the event queue's d-ary heap. Four keeps the
+// tree half as deep as a binary heap (fewer cache-missing levels per sift)
+// while the per-level 4-way minimum scan stays within one cache line of
+// indexes; (at, seq) total ordering makes the pop order — and therefore
+// every simulation output — identical to the binary heap's.
+const heapArity = 4
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs inside event callbacks on one
@@ -160,15 +109,17 @@ const compactMin = 32
 // probing — is fine as long as it joins before the callback returns.
 // Parallelism *across* engines is likewise fine: engines share nothing.)
 type Engine struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   time.Duration
+	seq   uint64
+	fired uint64
 
-	// free recycles fired/cancelled Event structs; cancelledN counts the
-	// cancelled events still occupying the queue, triggering compaction once
-	// they outnumber the live ones.
-	free       []*Event
+	// arena is the index-addressed event storage; heap orders the queued
+	// slots by (at, seq); free recycles fired/cancelled slots. cancelledN
+	// counts the cancelled events still occupying the queue, triggering
+	// compaction once they outnumber the live ones.
+	arena      []event
+	heap       []int32
+	free       []int32
 	cancelledN int
 
 	// onFire, when set, observes the virtual time of every fired event
@@ -210,7 +161,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events currently occupying the queue.
 // Cancelled events count until they are reclaimed — at their fire time, or
 // earlier by the lazy compaction sweep once they outnumber live events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule queues fn to run after delay. A negative delay panics: model code
 // must never schedule into the past.
@@ -226,33 +177,129 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt %v before now %v", t, e.now))
 	}
-	ev := e.alloc()
+	id := e.alloc()
+	ev := &e.arena[id]
 	ev.at = t
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
-	e.events.push(ev)
-	return Timer{ev: ev, gen: ev.gen}
+	e.push(id)
+	return Timer{eng: e, idx: id, gen: ev.gen}
 }
 
-// alloc returns a recycled Event or a fresh one.
-func (e *Engine) alloc() *Event {
+// alloc returns a recycled arena slot's index or extends the arena.
+func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free[n-1] = nil
+		id := e.free[n-1]
 		e.free = e.free[:n-1]
-		ev.cancelled = false
-		return ev
+		e.arena[id].cancelled = false
+		return id
 	}
-	return &Event{eng: e}
+	e.arena = append(e.arena, event{pos: -1})
+	return int32(len(e.arena) - 1)
 }
 
-// recycle returns a popped event to the free list, invalidating any
+// recycle returns a dequeued slot to the free list, invalidating any
 // outstanding Timer handles to it.
-func (e *Engine) recycle(ev *Event) {
+func (e *Engine) recycle(id int32) {
+	ev := &e.arena[id]
 	ev.fn = nil
 	ev.gen++
-	e.free = append(e.free, ev)
+	e.free = append(e.free, id)
+}
+
+// --- 4-ary index heap --------------------------------------------------------
+
+// before reports whether slot a fires strictly before slot b: the (at, seq)
+// total order every conforming priority queue must respect.
+func (e *Engine) before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push adds arena slot id to the heap (sift-up with a moving hole: one write
+// per level instead of a three-write swap).
+func (e *Engine) push(id int32) {
+	j := len(e.heap)
+	e.heap = append(e.heap, id)
+	ev := &e.arena[id]
+	for j > 0 {
+		p := (j - 1) / heapArity
+		pid := e.heap[p]
+		pe := &e.arena[pid]
+		if !e.before(ev, pe) {
+			break
+		}
+		e.heap[j] = pid
+		pe.pos = int32(j)
+		j = p
+	}
+	e.heap[j] = id
+	ev.pos = int32(j)
+}
+
+// popMin removes and returns the minimum (root) slot's index.
+func (e *Engine) popMin() int32 {
+	id := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.arena[last].pos = 0
+		e.down(0)
+	}
+	e.arena[id].pos = -1
+	return id
+}
+
+// down restores the heap property below position i (sift-down with a moving
+// hole, scanning up to heapArity children per level for the minimum).
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	id := e.heap[i]
+	ev := &e.arena[id]
+	for {
+		c := heapArity*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		bid := e.heap[c]
+		be := &e.arena[bid]
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		for c++; c < end; c++ {
+			cid := e.heap[c]
+			ce := &e.arena[cid]
+			if e.before(ce, be) {
+				best, bid, be = c, cid, ce
+			}
+		}
+		if !e.before(be, ev) {
+			break
+		}
+		e.heap[i] = bid
+		be.pos = int32(i)
+		i = best
+	}
+	e.heap[i] = id
+	ev.pos = int32(i)
+}
+
+// reinit restores the heap invariant over arbitrary contents (compaction).
+func (e *Engine) reinit() {
+	n := len(e.heap)
+	if n < 2 {
+		return
+	}
+	for i := (n - 2) / heapArity; i >= 0; i-- {
+		e.down(i)
+	}
 }
 
 // maybeCompact sweeps cancelled events out of the queue once they outnumber
@@ -260,35 +307,32 @@ func (e *Engine) recycle(ev *Event) {
 // from the surviving events; (at, seq) ordering makes the rebuild
 // deterministic.
 func (e *Engine) maybeCompact() {
-	if len(e.events) < compactMin || 2*e.cancelledN <= len(e.events) {
+	if len(e.heap) < compactMin || 2*e.cancelledN <= len(e.heap) {
 		return
 	}
-	kept := e.events[:0]
-	for _, ev := range e.events {
-		if ev.cancelled {
-			ev.index = -1
-			e.recycle(ev)
+	kept := e.heap[:0]
+	for _, id := range e.heap {
+		if e.arena[id].cancelled {
+			e.arena[id].pos = -1
+			e.recycle(id)
 			continue
 		}
-		kept = append(kept, ev)
+		kept = append(kept, id)
 	}
-	// Clear the tail so recycled pointers don't linger in the backing array.
-	for i := len(kept); i < len(e.events); i++ {
-		e.events[i] = nil
-	}
-	e.events = kept
+	e.heap = kept
 	e.cancelledN = 0
-	e.events.reinit()
+	e.reinit()
 }
 
 // Step fires the next pending event, advancing the clock to it. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := e.events.popMin()
+	for len(e.heap) > 0 {
+		id := e.popMin()
+		ev := &e.arena[id]
 		if ev.cancelled {
 			e.cancelledN--
-			e.recycle(ev)
+			e.recycle(id)
 			continue
 		}
 		if ev.at > e.now && e.onAdvance != nil {
@@ -300,7 +344,7 @@ func (e *Engine) Step() bool {
 			e.onFire(e.now)
 		}
 		fn := ev.fn
-		e.recycle(ev)
+		e.recycle(id)
 		fn()
 		return true
 	}
@@ -312,12 +356,12 @@ func (e *Engine) Step() bool {
 // min(until, time of last event fired) unless an event at until fired, in
 // which case it ends at until.
 func (e *Engine) Run(until time.Duration) {
-	for len(e.events) > 0 {
-		next := e.events[0]
+	for len(e.heap) > 0 {
+		next := &e.arena[e.heap[0]]
 		if next.cancelled {
-			e.events.popMin()
+			id := e.popMin()
 			e.cancelledN--
-			e.recycle(next)
+			e.recycle(id)
 			continue
 		}
 		if next.at > until {

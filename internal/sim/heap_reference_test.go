@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// This file keeps the engine's previous priority queue — a pointer-based
+// binary heap of *refEvent — as a reference implementation, and asserts the
+// arena-backed 4-ary heap pops events in the identical order. Because
+// (at, seq) is a strict total order (seq is unique per engine), any correct
+// priority queue must produce exactly one pop order; this test is the
+// executable form of that argument (DESIGN.md §9), in the same spirit as PR
+// 3's fan-out probing reference.
+
+type refEvent struct {
+	at        time.Duration
+	seq       uint64
+	index     int
+	cancelled bool
+}
+
+// refHeap is the historical binary heap: textbook sift-up/sift-down over a
+// slice of pointers, ordered by (at, seq).
+type refHeap []*refEvent
+
+func (h refHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h refHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *refHeap) push(ev *refEvent) {
+	*h = append(*h, ev)
+	ev.index = len(*h) - 1
+	h.up(ev.index)
+}
+
+func (h refHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h refHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h.swap(i, j)
+		i = j
+	}
+}
+
+func (h *refHeap) pop() *refEvent {
+	old := *h
+	n := len(old) - 1
+	old.swap(0, n)
+	ev := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// refEngine replays a schedule/cancel script against the reference heap and
+// records the (at, seq) fire order, skipping cancelled events at pop time
+// exactly like the engine does.
+type refEngine struct {
+	now  time.Duration
+	seq  uint64
+	heap refHeap
+}
+
+func (e *refEngine) schedule(delay time.Duration) *refEvent {
+	ev := &refEvent{at: e.now + delay, seq: e.seq}
+	e.seq++
+	e.heap.push(ev)
+	return ev
+}
+
+func (e *refEngine) step() (*refEvent, bool) {
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		return ev, true
+	}
+	return nil, false
+}
+
+// fireRecord is one observed firing, identified by the engine-assigned label
+// passed at schedule time plus the clock value it fired at.
+type fireRecord struct {
+	label int
+	at    time.Duration
+}
+
+// TestArenaHeapMatchesBinaryReference drives identical randomized
+// schedule/cancel/fire scripts through the arena-backed engine and the
+// historical binary-heap reference and asserts the fire sequences are
+// identical — same labels, same order, same clock values. Scripts mix
+// same-instant collisions (FIFO tiebreak), cancellations (including enough to
+// trip the engine's lazy compaction), and rescheduling from inside callbacks.
+func TestArenaHeapMatchesBinaryReference(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		eng := NewEngine()
+		ref := &refEngine{}
+
+		var engFired, refFired []fireRecord
+		nextLabel := 0
+
+		// Schedule an initial burst, remembering each event's label and
+		// handle in both worlds.
+		type pair struct {
+			timer Timer
+			rev   *refEvent
+		}
+		var live []pair
+		schedule := func(delay time.Duration) {
+			label := nextLabel
+			nextLabel++
+			tm := eng.Schedule(delay, func() {
+				engFired = append(engFired, fireRecord{label, eng.Now()})
+			})
+			rev := ref.schedule(delay)
+			live = append(live, pair{tm, rev})
+			refLabels[rev] = label
+		}
+
+		clear(refLabels)
+		n := 40 + rng.Intn(120)
+		for i := 0; i < n; i++ {
+			// Coarse delays force plenty of same-instant collisions.
+			schedule(time.Duration(rng.Intn(8)) * time.Millisecond)
+		}
+
+		// Cancel a random subset — enough to trip lazy compaction in the
+		// engine (which the reference lacks; order must still match).
+		for _, p := range live {
+			if rng.Float64() < 0.4 {
+				p.timer.Cancel()
+				p.rev.cancelled = true
+			}
+		}
+
+		// Interleave stepping with occasional mid-run scheduling and
+		// cancellation, mirroring every mutation on both sides.
+		for {
+			ok1 := eng.Step()
+			rev, ok2 := ref.step()
+			if ok2 {
+				refFired = append(refFired, fireRecord{refLabels[rev], ref.now})
+			}
+			if ok1 != ok2 {
+				t.Fatalf("trial %d: engine done=%v reference done=%v after %d fires",
+					trial, !ok1, !ok2, len(engFired))
+			}
+			if !ok1 {
+				break
+			}
+			if rng.Float64() < 0.3 {
+				schedule(time.Duration(rng.Intn(5)) * time.Millisecond)
+			}
+		}
+
+		if len(engFired) != len(refFired) {
+			t.Fatalf("trial %d: engine fired %d events, reference fired %d",
+				trial, len(engFired), len(refFired))
+		}
+		for i := range engFired {
+			if engFired[i] != refFired[i] {
+				t.Fatalf("trial %d: fire %d differs: engine %+v reference %+v",
+					trial, i, engFired[i], refFired[i])
+			}
+		}
+	}
+}
+
+// refLabels maps reference events to their schedule-order labels; package
+// scope so the closure above stays simple, reset per trial.
+var refLabels = map[*refEvent]int{}
+
+// TestArenaHeapMatchesReferenceAbsoluteTimes exercises ScheduleAt with
+// mid-callback scheduling at the *current* instant — the same-instant FIFO
+// case where a wrong tiebreak would fire a new event before already-queued
+// ones.
+func TestArenaHeapMatchesReferenceAbsoluteTimes(t *testing.T) {
+	eng := NewEngine()
+	ref := &refEngine{}
+	var engOrder, refOrder []int
+
+	// Engine side: event 0 at 5ms schedules event 2 at the same instant;
+	// event 1 was already queued at 5ms and must fire first.
+	eng.Schedule(5*time.Millisecond, func() {
+		engOrder = append(engOrder, 0)
+		eng.ScheduleAt(eng.Now(), func() { engOrder = append(engOrder, 2) })
+	})
+	eng.Schedule(5*time.Millisecond, func() { engOrder = append(engOrder, 1) })
+	eng.RunAll()
+
+	// Reference side, replaying the same script shape.
+	r0 := ref.schedule(5 * time.Millisecond)
+	r1 := ref.schedule(5 * time.Millisecond)
+	refLabels2 := map[*refEvent]int{r0: 0, r1: 1}
+	for {
+		rev, ok := ref.step()
+		if !ok {
+			break
+		}
+		label := refLabels2[rev]
+		refOrder = append(refOrder, label)
+		if label == 0 {
+			r2 := ref.schedule(0)
+			refLabels2[r2] = 2
+		}
+	}
+
+	if len(engOrder) != len(refOrder) {
+		t.Fatalf("fire counts differ: engine %v reference %v", engOrder, refOrder)
+	}
+	for i := range engOrder {
+		if engOrder[i] != refOrder[i] {
+			t.Fatalf("order differs at %d: engine %v reference %v", i, engOrder, refOrder)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Append-style JSONL encoders for the two hot export schemas (spans and
+// events). Every exporter used to push values through encoding/json's
+// reflection-driven Encoder, which allocates per line; these build the exact
+// same bytes — field order, omitempty semantics, HTML escaping, float
+// formatting, trailing newline — into a caller-reused buffer. The
+// equivalence is pinned by TestAppendEncodersMatchEncodingJSON against
+// encoding/json itself over adversarial inputs.
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string exactly as encoding/json does
+// with its default (HTML-escaping) encoder: quotes and backslashes escaped,
+// \n \r \t named, other control characters as \u00xx, '<', '>', '&' as
+// </>/&, U+2028/U+2029 escaped, and invalid UTF-8 bytes
+// replaced with �.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				buf = append(buf, '\\', b)
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json's floatEncoder does:
+// shortest representation, 'f' format for magnitudes in [1e-6, 1e21), 'e'
+// otherwise with the exponent's leading zero trimmed (e-09 -> e-9).
+// encoding/json rejects NaN and infinities with an error; telemetry values
+// are finite by construction, so this encoder has no error path.
+func appendJSONFloat(buf []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(buf); n >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf
+}
+
+// appendSpanLine appends the span's JSONL line — the byte-identical
+// counterpart of json.Encoder.Encode(toJSON(s)), including the trailing
+// newline. Field order and the always-present fields match spanJSON.
+func appendSpanLine(buf []byte, s *Span) []byte {
+	buf = append(buf, `{"req":`...)
+	buf = strconv.AppendInt(buf, s.Req, 10)
+	buf = append(buf, `,"tenant":`...)
+	buf = strconv.AppendInt(buf, int64(s.Tenant), 10)
+	buf = append(buf, `,"node":`...)
+	buf = strconv.AppendInt(buf, int64(s.Node), 10)
+	buf = append(buf, `,"spec":`...)
+	buf = appendJSONString(buf, s.Spec)
+	buf = append(buf, `,"job":`...)
+	buf = strconv.AppendInt(buf, s.Job, 10)
+	buf = append(buf, `,"batch":`...)
+	buf = strconv.AppendInt(buf, int64(s.BatchSize), 10)
+	buf = append(buf, `,"mode":`...)
+	buf = appendJSONString(buf, s.Mode)
+	buf = append(buf, `,"failed":`...)
+	buf = strconv.AppendBool(buf, s.Failed)
+	buf = append(buf, `,"arrived_ns":`...)
+	buf = strconv.AppendInt(buf, int64(s.Arrived), 10)
+	buf = append(buf, `,"batch_wait_ns":`...)
+	buf = strconv.AppendInt(buf, int64(s.BatchWait()), 10)
+	buf = append(buf, `,"cold_ns":`...)
+	buf = strconv.AppendInt(buf, int64(s.ColdStart()), 10)
+	buf = append(buf, `,"queue_ns":`...)
+	buf = strconv.AppendInt(buf, int64(s.QueueDelay()), 10)
+	buf = append(buf, `,"exec_ns":`...)
+	buf = strconv.AppendInt(buf, int64(s.Exec()), 10)
+	buf = append(buf, `,"latency_ns":`...)
+	buf = strconv.AppendInt(buf, int64(s.Latency()), 10)
+	return append(buf, '}', '\n')
+}
+
+// appendEventLine appends the event's JSONL line — the byte-identical
+// counterpart of json.Encoder.Encode(eventJSON{...}), including omitempty
+// semantics (zero-valued job/tenant/spec/n/value/detail fields are omitted)
+// and the trailing newline.
+func appendEventLine(buf []byte, e Event) []byte {
+	buf = append(buf, `{"at_ns":`...)
+	buf = strconv.AppendInt(buf, int64(e.At), 10)
+	buf = append(buf, `,"kind":`...)
+	buf = appendJSONString(buf, e.Kind.String())
+	buf = append(buf, `,"req":`...)
+	buf = strconv.AppendInt(buf, e.Req, 10)
+	if e.Job != 0 {
+		buf = append(buf, `,"job":`...)
+		buf = strconv.AppendInt(buf, e.Job, 10)
+	}
+	buf = append(buf, `,"node":`...)
+	buf = strconv.AppendInt(buf, int64(e.Node), 10)
+	if e.Tenant != 0 {
+		buf = append(buf, `,"tenant":`...)
+		buf = strconv.AppendInt(buf, int64(e.Tenant), 10)
+	}
+	if e.Spec != "" {
+		buf = append(buf, `,"spec":`...)
+		buf = appendJSONString(buf, e.Spec)
+	}
+	if e.N != 0 {
+		buf = append(buf, `,"n":`...)
+		buf = strconv.AppendInt(buf, int64(e.N), 10)
+	}
+	if e.Value != 0 {
+		buf = append(buf, `,"value":`...)
+		buf = appendJSONFloat(buf, e.Value)
+	}
+	if e.Detail != "" {
+		buf = append(buf, `,"detail":`...)
+		buf = appendJSONString(buf, e.Detail)
+	}
+	return append(buf, '}', '\n')
+}

@@ -51,9 +51,10 @@ func SpanJSON(s *Span) any { return toJSON(s) }
 // simulation.
 func (r *Recorder) WriteSpansJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	var buf []byte
 	for _, s := range r.spans {
-		if err := enc.Encode(toJSON(s)); err != nil {
+		buf = appendSpanLine(buf[:0], s)
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -94,9 +95,10 @@ func ReadSpansJSONL(rd io.Reader) ([]*Span, error) {
 	}
 }
 
-// eventJSON is the stable JSONL schema for one raw event, shared by the
-// buffering Recorder and the streaming StreamWriter so both emit
-// byte-identical lines.
+// eventJSON is the stable JSONL schema for one raw event. The hot exporters
+// encode it via appendEventLine; the struct remains the decode schema and
+// the reference for the equivalence test pinning the append encoder to
+// encoding/json.
 type eventJSON struct {
 	AtNs   int64   `json:"at_ns"`
 	Kind   string  `json:"kind"`
@@ -110,22 +112,14 @@ type eventJSON struct {
 	Detail string  `json:"detail,omitempty"`
 }
 
-// encodeEvent writes one event as a JSONL line.
-func encodeEvent(enc *json.Encoder, e Event) error {
-	return enc.Encode(eventJSON{
-		AtNs: int64(e.At), Kind: e.Kind.String(), Req: e.Req, Job: e.Job,
-		Node: e.Node, Tenant: e.Tenant, Spec: e.Spec, N: e.N,
-		Value: e.Value, Detail: e.Detail,
-	})
-}
-
 // WriteEventsJSONL writes every recorded event as one JSON object per
 // line, in emission order — the raw feed behind spans and series.
 func (r *Recorder) WriteEventsJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	var buf []byte
 	for _, e := range r.events {
-		if err := encodeEvent(enc, e); err != nil {
+		buf = appendEventLine(buf[:0], e)
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -32,10 +31,10 @@ type MergeWriter struct {
 	lanes  []*LaneSink
 	series *SeriesSet
 
-	spans  *bufio.Writer
-	spanE  *json.Encoder
-	events *bufio.Writer
-	eventE *json.Encoder
+	spans      *bufio.Writer
+	events     *bufio.Writer
+	haveEvents bool
+	buf        []byte // reused JSONL line buffer
 
 	written int
 	err     error
@@ -70,6 +69,11 @@ type LaneSink struct {
 	evLo   int
 	sampQ  []queuedEvent // Sample events awaiting barrier-time observation
 	sampLo int
+
+	// detailIntern caches the lane's "t<lane>/<series>" sample names. The
+	// gauge-name set is tiny and fixed per run, so every Sample event after
+	// the first per series reuses one interned string instead of a Sprintf.
+	detailIntern map[string]string
 }
 
 // NewMergeWriter returns a writer merging `lanes` lane feeds into the spans
@@ -81,10 +85,9 @@ func NewMergeWriter(spans, events io.Writer, lanes int) *MergeWriter {
 	}
 	w := &MergeWriter{series: NewSeriesSet()}
 	w.spans = bufio.NewWriter(spans)
-	w.spanE = json.NewEncoder(w.spans)
 	if events != nil {
 		w.events = bufio.NewWriter(events)
-		w.eventE = json.NewEncoder(w.events)
+		w.haveEvents = true
 	}
 	w.lanes = make([]*LaneSink, lanes)
 	for i := range w.lanes {
@@ -115,7 +118,7 @@ func (l *LaneSink) Event(e Event) {
 	if len(l.w.lanes) > 1 {
 		e.Tenant = l.lane
 		if e.Kind == Sample {
-			e.Detail = fmt.Sprintf("t%d/%s", l.lane, e.Detail)
+			e.Detail = l.prefixed(e.Detail)
 		}
 	}
 	if e.Kind == Sample {
@@ -124,18 +127,32 @@ func (l *LaneSink) Event(e Event) {
 		// per-lane series names, one lane owns each series — so the series
 		// contents are independent of flush cadence.
 		l.sampQ = append(l.sampQ, queuedEvent{key: l.key, e: e})
-		if l.w.eventE != nil {
+		if l.w.haveEvents {
 			l.evQ = append(l.evQ, queuedEvent{key: l.key, e: e})
 		}
 		return
 	}
-	if l.w.eventE != nil {
+	if l.w.haveEvents {
 		l.evQ = append(l.evQ, queuedEvent{key: l.key, e: e})
 	}
 	l.asm.observe(e)
 	if n := l.queued(); n > l.peak {
 		l.peak = n
 	}
+}
+
+// prefixed returns the lane-qualified series name "t<lane>/<detail>",
+// interned per lane so repeated samples of the same gauge share one string.
+func (l *LaneSink) prefixed(detail string) string {
+	if p, ok := l.detailIntern[detail]; ok {
+		return p
+	}
+	if l.detailIntern == nil {
+		l.detailIntern = make(map[string]string)
+	}
+	p := fmt.Sprintf("t%d/%s", l.lane, detail)
+	l.detailIntern[detail] = p
+	return p
 }
 
 // queued is the lane's current buffered load: assembler in-flight spans plus
@@ -164,7 +181,13 @@ func (w *MergeWriter) FlushThrough(t time.Duration) {
 			break
 		}
 		l := w.lanes[best]
-		w.writeSpan(l.spanQ[l.spanLo].s)
+		s := l.spanQ[l.spanLo].s
+		w.writeSpan(s)
+		if w.err == nil {
+			// The merge writer owns its spans end to end; recycle into the
+			// owning lane's assembler once encoded.
+			l.asm.recycle(s)
+		}
 		l.spanQ[l.spanLo].s = nil
 		l.spanLo++
 		l.compact()
@@ -180,7 +203,7 @@ func (w *MergeWriter) FlushThrough(t time.Duration) {
 		}
 		l.compact()
 	}
-	if w.eventE == nil {
+	if !w.haveEvents {
 		return
 	}
 	for {
@@ -199,7 +222,8 @@ func (w *MergeWriter) FlushThrough(t time.Duration) {
 		}
 		l := w.lanes[best]
 		if w.err == nil {
-			if err := encodeEvent(w.eventE, l.evQ[l.evLo].e); err != nil {
+			w.buf = appendEventLine(w.buf[:0], l.evQ[l.evLo].e)
+			if _, err := w.events.Write(w.buf); err != nil {
 				w.err = err
 			}
 		}
@@ -241,7 +265,8 @@ func (w *MergeWriter) writeSpan(s *Span) {
 	if w.err != nil {
 		return
 	}
-	if err := w.spanE.Encode(toJSON(s)); err != nil {
+	w.buf = appendSpanLine(w.buf[:0], s)
+	if _, err := w.spans.Write(w.buf); err != nil {
 		w.err = err
 		return
 	}

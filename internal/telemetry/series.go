@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -67,32 +68,40 @@ func (ss *SeriesSet) Len() int { return len(ss.order) }
 // one column per series, one row per distinct sample instant (cells are
 // empty where a series has no observation at that instant).
 func (ss *SeriesSet) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
+	bw := bufio.NewWriter(w)
+	// Series names are free-form, so the header goes through encoding/csv
+	// for its quoting rules; the data rows are all numeric (never quoted)
+	// and are appended into one reused buffer.
+	cw := csv.NewWriter(bw)
 	header := append([]string{"t_s"}, ss.order...)
 	if err := cw.Write(header); err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
 		return err
 	}
 	// The sampler observes every series at every tick, so the instants of
 	// the longest series cover the union in order; merge defensively anyway.
 	times := ss.mergedTimes()
 	cursor := make([]int, len(ss.order))
-	row := make([]string, len(header))
+	var buf []byte
 	for _, t := range times {
-		row[0] = strconv.FormatFloat(t.Seconds(), 'f', 6, 64)
+		buf = strconv.AppendFloat(buf[:0], t.Seconds(), 'f', 6, 64)
 		for i, name := range ss.order {
-			row[i+1] = ""
+			buf = append(buf, ',')
 			pts := ss.byName[name].Points
 			if cursor[i] < len(pts) && pts[cursor[i]].At == t {
-				row[i+1] = strconv.FormatFloat(pts[cursor[i]].Value, 'g', -1, 64)
+				buf = strconv.AppendFloat(buf, pts[cursor[i]].Value, 'g', -1, 64)
 				cursor[i]++
 			}
 		}
-		if err := cw.Write(row); err != nil {
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return bw.Flush()
 }
 
 // mergedTimes returns the sorted union of sample instants across series.
@@ -191,6 +200,7 @@ type Sampler struct {
 	sink   Sink
 	every  time.Duration
 	gauges []Gauge
+	tickFn func() // tick bound once so rescheduling never re-allocates
 
 	stopped bool
 }
@@ -207,6 +217,9 @@ func (s *Sampler) Start() {
 		return
 	}
 	s.stopped = false
+	if s.tickFn == nil {
+		s.tickFn = s.tick
+	}
 	s.tick()
 }
 
@@ -224,5 +237,5 @@ func (s *Sampler) tick() {
 		e.Value = g.Read()
 		s.sink.Event(e)
 	}
-	s.eng.Schedule(s.every, s.tick)
+	s.eng.Schedule(s.every, s.tickFn)
 }

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"bufio"
-	"encoding/json"
 	"io"
 	"sort"
 )
@@ -20,6 +19,12 @@ type assembler struct {
 	// again. Either may be nil.
 	onNew  func(*Span)
 	onDone func(*Span)
+
+	// free recycles flushed spans for reuse by span(). Only owners that
+	// never let spans escape (the streaming writers, which encode and drop
+	// them) call recycle; the Recorder and SpanAssembler hand spans to
+	// consumers that may retain them, so their free lists stay empty.
+	free []*Span
 }
 
 func newAssembler() assembler {
@@ -96,13 +101,29 @@ func (a *assembler) span(e Event) *Span {
 	if s, ok := a.open[k]; ok {
 		return s
 	}
-	s := newSpan(e.Req, e.Tenant)
+	var s *Span
+	if n := len(a.free); n > 0 {
+		s = a.free[n-1]
+		a.free = a.free[:n-1]
+		*s = Span{
+			Req: e.Req, Tenant: e.Tenant, Node: -1,
+			Arrived: unset, Batched: unset, Dispatched: unset, Queued: unset,
+			ExecStart: unset, ExecEnd: unset, Completed: unset,
+		}
+	} else {
+		s = newSpan(e.Req, e.Tenant)
+	}
 	a.open[k] = s
 	if a.onNew != nil {
 		a.onNew(s)
 	}
 	return s
 }
+
+// recycle returns a flushed span to the free list. The caller guarantees no
+// reference to s survives; by onDone time the assembler itself holds none
+// (the span is out of open, jobs and waiting).
+func (a *assembler) recycle(s *Span) { a.free = append(a.free, s) }
 
 // inFlight is the number of spans the assembler currently retains.
 func (a *assembler) inFlight() int {
@@ -189,9 +210,8 @@ type StreamWriter struct {
 	series *SeriesSet
 
 	spans  *bufio.Writer
-	spanE  *json.Encoder
 	events *bufio.Writer
-	eventE *json.Encoder
+	buf    []byte // reused JSONL line buffer
 
 	written int
 	peak    int
@@ -204,10 +224,8 @@ type StreamWriter struct {
 func NewStreamWriter(spans, events io.Writer) *StreamWriter {
 	w := &StreamWriter{asm: newAssembler(), series: NewSeriesSet()}
 	w.spans = bufio.NewWriter(spans)
-	w.spanE = json.NewEncoder(w.spans)
 	if events != nil {
 		w.events = bufio.NewWriter(events)
-		w.eventE = json.NewEncoder(w.events)
 	}
 	w.asm.onDone = w.flush
 	return w
@@ -215,8 +233,9 @@ func NewStreamWriter(spans, events io.Writer) *StreamWriter {
 
 // Event implements Sink. Write errors are sticky and reported by Close.
 func (w *StreamWriter) Event(e Event) {
-	if w.eventE != nil && w.err == nil {
-		if err := encodeEvent(w.eventE, e); err != nil {
+	if w.events != nil && w.err == nil {
+		w.buf = appendEventLine(w.buf[:0], e)
+		if _, err := w.events.Write(w.buf); err != nil {
 			w.err = err
 		}
 	}
@@ -230,15 +249,20 @@ func (w *StreamWriter) Event(e Event) {
 	}
 }
 
+// flush encodes one finished span and recycles it: the writer owns its spans
+// outright (nothing downstream retains them), so the whole assemble->encode
+// cycle reuses a bounded set of Span structs.
 func (w *StreamWriter) flush(s *Span) {
 	if w.err != nil {
 		return
 	}
-	if err := w.spanE.Encode(toJSON(s)); err != nil {
+	w.buf = appendSpanLine(w.buf[:0], s)
+	if _, err := w.spans.Write(w.buf); err != nil {
 		w.err = err
 		return
 	}
 	w.written++
+	w.asm.recycle(s)
 }
 
 // Close writes any spans still held (requests that never completed, or

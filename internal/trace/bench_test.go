@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkCurveStreamDrain measures lazy arrival generation: draining one
+// minute of a 240 rps Poisson curve (~14k arrivals) through the batched
+// per-bucket realization, the exact generator behind -stream runs.
+func BenchmarkCurveStreamDrain(b *testing.B) {
+	curve := PoissonCurve(sim.NewRNG(7), 240, time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		s := curve.Stream(sim.NewRNG(7))
+		n = 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(n), "requests/op")
+}
+
+// BenchmarkCurveRealize measures the materialized counterpart (pre-sized
+// allocation, same RNG draws) for comparison against the stream.
+func BenchmarkCurveRealize(b *testing.B) {
+	curve := PoissonCurve(sim.NewRNG(7), 240, time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := curve.Realize(sim.NewRNG(7))
+		if len(t.Arrivals) == 0 {
+			b.Fatal("empty realization")
+		}
+	}
+}

@@ -156,7 +156,12 @@ func (c *Curve) ExpectedRequests() float64 {
 // FromRateCurve behaviour, byte-identical).
 func (c *Curve) Realize(rng *sim.RNG) *Trace {
 	s := c.Stream(rng)
-	var arrivals []time.Duration
+	// Pre-size to the Poisson mean plus four standard deviations: at most
+	// one growth step in the ~3e-5 of runs that realize above it, versus
+	// ~5x the trace size in cumulative append-growth garbage without the
+	// hint. (Capacity is invisible in the output; arrivals are identical.)
+	exp := c.ExpectedRequests()
+	arrivals := make([]time.Duration, 0, int(exp+4*math.Sqrt(exp))+1)
 	for {
 		a, ok := s.Next()
 		if !ok {
@@ -231,19 +236,31 @@ func (s *CurveStream) InitRPS(window time.Duration) float64 {
 }
 
 // realizeBucket draws bucket i's arrivals into buf (reused across buckets)
-// and returns it sorted. It performs the exact RNG draws the historical
-// FromRateCurve loop performed for this bucket.
+// and returns it sorted. It performs the exact RNG draws, in the exact
+// order, that the historical per-draw FromRateCurve loop performed for this
+// bucket — Poisson count first, then one uniform per arrival — but batches
+// them: buf is grown to the realized count once, and the n placement
+// variates are drawn and converted in a single pass over the pre-sized
+// region instead of n append calls. trace's pinned-stream test asserts the
+// realized sequence against a transcription of the per-draw loop.
 func realizeBucket(r *mrand.Rand, rate float64, i int, bucket time.Duration, buf []time.Duration) []time.Duration {
 	if rate <= 0 {
 		return buf
 	}
 	mean := rate * bucket.Seconds()
 	n := poisson(r.Float64, mean)
-	base := time.Duration(i) * bucket
-	for j := 0; j < n; j++ {
-		buf = append(buf, base+time.Duration(r.Float64()*float64(bucket)))
+	if n == 0 {
+		return buf
 	}
-	slices.Sort(buf)
+	off := len(buf)
+	buf = slices.Grow(buf, n)[:off+n]
+	out := buf[off:]
+	base := time.Duration(i) * bucket
+	w := float64(bucket)
+	for j := range out {
+		out[j] = base + time.Duration(r.Float64()*w)
+	}
+	slices.Sort(out)
 	return buf
 }
 
