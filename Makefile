@@ -121,7 +121,7 @@ test-invariants:
 # sharded output at any worker count — under the race detector at 1 and 4
 # procs.
 test-determinism:
-	$(GO) test -race -cpu 1,4 -run 'Deterministic' ./internal/core/ ./internal/shard/ -count=1
+	$(GO) test -race -cpu 1,4 -run 'Deterministic' ./internal/core/ ./internal/shard/ ./internal/predict/ -count=1
 
 clean:
 	rm -rf figures

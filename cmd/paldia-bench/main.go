@@ -30,6 +30,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/model"
 	"repro/internal/perfmodel"
+	"repro/internal/predict"
 	"repro/internal/profile"
 	"repro/internal/shard"
 	"repro/internal/sim"
@@ -265,9 +266,47 @@ func cases(includeE2E bool) []benchCase {
 			return map[string]float64{"paldia_slo_pct": slo}
 		}})
 	}
+	for _, name := range predict.Names() {
+		cs = append(cs, forecasterCase(name))
+	}
 	cs = append(cs, shardedGridCase(1), shardedGridCase(2), shardedGridCase(4))
 	cs = append(cs, streamWriterCase(), curveStreamCase())
 	return cs
+}
+
+// forecasterCase measures one forecaster's steady-state Observe+Predict
+// cycle — the work the serving runtime does once per observation window and
+// once per monitor tick. The ring and scratch are preallocated, so the cycle
+// must stay allocation-free (the seasonal model's amortized refit scan runs
+// inside the loop and is included in ns/op).
+func forecasterCase(name string) benchCase {
+	return benchCase{
+		name:  "predict/Observe+Predict/" + name,
+		gated: true,
+		fn: func(b *testing.B) map[string]float64 {
+			w := 500 * time.Millisecond
+			f, err := predict.NewByName(name, w)
+			if err != nil {
+				panic(err)
+			}
+			// Warm past the first seasonal refits (the counts carry a
+			// 17-window period, so the seasonal model measures its fitted
+			// path, not the EWMA fallback).
+			count := func(i int) int { return 30 + i%17 }
+			for i := 0; i < 4096; i++ {
+				f.Observe(time.Duration(i+1)*w, count(i))
+				f.PredictRPS(time.Duration(i+1)*w, 15*time.Second)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now := time.Duration(4096+i+1) * w
+				f.Observe(now, count(i))
+				f.PredictRPS(now, 15*time.Second)
+			}
+			return nil
+		},
+	}
 }
 
 // streamWriterCase measures the streaming telemetry path per request: one

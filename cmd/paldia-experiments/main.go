@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/predict"
 )
 
 func main() {
@@ -36,11 +37,20 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "root random seed")
 		md     = flag.Bool("md", false, "emit markdown instead of aligned text")
 		svgDir = flag.String("svg", "", "also write each experiment's figures as SVG files into this directory")
+		csvDir = flag.String("csv", "", "also write each experiment's table as a CSV file into this directory")
 		jobs   = flag.Int("j", runtime.NumCPU(), "simulations to run concurrently (1 = serial; output is identical at any value)")
+		fc     = flag.String("forecaster", "", "default rate forecaster for every simulation: "+
+			strings.Join(predict.Names(), ", ")+" (empty = ewma; forecast-frontier sweeps its own)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Reps: *reps, Scale: *scale, Parallelism: *jobs}
+	if _, err := predict.NewByName(*fc, time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	opts := experiments.Options{
+		Seed: *seed, Reps: *reps, Scale: *scale, Parallelism: *jobs, Forecaster: *fc,
+	}
 	if *jobs > 1 {
 		// One pool shared by every experiment bounds total concurrency even
 		// when experiments themselves run concurrently below.
@@ -102,8 +112,34 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *csvDir != "" {
+			if err := writeTableCSV(*csvDir, t); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, elapsed[i].Round(time.Millisecond))
 	}
+}
+
+func writeTableCSV(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 func writeSVGs(dir string, t *experiments.Table) error {

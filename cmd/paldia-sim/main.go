@@ -8,6 +8,7 @@
 //	paldia-sim -model "ResNet 50" -scheme paldia
 //	paldia-sim -model "VGG 19" -scheme molecule-cost -trace azure -duration 5m
 //	paldia-sim -model BERT -scheme all -trace azure -peak 8
+//	paldia-sim -model "ResNet 50" -trace wikipedia -forecaster seasonal
 //
 // Streaming mode (-stream) realizes arrivals lazily from the rate curve and
 // aggregates metrics in constant memory, so multi-million-request runs never
@@ -55,6 +56,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -70,6 +72,7 @@ func main() {
 		duration  = flag.Duration("duration", 0, "trace duration (0 = trace default)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		slo       = flag.Duration("slo", core.DefaultSLO, "per-request SLO")
+		forecast  = flag.String("forecaster", "", "rate forecaster: "+strings.Join(predict.Names(), ", ")+" (empty = ewma; ignored by clairvoyant schemes)")
 		list      = flag.Bool("list", false, "list models and exit")
 		timeline  = flag.Bool("timeline", false, "print per-30s violation counts")
 		csvPath   = flag.String("csv", "", "write per-request records to this CSV file (single-scheme runs)")
@@ -117,6 +120,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown model %q (try -list)\n", *modelName)
 		os.Exit(1)
 	}
+	if _, err := predict.NewByName(*forecast, time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
 	if *peak == 0 {
 		*peak = m.DefaultPeakRPS()
 	}
@@ -144,7 +151,8 @@ func main() {
 		runStream(streamRun{
 			model: m, trace: *traceName, peak: *peak, dur: *duration,
 			requests: *requests, seed: *seed, slo: *slo, schemeArg: *schemeArg,
-			jobs: *jobs, spansOut: *spansOut, eventsOut: *eventsOut,
+			forecaster: *forecast,
+			jobs:       *jobs, spansOut: *spansOut, eventsOut: *eventsOut,
 			seriesOut: *seriesOut, svgOut: *timelineSVG, sample: *sampleEvery,
 			serve: *serveAddr, speedup: *speedup, linger: *linger,
 			progress: *progressIv, objective: *objective,
@@ -185,6 +193,7 @@ func main() {
 			Scheme:          schemes[i],
 			SLO:             *slo,
 			Seed:            *seed,
+			Forecaster:      *forecast,
 			FailureEvery:    *failEvery,
 			FailureDuration: *failFor,
 		}
@@ -225,30 +234,31 @@ func main() {
 
 // streamRun carries the flag values the streaming path needs.
 type streamRun struct {
-	model     model.Spec
-	trace     string
-	peak      float64
-	dur       time.Duration
-	requests  int
-	seed      uint64
-	slo       time.Duration
-	schemeArg string
-	jobs      int
-	spansOut  string
-	eventsOut string
-	seriesOut string
-	svgOut    string
-	sample    time.Duration
-	serve     string
-	speedup   float64
-	linger    time.Duration
-	progress  time.Duration
-	objective float64
-	failEvery time.Duration
-	failFor   time.Duration
-	tenants   int
-	shards    int
-	check     bool
+	model      model.Spec
+	trace      string
+	peak       float64
+	dur        time.Duration
+	requests   int
+	seed       uint64
+	slo        time.Duration
+	schemeArg  string
+	forecaster string
+	jobs       int
+	spansOut   string
+	eventsOut  string
+	seriesOut  string
+	svgOut     string
+	sample     time.Duration
+	serve      string
+	speedup    float64
+	linger     time.Duration
+	progress   time.Duration
+	objective  float64
+	failEvery  time.Duration
+	failFor    time.Duration
+	tenants    int
+	shards     int
+	check      bool
 }
 
 // runStream is the constant-memory serving path: arrivals come one at a time
@@ -355,6 +365,7 @@ func runStream(o streamRun) {
 			Scheme:          schemes[i],
 			SLO:             o.slo,
 			Seed:            o.seed,
+			Forecaster:      o.forecaster,
 			Metrics:         core.MetricsOnline,
 			FailureEvery:    o.failEvery,
 			FailureDuration: o.failFor,
@@ -538,6 +549,7 @@ func runStreamGrid(o streamRun) {
 			Scheme:          pickSchemes(o.schemeArg)[0],
 			SLO:             o.slo,
 			Seed:            o.seed,
+			Forecaster:      o.forecaster,
 			Metrics:         core.MetricsOnline,
 			FailureEvery:    o.failEvery,
 			FailureDuration: o.failFor,

@@ -17,6 +17,7 @@
 package autoscale
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/container"
@@ -42,11 +43,23 @@ func ReactiveContainers(nSpatial, batchSize int) int {
 	return n
 }
 
+// predictiveEpsilon absorbs float representation noise when converting
+// rate x window into a request count: 4.7 rps x 10 s is 47.000000000000004
+// in float64, and that phantom fraction must not round up to a 48th
+// request.
+const predictiveEpsilon = 1e-9
+
 // PredictiveContainers converts a predicted request rate into a container
 // requirement: the containers needed to spatially serve one dispatch
-// window's worth of predicted requests.
+// window's worth of predicted requests. Fractional requests round up (a
+// truncated 65th request would eat a synchronous cold start); non-positive
+// rates and windows degrade to the one-warm-container floor, so a
+// forecaster extrapolating a negative trend can never drain the pool.
 func PredictiveContainers(predictedRPS float64, window time.Duration, batchSize int) int {
-	reqs := int(predictedRPS * window.Seconds())
+	if predictedRPS <= 0 || window <= 0 {
+		return ReactiveContainers(0, batchSize)
+	}
+	reqs := int(math.Ceil(predictedRPS*window.Seconds() - predictiveEpsilon))
 	return ReactiveContainers(reqs, batchSize)
 }
 
@@ -55,8 +68,15 @@ type Controller struct {
 	eng *sim.Engine
 	// Pool is the container pool to pre-warm.
 	Pool *container.Pool
-	// PredictRPS forecasts the request rate at the given instant.
-	PredictRPS func(now time.Duration) float64
+	// Predict forecasts the mean request rate over [now, now+horizon] —
+	// the predict.Forecaster seam, so seasonal and percentile models plug
+	// in unchanged.
+	Predict func(now, horizon time.Duration) float64
+	// Horizon is how far ahead of the predicted ramp containers are
+	// pre-warmed. It defaults to the pool's cold-start latency: a
+	// container ordered now is warm one boot from now, so forecasting
+	// further ahead procures for traffic the boot cannot beat anyway.
+	Horizon time.Duration
 	// BatchSize supplies the current batch size (it changes with hardware).
 	BatchSize func() int
 	// Window is the dispatch window predictions are converted against.
@@ -75,11 +95,12 @@ type Controller struct {
 
 // NewController wires a predictive scale-up loop; call Start to begin
 // ticking.
-func NewController(eng *sim.Engine, pool *container.Pool, predict func(time.Duration) float64,
+func NewController(eng *sim.Engine, pool *container.Pool, predict func(now, horizon time.Duration) float64,
 	batchSize func() int, window time.Duration) *Controller {
 	return &Controller{
-		eng: eng, Pool: pool, PredictRPS: predict, BatchSize: batchSize,
+		eng: eng, Pool: pool, Predict: predict, BatchSize: batchSize,
 		Window: window, Interval: DefaultPredictInterval,
+		Horizon: pool.ColdStart(),
 	}
 }
 
@@ -96,7 +117,7 @@ func (c *Controller) tick() {
 	if c.stopped {
 		return
 	}
-	need := PredictiveContainers(c.PredictRPS(c.eng.Now()), c.Window, c.BatchSize())
+	need := PredictiveContainers(c.Predict(c.eng.Now(), c.Horizon), c.Window, c.BatchSize())
 	if need > c.Pool.Total() {
 		if c.Sink != nil {
 			e := telemetry.Ev(c.eng.Now(), telemetry.AutoscalePrewarm)

@@ -48,12 +48,62 @@ func TestPredictiveContainers(t *testing.T) {
 	}
 }
 
+func TestPredictiveContainersEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		rps    float64
+		window time.Duration
+		bs     int
+		want   int
+	}{
+		// A forecaster extrapolating a negative trend can hand back a
+		// negative rate; the pool floor is still one warm container.
+		{"negative rate", -5, time.Second, 16, 1},
+		{"zero rate", 0, time.Second, 16, 1},
+		{"zero window", 100, 0, 16, 1},
+		{"negative window", 100, -time.Second, 16, 1},
+		// Sub-window load: half a request expected in the window still
+		// needs the one warm container, not zero.
+		{"fractional request", 5, 100 * time.Millisecond, 16, 1},
+		// Fractional requests round *up*: 64.9 expected requests overflow
+		// one batch of 64, so two containers — truncation would strand the
+		// 65th request in a cold start.
+		{"batch boundary overflow", 649, 100 * time.Millisecond, 64, 2},
+		// Exactly one batch stays one container, including when the product
+		// is only representable with float error (4.7*10 = 47.000...004):
+		// representation noise must not fabricate a 48th request.
+		{"exact batch", 640, 100 * time.Millisecond, 64, 1},
+		{"float representation noise", 4.7, 10 * time.Second, 47, 1},
+	}
+	for _, c := range cases {
+		if got := PredictiveContainers(c.rps, c.window, c.bs); got != c.want {
+			t.Errorf("%s: PredictiveContainers(%v, %v, %d) = %d, want %d",
+				c.name, c.rps, c.window, c.bs, got, c.want)
+		}
+	}
+}
+
+// Property: predictive containers cover the predicted window load the same
+// way reactive containers cover observed load, for any non-negative rate.
+func TestPredictiveCoversForecastProperty(t *testing.T) {
+	f := func(rpsRaw uint16, bsRaw uint8) bool {
+		rps, bs := float64(rpsRaw%2000), int(bsRaw%64)+1
+		nc := PredictiveContainers(rps, time.Second, bs)
+		// Covering within one request of the expected load: the epsilon
+		// guard may round a float-noise fraction down, never a real request.
+		return float64(nc*bs) >= rps-1 && nc >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestControllerPrewarmsAheadOfLoad(t *testing.T) {
 	eng := sim.NewEngine()
 	pool := container.NewPool(eng, container.GPUColdStart, container.DefaultKeepAlive)
 	rate := 0.0
 	ctl := NewController(eng, pool,
-		func(time.Duration) float64 { return rate },
+		func(now, horizon time.Duration) float64 { return rate },
 		func() int { return 64 },
 		100*time.Millisecond)
 	ctl.Start()
@@ -81,7 +131,7 @@ func TestControllerPrewarmsAheadOfLoad(t *testing.T) {
 func TestControllerStop(t *testing.T) {
 	eng := sim.NewEngine()
 	pool := container.NewPool(eng, container.CPUColdStart, 0)
-	ctl := NewController(eng, pool, func(time.Duration) float64 { return 0 },
+	ctl := NewController(eng, pool, func(now, horizon time.Duration) float64 { return 0 },
 		func() int { return 8 }, time.Second)
 	ctl.Start()
 	ctl.Stop()

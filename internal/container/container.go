@@ -67,6 +67,11 @@ func NewPool(eng *sim.Engine, coldStart, keepAlive time.Duration) *Pool {
 	return p
 }
 
+// ColdStart is the boot latency of this pool's containers — the natural
+// lead time for predictive pre-warming (ordering further ahead procures for
+// traffic the boot cannot beat anyway).
+func (p *Pool) ColdStart() time.Duration { return p.coldStart }
+
 // emit sends one pool lifecycle event; call sites guard Sink != nil.
 func (p *Pool) emit(kind telemetry.Kind, n int, detail string) {
 	e := telemetry.Ev(p.eng.Now(), kind)

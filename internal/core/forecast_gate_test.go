@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/predict"
+)
+
+// gateForecaster is a test forecaster with a fixed forecast and a fixed
+// self-reported confidence, for pinning the confidence gate in hardware
+// selection.
+type gateForecaster struct {
+	rps  float64
+	conf float64
+}
+
+func (g gateForecaster) Observe(time.Duration, int)            {}
+func (g gateForecaster) PredictRPS(_, _ time.Duration) float64 { return g.rps }
+func (g gateForecaster) Confidence() float64                   { return g.conf }
+
+// TestConfidenceGateFallsBackToObserved pins the confidence gate of DESIGN.md
+// §10: when the forecaster reports confidence below predict.ConfidenceFloor,
+// hardware selection must ignore the forecast entirely and select against the
+// observed rate. Two low-confidence forecasters with wildly different
+// forecasts (600 rps vs 0 rps) must therefore produce byte-identical runs —
+// while the same wild forecast *with* confidence becomes visible in the
+// result, proving the gate is keyed on confidence and not always closed.
+func TestConfidenceGateFallsBackToObserved(t *testing.T) {
+	tr := shortAzure(17, 150, 2*time.Minute)
+	m := model.MustByName("ResNet 50")
+	run := func(rps, conf float64) Result {
+		return Run(Config{
+			Model: m, Trace: tr, Scheme: NewPaldia(),
+			NewPredictor: func() predict.Predictor { return gateForecaster{rps: rps, conf: conf} },
+		})
+	}
+
+	lowHuge := run(600, predict.ConfidenceFloor-0.01)
+	lowZero := run(0, predict.ConfidenceFloor-0.01)
+	if !reflect.DeepEqual(lowHuge, lowZero) {
+		t.Fatalf("low-confidence forecasts leaked into selection:\nhuge: %+v\nzero: %+v",
+			lowHuge, lowZero)
+	}
+
+	confHuge := run(600, 1)
+	if reflect.DeepEqual(confHuge, lowHuge) {
+		t.Fatal("confident 600 rps forecast had no effect; the gate appears permanently closed")
+	}
+	if lowHuge.Requests != tr.Count() || confHuge.Requests != tr.Count() {
+		t.Fatal("requests lost")
+	}
+}
+
+// TestConfidenceDefaultsForPlainForecasters: a forecaster that does not
+// implement ConfidenceReporter is treated as fully confident (the paper's
+// EWMA behaviour predates the gate and must keep pre-procuring).
+func TestConfidenceDefaultsForPlainForecasters(t *testing.T) {
+	if c := predict.Confidence(predict.Static{RPS: 5}); c != 1 {
+		t.Fatalf("plain forecaster confidence = %v, want 1", c)
+	}
+	if c := predict.Confidence(gateForecaster{conf: 0.25}); c != 0.25 {
+		t.Fatalf("reporter confidence = %v, want 0.25", c)
+	}
+}
+
+// TestMultiForecasterThreaded: MultiConfig.Forecaster selects the per-tenant
+// model. A seasonal forecaster on a short aperiodic trace never accepts a
+// fit, so it must reproduce the EWMA run exactly; an unknown name must fail
+// loudly at setup rather than silently serving with a default.
+func TestMultiForecasterThreaded(t *testing.T) {
+	mk := func(name string) MultiConfig {
+		return MultiConfig{
+			Workloads: []Workload{
+				{Model: model.MustByName("ResNet 50"), Trace: shortAzure(11, 120, 90*time.Second)},
+				{Model: model.MustByName("DPN 92"), Trace: shortAzure(12, 60, 90*time.Second)},
+			},
+			Scheme:     NewPaldia(),
+			Forecaster: name,
+		}
+	}
+	ewma := RunMulti(mk("ewma"))
+	seasonal := RunMulti(mk("seasonal"))
+	if !reflect.DeepEqual(ewma, seasonal) {
+		t.Fatalf("seasonal diverged from ewma on an aperiodic 90s trace:\newma: %+v\nseasonal: %+v",
+			ewma, seasonal)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown multi forecaster name did not panic")
+		}
+	}()
+	RunMulti(mk("no-such-model"))
+}

@@ -50,6 +50,11 @@ type MultiConfig struct {
 	ObserveWindow   time.Duration
 	KeepAlive       time.Duration
 
+	// Forecaster selects the per-tenant rate-forecasting model by name, as
+	// Config.Forecaster does (empty means "ewma"); ignored for clairvoyant
+	// schemes.
+	Forecaster string
+
 	// InitialHardware overrides the warm-start node choice.
 	InitialHardware *hardware.Spec
 
@@ -83,6 +88,7 @@ type tenant struct {
 	col   *metrics.Collector
 	entry profile.Entry // for the current node
 
+	// predictAt is the confidence-gated forecast (see setupPredictor).
 	predictAt func(now, horizon time.Duration) float64
 	onArrive  func(now time.Duration)
 
@@ -259,8 +265,23 @@ func (r *multiRunner) setupPredictor(t *tenant) {
 		t.onArrive = func(time.Duration) {}
 		return
 	}
-	obs := predict.NewWindowObserver(predict.NewEWMA(r.cfg.ObserveWindow), r.cfg.ObserveWindow)
-	t.predictAt = obs.PredictRPS
+	f, err := predict.NewByName(r.cfg.Forecaster, r.cfg.ObserveWindow)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	obs := predict.NewWindowObserver(f, r.cfg.ObserveWindow)
+	// Confidence-gated at the source, exactly as the single-tenant runner's
+	// setupPredictor: a tenant whose forecaster is below the confidence floor
+	// contributes its reactive observed rate everywhere its forecast would be
+	// used — aggregate hardware selection, split sizing, container targets
+	// (see DESIGN.md §10).
+	t.predictAt = func(now, horizon time.Duration) float64 {
+		pred := obs.PredictRPS(now, horizon)
+		if obs.Confidence() < predict.ConfidenceFloor {
+			return t.observedRPS(now, r.cfg.ObserveWindow)
+		}
+		return pred
+	}
 	t.onArrive = obs.Arrive
 }
 
@@ -439,6 +460,9 @@ func (r *multiRunner) desiredAggregate() hardware.Spec {
 	obs := make([]float64, len(r.tenants))
 	for i, t := range r.tenants {
 		perSample[i] = profile.SoloSample(t.w.Model, ref).Seconds()
+		// predictAt is confidence-gated at the source (setupPredictor): a
+		// tenant below the confidence floor contributes its observed rate to
+		// the aggregate instead — see DESIGN.md §10.
 		pred[i] = t.predictAt(now, r.cfg.HWLead)
 		obs[i] = t.observedRPS(now, r.cfg.ObserveWindow)
 		totalPredWork += pred[i] * perSample[i]

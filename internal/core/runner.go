@@ -131,9 +131,15 @@ type Config struct {
 	FailureEvery    time.Duration
 	FailureDuration time.Duration
 
-	// NewPredictor overrides the rate predictor (the paper's is "a
-	// lightweight, pluggable model (EWMA in our case)"). Ignored for
-	// clairvoyant schemes. Nil uses the default EWMA.
+	// Forecaster selects the rate-forecasting model by name ("ewma",
+	// "seasonal", "percentile", "p99" — see predict.Names). Empty means
+	// "ewma", the paper's model. Ignored for clairvoyant schemes and when
+	// NewPredictor is set.
+	Forecaster string
+
+	// NewPredictor overrides the rate forecaster with an arbitrary
+	// constructor (the paper's is "a lightweight, pluggable model (EWMA in
+	// our case)"). Ignored for clairvoyant schemes. Nil uses Forecaster.
 	NewPredictor func() predict.Predictor
 
 	// UniformBatching disables the paper's flexible batch sizes: requests
@@ -285,6 +291,8 @@ type runner struct {
 	replicaPending int
 	lastScale      time.Duration
 
+	// predictAt is the confidence-gated forecast: below the confidence
+	// floor it returns the observed rate (see setupPredictor).
 	predictAt  func(now, horizon time.Duration) float64
 	predictRPS func(now time.Duration) float64
 	onArrive   func(now time.Duration)
@@ -478,17 +486,41 @@ func (r *runner) setupPredictor() {
 		r.predictAt = c.PredictRPS
 		r.onArrive = func(time.Duration) {}
 	} else {
-		var p predict.Predictor = predict.NewEWMA(r.cfg.ObserveWindow)
-		if r.cfg.NewPredictor != nil {
-			p = r.cfg.NewPredictor()
-		}
+		p := newForecaster(r.cfg)
 		obs := predict.NewWindowObserver(p, r.cfg.ObserveWindow)
-		r.predictAt = obs.PredictRPS
+		// The confidence gate lives at the source, so every consumer of the
+		// forecast — hardware selection, the container autoscaler, telemetry
+		// gauges — sees the same gated value: when the forecaster reports
+		// confidence below the floor, the forecast is replaced with the
+		// reactive observed rate (see DESIGN.md §10). Confidence is read
+		// after PredictRPS flushed windows up to now, so it reflects the
+		// same forecaster state as the forecast it gates.
+		r.predictAt = func(now, horizon time.Duration) float64 {
+			pred := obs.PredictRPS(now, horizon)
+			if obs.Confidence() < predict.ConfidenceFloor {
+				return r.observedRPS(now)
+			}
+			return pred
+		}
 		r.onArrive = obs.Arrive
 	}
 	r.predictRPS = func(now time.Duration) float64 {
 		return r.predictAt(now, r.cfg.Horizon)
 	}
+}
+
+// newForecaster resolves the configured forecasting model: the NewPredictor
+// hook wins, then the Forecaster name, then the paper's EWMA. An unknown
+// name panics — Config.Validate reports it gracefully up front.
+func newForecaster(cfg Config) predict.Forecaster {
+	if cfg.NewPredictor != nil {
+		return cfg.NewPredictor()
+	}
+	f, err := predict.NewByName(cfg.Forecaster, cfg.ObserveWindow)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return f
 }
 
 // warmStart brings up the initial node with warm containers, as a system
@@ -543,11 +575,13 @@ func (r *runner) wireNode(node *cluster.Node) *servingNode {
 	// the pool target is predicted-rate x residence / batch-size.
 	// The controller is started when the node begins serving (swapTo);
 	// starting it earlier would race the swap-time pre-warm with slower
-	// predictive boots.
+	// predictive boots. It forecasts Config.Horizon ahead through the
+	// pluggable Forecaster seam.
 	sn.ctl = autoscale.NewController(r.eng, sn.pool,
-		func(now time.Duration) float64 { return r.predictRPS(now) },
+		func(now, horizon time.Duration) float64 { return r.predictAt(now, horizon) },
 		func() int { return sn.entry.PreferredBatch },
 		residenceOf(sn.entry))
+	sn.ctl.Horizon = r.cfg.Horizon
 	if r.tel != nil {
 		sn.ctl.Sink = r.tel
 		sn.ctl.NodeID = node.ID

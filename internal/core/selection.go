@@ -33,7 +33,13 @@ func (r *runner) monitorTick() {
 	}
 	// Hardware is selected against the procurement-lead forecast, so a
 	// capable node is serving by the time the predicted traffic lands.
-	st := r.stateWithRates(r.predictAt(now, r.cfg.HWLead), r.observedRPS(now))
+	// Only a confident forecast is worth procuring against: a long lead
+	// multiplies model error, so predictAt is confidence-gated at the
+	// source — below the floor it returns the observed (reactive) rate
+	// instead (see setupPredictor and DESIGN.md §10).
+	pred := r.predictAt(now, r.cfg.HWLead)
+	obs := r.observedRPS(now)
+	st := r.stateWithRates(pred, obs)
 	desired := r.cfg.Scheme.Policy.DesiredHardware(st)
 	if r.cur != nil && desired.Name == r.cur.node.Spec.Name {
 		r.waitCtr = 0

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/predict"
 	"repro/internal/trace"
 )
 
@@ -65,6 +66,11 @@ func (c Config) Validate() error {
 	}
 	if c.MaxNodes < 0 {
 		errs = append(errs, fmt.Errorf("core: MaxNodes is negative (%d)", c.MaxNodes))
+	}
+	if c.Forecaster != "" {
+		if _, err := predict.NewByName(c.Forecaster, time.Second); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if c.FailureEvery > 0 && c.FailureDuration <= 0 {
 		errs = append(errs, errors.New("core: FailureEvery without a positive FailureDuration"))

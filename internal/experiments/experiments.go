@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -44,6 +45,12 @@ type Options struct {
 	// time (see cmd/paldia-experiments -j).
 	Pool *Pool
 
+	// Forecaster selects the default rate-forecasting model by name for every
+	// simulation an experiment runs (empty = "ewma"); experiments that sweep
+	// forecasters themselves (forecast-frontier) override it per cell. See
+	// predict.NewByName for the registry.
+	Forecaster string
+
 	// Streaming routes every simulation's arrivals through the lazy stream
 	// path (core.Config.Stream) instead of the materialized Arrivals slice.
 	// Results are byte-identical either way (the equivalence suite pins
@@ -63,6 +70,9 @@ type Options struct {
 
 // run dispatches one simulation through the Run hook (or core.Run).
 func (o Options) run(cfg core.Config) core.Result {
+	if cfg.Forecaster == "" {
+		cfg.Forecaster = o.Forecaster
+	}
 	if o.Streaming && cfg.Stream == nil && cfg.Trace != nil {
 		cfg.Stream = cfg.Trace.Stream()
 	}
@@ -75,6 +85,9 @@ func (o Options) run(cfg core.Config) core.Result {
 // runMulti dispatches one multi-tenant simulation through the RunMulti hook
 // (or core.RunMulti).
 func (o Options) runMulti(cfg core.MultiConfig) core.MultiResult {
+	if cfg.Forecaster == "" {
+		cfg.Forecaster = o.Forecaster
+	}
 	if o.Streaming {
 		// Copy before rewriting: streams are single-use, so the caller's
 		// workloads must not end up holding consumed iterators.
@@ -215,6 +228,20 @@ func ParsePct(cell string) float64 {
 		return -1
 	}
 	return v / 100
+}
+
+// WriteCSV writes the table's header and data rows as RFC 4180 CSV, for
+// downstream analysis of any experiment (paldia-experiments -csv).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Markdown renders the table as GitHub-flavoured markdown.

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Forecast-frontier study parameters. The Wikipedia trace is compressed
+// harder than Fig12's default (288x: one day becomes 5 minutes) so the 15 s
+// procurement lead is a meaningful fraction of a diurnal ramp — at 48x the
+// ramps are so slow that a last-value forecast is already near-optimal and
+// no forecaster can differentiate itself. More days than Fig12 (10 vs 5)
+// give the seasonal model several full periods to lock onto.
+const (
+	forecastWikiDays        = 10
+	forecastWikiCompression = 288
+	forecastWikiPeakRPS     = 170
+)
+
+// forecastFrontierNames are the forecasters the frontier sweeps, in
+// plotting order (predict.Names() minus the p99 duplicate of percentile).
+func forecastFrontierNames() []string { return []string{"ewma", "seasonal", "percentile"} }
+
+// ForecastFrontier sweeps the pluggable forecasting models across the two
+// real-world traces of Fig12 — the diurnal Wikipedia trace and the erratic
+// Twitter trace — and reports, side by side, each model's offline prediction
+// quality (deterministic backtest at the procurement lead) and the serving
+// outcome it buys (SLO compliance, cost, P99 under the Paldia scheme). This
+// is the prediction-quality -> cost/SLO frontier: better forecasts should
+// move the operating point up-and-left (more compliance, no extra cost), and
+// a model that cannot fit a trace should degrade to EWMA, never below it.
+func ForecastFrontier(o Options) *Table {
+	o = o.normalize()
+	t := &Table{
+		ID:    "forecast-frontier",
+		Title: "Prediction quality vs serving outcome across forecasters (Paldia scheme)",
+		Columns: []string{"trace", "model", "forecaster",
+			"MAPE@lead", "under-prov", "SLO compliance", "cost", "P99"},
+	}
+
+	resnet := model.MustByName("ResNet 50")
+	// Scale shrinks the day count (not the compression): reduced-scale runs
+	// keep the same 5-minute period, just fewer of them.
+	wikiDays := int(float64(forecastWikiDays)*o.Scale + 0.5)
+	if wikiDays < 1 {
+		wikiDays = 1
+	}
+	wikiGen := func(rng *sim.RNG) *trace.Trace {
+		return trace.Wikipedia(rng, forecastWikiPeakRPS, wikiDays, forecastWikiCompression)
+	}
+	dpn := model.MustByName("DPN 92")
+	// The paper's Twitter sample has 5x the Azure trace's mean rate.
+	azureMean := dpn.DefaultPeakRPS() * 55 / 673
+	twitterGen := func(rng *sim.RNG) *trace.Trace {
+		return trace.Twitter(rng, 5*azureMean, o.dur(trace.TwitterDuration))
+	}
+
+	// Offline quality is scored on the design curves (no Poisson draw), with
+	// a fixed named RNG stream so the numbers are byte-identical across runs
+	// and independent of the repetition count.
+	brng := sim.NewRNG(o.Seed).Child("forecast-backtest")
+	curves := []*trace.Curve{
+		trace.WikipediaCurve(brng, forecastWikiPeakRPS, wikiDays, forecastWikiCompression),
+		trace.TwitterCurve(brng, 5*azureMean, o.dur(trace.TwitterDuration)),
+	}
+
+	studies := []struct {
+		label string
+		m     model.Spec
+		gen   traceGen
+		curve *trace.Curve
+	}{
+		{"Wikipedia", resnet, wikiGen, curves[0]},
+		{"Twitter", dpn, twitterGen, curves[1]},
+	}
+	names := forecastFrontierNames()
+
+	var cells []cell
+	for _, s := range studies {
+		for _, name := range names {
+			fc := name // capture per iteration
+			cells = append(cells, cell{m: s.m, gen: s.gen, scheme: core.NewPaldia(),
+				mut: func(cfg *core.Config) { cfg.Forecaster = fc }})
+		}
+	}
+	aggs := runCells(o, cells)
+
+	var groups []string
+	var compliance, cost [][]float64
+	for si, s := range studies {
+		groups = append(groups, s.label)
+		var cvals, dvals []float64
+		for ni, name := range names {
+			f, err := predict.NewByName(name, core.DefaultObserveWindow)
+			if err != nil {
+				panic("experiments: " + err.Error())
+			}
+			rep := predict.Backtest(name, f, s.curve, core.DefaultObserveWindow, core.DefaultHWLead)
+			a := aggs[si*len(names)+ni]
+			t.Rows = append(t.Rows, []string{
+				s.label, s.m.Name, name,
+				fmt.Sprintf("%.4f", rep.MAPE),
+				fmt.Sprintf("%.4f", rep.UnderProvision),
+				pct(a.Compliance), dollars(a.Cost), msec(a.P99),
+			})
+			cvals = append(cvals, a.Compliance*100)
+			dvals = append(dvals, a.Cost)
+		}
+		compliance = append(compliance, cvals)
+		cost = append(cost, dvals)
+	}
+
+	attachGroupedBars(t, "forecast-frontier-compliance",
+		"SLO compliance by forecaster", groups, names, compliance, 100, "%")
+	attachGroupedBars(t, "forecast-frontier-cost",
+		"Cost (USD) by forecaster", groups, names, cost, 0, "$")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Wikipedia compressed %dx (%d days -> %v) so the %v procurement lead spans a visible "+
+			"fraction of each diurnal ramp; at Fig12's %dx the ramps are too slow to separate forecasters",
+			forecastWikiCompression, wikiDays,
+			time.Duration(wikiDays)*24*time.Hour/forecastWikiCompression,
+			core.DefaultHWLead, trace.WikipediaCompression),
+		"MAPE/under-prov are deterministic backtests on the design curves at the procurement lead "+
+			"(window "+core.DefaultObserveWindow.String()+", horizon "+core.DefaultHWLead.String()+"); "+
+			"compliance/cost/P99 come from full simulations",
+		"the seasonal model refuses to fit the Twitter random walk and degrades to its EWMA fallback, "+
+			"so its Twitter row tracks the ewma row by construction")
+	return t
+}

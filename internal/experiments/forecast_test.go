@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// frontierShapeOptions runs the frontier at full trace scale (the seasonal
+// model needs several diurnal periods to lock on) with a reduced repetition
+// count to stay tractable in CI.
+func frontierShapeOptions() Options { return Options{Seed: 42, Reps: 2, Scale: 1} }
+
+func frontierCell(t *testing.T, tab *Table, trace, forecaster, column string) string {
+	t.Helper()
+	col := -1
+	for i, c := range tab.Columns {
+		if c == column {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("column %q missing from %v", column, tab.Columns)
+	}
+	for _, row := range tab.Rows {
+		if row[0] == trace && row[2] == forecaster {
+			return row[col]
+		}
+	}
+	t.Fatalf("no row for %s/%s", trace, forecaster)
+	return ""
+}
+
+func frontierFloat(t *testing.T, tab *Table, trace, forecaster, column string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(frontierCell(t, tab, trace, forecaster, column), 64)
+	if err != nil {
+		t.Fatalf("%s/%s %s: %v", trace, forecaster, column, err)
+	}
+	return v
+}
+
+// TestForecastFrontierShape pins the headline claim of the forecaster study:
+// on the diurnal Wikipedia trace the seasonal model predicts better than
+// EWMA (lower MAPE at the procurement lead) and converts that into an
+// equal-or-better serving outcome (no worse SLO compliance at no higher
+// cost); on the erratic Twitter trace it refuses to fit and degrades to the
+// EWMA baseline exactly, so switching forecasters can never hurt.
+func TestForecastFrontierShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale frontier skipped in -short mode")
+	}
+	tab := ForecastFrontier(frontierShapeOptions())
+
+	// (1) Prediction quality: seasonal beats EWMA on the diurnal trace.
+	sMAPE := frontierFloat(t, tab, "Wikipedia", "seasonal", "MAPE@lead")
+	eMAPE := frontierFloat(t, tab, "Wikipedia", "ewma", "MAPE@lead")
+	if sMAPE >= eMAPE {
+		t.Errorf("Wikipedia: seasonal MAPE %.4f not below ewma %.4f", sMAPE, eMAPE)
+	}
+
+	// (2) The quality translates into the serving outcome: compliance no
+	// worse (small epsilon for repetition noise), cost no higher.
+	sCompl := ParsePct(frontierCell(t, tab, "Wikipedia", "seasonal", "SLO compliance"))
+	eCompl := ParsePct(frontierCell(t, tab, "Wikipedia", "ewma", "SLO compliance"))
+	if sCompl < eCompl-0.002 {
+		t.Errorf("Wikipedia: seasonal compliance %.4f below ewma %.4f", sCompl, eCompl)
+	}
+	var sCost, eCost float64
+	if _, err := fmt.Sscanf(frontierCell(t, tab, "Wikipedia", "seasonal", "cost"), "$%f", &sCost); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(frontierCell(t, tab, "Wikipedia", "ewma", "cost"), "$%f", &eCost); err != nil {
+		t.Fatal(err)
+	}
+	if sCost > eCost*1.01 {
+		t.Errorf("Wikipedia: seasonal cost $%.4f above ewma $%.4f", sCost, eCost)
+	}
+
+	// (3) Graceful degradation: on the aperiodic Twitter trace the seasonal
+	// model must never accept a fit, so its row — backtest and simulation
+	// columns alike — is byte-identical to the EWMA baseline's. If this
+	// breaks, the period-detection acceptance rules have loosened enough to
+	// fit a random walk; tighten them rather than the test.
+	var eRow, sRow []string
+	for _, row := range tab.Rows {
+		if row[0] == "Twitter" && row[2] == "ewma" {
+			eRow = append([]string{}, row...)
+			eRow[2] = "x"
+		}
+		if row[0] == "Twitter" && row[2] == "seasonal" {
+			sRow = append([]string{}, row...)
+			sRow[2] = "x"
+		}
+	}
+	if !reflect.DeepEqual(eRow, sRow) {
+		t.Errorf("Twitter: seasonal row %v differs from ewma row %v (spurious seasonal fit)", sRow, eRow)
+	}
+}

@@ -73,6 +73,18 @@ func TestSerialParallelEquality(t *testing.T) {
 	assertTablesIdentical(t, serial, parallel)
 }
 
+// TestForecastFrontierSerialParallelEquality extends the determinism
+// guarantee to the forecaster sweep: backtest columns and simulation columns
+// must both be byte-identical at any parallelism.
+func TestForecastFrontierSerialParallelEquality(t *testing.T) {
+	serialOpts := equalityOptions()
+	serialOpts.Parallelism = 1
+	parOpts := equalityOptions()
+	parOpts.Parallelism = 4
+
+	assertTablesIdentical(t, ForecastFrontier(serialOpts), ForecastFrontier(parOpts))
+}
+
 // TestSharedPoolAcrossExperiments mirrors cmd/paldia-experiments -j: several
 // experiments running concurrently over one shared pool must neither deadlock
 // nor perturb results.

@@ -37,6 +37,7 @@ func Registry() map[string]Runner {
 		"scaleout":            ScaleOut,
 		"ablation-batching":   AblationBatching,
 		"ablation-slo":        AblationSLO,
+		"forecast-frontier":   ForecastFrontier,
 	}
 }
 
@@ -49,7 +50,7 @@ func Order() []string {
 		"modelerror", "multitenant", "scaleout",
 		"ablation-prediction", "ablation-hybrid",
 		"ablation-waitlimit", "ablation-keepalive", "ablation-window",
-		"ablation-batching", "ablation-slo",
+		"ablation-batching", "ablation-slo", "forecast-frontier",
 	}
 }
 

@@ -1,0 +1,128 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// BacktestReport scores one forecaster replayed over one rate curve at one
+// horizon. The replay is fully deterministic — the forecaster observes the
+// curve's *expected* per-window arrivals, no RNG — so reports are
+// byte-identical across runs and suitable as committed goldens.
+type BacktestReport struct {
+	Forecaster string
+	Curve      string
+	Window     time.Duration
+	Horizon    time.Duration
+	// Samples is the number of (forecast, actual) pairs scored.
+	Samples int
+	// MAPE is the mean |forecast-actual|/actual over samples with a
+	// positive actual rate.
+	MAPE float64
+	// UnderProvision is the fraction of samples where the forecast fell
+	// short of the actual future rate — the error direction that costs SLO
+	// violations rather than money.
+	UnderProvision float64
+	// MeanShortfall is the mean relative shortfall (actual-forecast)/actual
+	// over under-provisioned samples; how badly short, not just how often.
+	MeanShortfall float64
+}
+
+// String renders the quality numbers in a stable format for goldens.
+func (r BacktestReport) String() string {
+	return fmt.Sprintf("%s on %s h=%s: samples=%d mape=%.4f under=%.4f shortfall=%.4f",
+		r.Forecaster, r.Curve, r.Horizon, r.Samples, r.MAPE, r.UnderProvision, r.MeanShortfall)
+}
+
+// Backtest replays curve c through f: every observation window the
+// forecaster absorbs the window's expected arrival count (rounded), then
+// forecasts over [now, now+horizon] and is scored against the curve's true
+// mean rate over that interval. Windows whose scoring interval extends past
+// the curve are not scored (the forecaster still observes them).
+//
+// The replay drives f the same way the serving runtime does — integer
+// counts per aligned window — so backtest quality transfers to simulation
+// behaviour, but it strips Poisson realization noise so that the numbers
+// measure the model, not one arrival draw.
+func Backtest(name string, f Forecaster, c *trace.Curve, window, horizon time.Duration) BacktestReport {
+	rep := BacktestReport{Forecaster: name, Curve: c.Name, Window: window, Horizon: horizon}
+	if window <= 0 || horizon <= 0 || c.Bucket <= 0 {
+		return rep
+	}
+	dur := c.Duration()
+	var sumAPE, sumShort float64
+	under := 0
+	scoredAPE := 0
+	for end := window; end+horizon <= dur; end += window {
+		f.Observe(end, int(math.Round(curveMean(c, end-window, end)*window.Seconds())))
+		forecast := f.PredictRPS(end, horizon)
+		actual := curveMean(c, end, end+horizon)
+		rep.Samples++
+		if actual > 0 {
+			sumAPE += math.Abs(forecast-actual) / actual
+			scoredAPE++
+			if forecast < actual {
+				under++
+				sumShort += (actual - forecast) / actual
+			}
+		} else if forecast < actual {
+			under++
+		}
+	}
+	if scoredAPE > 0 {
+		rep.MAPE = sumAPE / float64(scoredAPE)
+	}
+	if rep.Samples > 0 {
+		rep.UnderProvision = float64(under) / float64(rep.Samples)
+	}
+	if under > 0 {
+		rep.MeanShortfall = sumShort / float64(under)
+	}
+	return rep
+}
+
+// BacktestHorizons runs one fresh forecaster per horizon (newF is called
+// for each), so horizons do not contaminate each other's state.
+func BacktestHorizons(name string, newF func() Forecaster, c *trace.Curve,
+	window time.Duration, horizons []time.Duration) []BacktestReport {
+	out := make([]BacktestReport, len(horizons))
+	for i, h := range horizons {
+		out[i] = Backtest(name, newF(), c, window, h)
+	}
+	return out
+}
+
+// curveMean is the curve's design mean rate over [from, to), integrating
+// partial buckets exactly.
+func curveMean(c *trace.Curve, from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	dur := c.Duration()
+	if to > dur {
+		to = dur
+	}
+	if from >= to {
+		return 0
+	}
+	sum := 0.0
+	b := c.Bucket
+	for i := int(from / b); i < len(c.Rates); i++ {
+		lo, hi := time.Duration(i)*b, time.Duration(i+1)*b
+		if lo >= to {
+			break
+		}
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		sum += c.Rate(i) * hi.Seconds()
+		sum -= c.Rate(i) * lo.Seconds()
+	}
+	return sum / (to - from).Seconds()
+}

@@ -1,0 +1,97 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestBacktestGoldensDeterministic pins the backtest harness end to end:
+// every registered forecaster, replayed over a compressed Wikipedia curve
+// and a Twitter curve at both the autoscale horizon (4 s) and the
+// procurement lead (15 s), must reproduce these exact quality numbers. The
+// replay is RNG-free (the forecasters observe the curves' expected counts),
+// so the strings are byte-identical across runs, GOMAXPROCS settings and
+// -race — make test-determinism runs this file with -cpu 1,4.
+//
+// The numbers also pin the study's qualitative shape: seasonal beats ewma on
+// the diurnal curve at both horizons, and is byte-identical to ewma on the
+// aperiodic Twitter curve (no fit is ever accepted, so it degrades to its
+// EWMA fallback exactly).
+func TestBacktestGoldensDeterministic(t *testing.T) {
+	rng := sim.NewRNG(7).Child("backtest-golden")
+	wiki := trace.WikipediaCurve(rng, 170, 4, 288)
+	tw := trace.TwitterCurve(rng, 275, 30*time.Minute)
+	window := 500 * time.Millisecond
+	horizons := []time.Duration{4 * time.Second, 15 * time.Second}
+
+	want := []string{
+		"ewma on wikipedia(peak=170,days=4,c=288) h=4s: samples=2392 mape=0.0577 under=0.3838 shortfall=0.0493",
+		"ewma on wikipedia(peak=170,days=4,c=288) h=15s: samples=2370 mape=0.1473 under=0.4118 shortfall=0.1371",
+		"seasonal on wikipedia(peak=170,days=4,c=288) h=4s: samples=2392 mape=0.0539 under=0.4402 shortfall=0.0466",
+		"seasonal on wikipedia(peak=170,days=4,c=288) h=15s: samples=2370 mape=0.1334 under=0.4608 shortfall=0.1277",
+		"percentile on wikipedia(peak=170,days=4,c=288) h=4s: samples=2392 mape=1.3430 under=0.3403 shortfall=0.1056",
+		"percentile on wikipedia(peak=170,days=4,c=288) h=15s: samples=2370 mape=1.4896 under=0.3751 shortfall=0.1893",
+		"p99 on wikipedia(peak=170,days=4,c=288) h=4s: samples=2392 mape=1.4154 under=0.3227 shortfall=0.0614",
+		"p99 on wikipedia(peak=170,days=4,c=288) h=15s: samples=2370 mape=1.5574 under=0.3532 shortfall=0.1554",
+		"ewma on twitter(mean=275,dur=30m0s) h=4s: samples=3592 mape=0.1721 under=0.3644 shortfall=0.1147",
+		"ewma on twitter(mean=275,dur=30m0s) h=15s: samples=3570 mape=0.3931 under=0.4036 shortfall=0.2255",
+		"seasonal on twitter(mean=275,dur=30m0s) h=4s: samples=3592 mape=0.1721 under=0.3644 shortfall=0.1147",
+		"seasonal on twitter(mean=275,dur=30m0s) h=15s: samples=3570 mape=0.3931 under=0.4036 shortfall=0.2255",
+		"percentile on twitter(mean=275,dur=30m0s) h=4s: samples=3592 mape=1.4152 under=0.1350 shortfall=0.1917",
+		"percentile on twitter(mean=275,dur=30m0s) h=15s: samples=3570 mape=1.4123 under=0.1686 shortfall=0.2709",
+		"p99 on twitter(mean=275,dur=30m0s) h=4s: samples=3592 mape=1.5847 under=0.0919 shortfall=0.1436",
+		"p99 on twitter(mean=275,dur=30m0s) h=15s: samples=3570 mape=1.5559 under=0.1325 shortfall=0.2397",
+	}
+
+	i := 0
+	for _, c := range []*trace.Curve{wiki, tw} {
+		for _, name := range Names() {
+			for _, h := range horizons {
+				f, err := NewByName(name, window)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := Backtest(name, f, c, window, h).String()
+				if got != want[i] {
+					t.Errorf("golden %d:\n got %s\nwant %s", i, got, want[i])
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestBacktestHorizonsFreshState: BacktestHorizons must hand every horizon a
+// fresh forecaster — identical horizons must produce identical reports, with
+// no state bleeding from one sweep entry into the next.
+func TestBacktestHorizonsFreshState(t *testing.T) {
+	rng := sim.NewRNG(7).Child("backtest-horizons")
+	c := trace.WikipediaCurve(rng, 100, 1, 288)
+	w := 500 * time.Millisecond
+	h := 10 * time.Second
+	reps := BacktestHorizons("ewma", func() Forecaster { return NewEWMA(w) }, c, w,
+		[]time.Duration{h, h, h})
+	if reps[0].String() != reps[1].String() || reps[1].String() != reps[2].String() {
+		t.Fatalf("identical horizons diverged:\n%s\n%s\n%s", reps[0], reps[1], reps[2])
+	}
+	if reps[0].Samples == 0 {
+		t.Fatal("no samples scored")
+	}
+}
+
+// TestBacktestDegenerateInputs: zero windows/horizons and empty curves
+// produce an empty report rather than a panic or NaNs.
+func TestBacktestDegenerateInputs(t *testing.T) {
+	c := &trace.Curve{Name: "empty"}
+	rep := Backtest("ewma", NewEWMA(time.Second), c, 0, time.Second)
+	if rep.Samples != 0 || rep.MAPE != 0 {
+		t.Fatalf("degenerate backtest produced %+v", rep)
+	}
+	rep = Backtest("ewma", NewEWMA(time.Second), c, time.Second, 0)
+	if rep.Samples != 0 {
+		t.Fatalf("zero horizon produced %+v", rep)
+	}
+}

@@ -1,0 +1,96 @@
+package predict
+
+import (
+	"sort"
+	"time"
+)
+
+// DefaultPercentileHistory is the sliding window the percentile forecaster
+// estimates over, in observation windows — one minute at the default 500 ms
+// window.
+const DefaultPercentileHistory = 120
+
+// Percentile provisions to a high quantile of the recently observed rates,
+// the way percentile-based resource estimators in production autoscalers do
+// (e.g. gocrane/crane): instead of predicting a trajectory it answers "what
+// rate does this workload stay under p of the time?", which is the right
+// question when capacity must absorb bursts rather than track a mean. The
+// horizon is ignored — the estimate is a level to provision for, not a
+// point forecast — so the same value serves container pre-warming and
+// hardware procurement.
+type Percentile struct {
+	// P is the default quantile PredictRPS provisions to, in (0, 1].
+	P float64
+	// Window is the observation window the counts correspond to.
+	Window time.Duration
+	// History is the sliding window length in observation windows.
+	History int
+
+	ring    []float64
+	cnt     int
+	scratch []float64
+}
+
+// NewPercentile returns a forecaster provisioning to the p-quantile of the
+// last DefaultPercentileHistory observation windows.
+func NewPercentile(window time.Duration, p float64) *Percentile {
+	return &Percentile{
+		P:       p,
+		Window:  window,
+		History: DefaultPercentileHistory,
+		ring:    make([]float64, DefaultPercentileHistory),
+		scratch: make([]float64, DefaultPercentileHistory),
+	}
+}
+
+// Observe absorbs the count of arrivals in the window ending at now.
+func (f *Percentile) Observe(_ time.Duration, count int) {
+	f.ring[f.cnt%f.History] = float64(count) / f.Window.Seconds()
+	f.cnt++
+}
+
+// PredictRPS provisions to the configured default quantile.
+func (f *Percentile) PredictRPS(_, horizon time.Duration) float64 {
+	return f.Quantile(f.P, horizon)
+}
+
+// Quantile returns the p-quantile of the sliding window of observed rates
+// (linear interpolation between order statistics), monotone in p.
+func (f *Percentile) Quantile(p float64, _ time.Duration) float64 {
+	m := f.cnt
+	if m > f.History {
+		m = f.History
+	}
+	if m == 0 {
+		return 0
+	}
+	s := f.scratch[:m]
+	copy(s, f.ring[:m])
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[m-1]
+	}
+	pos := p * float64(m-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= m {
+		return s[m-1]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// Confidence grows with the fill of the sliding window: a quantile over a
+// handful of samples is not evidence worth procuring hardware against.
+func (f *Percentile) Confidence() float64 {
+	min := f.History / 4
+	if min < 1 {
+		min = 1
+	}
+	if f.cnt >= min {
+		return 1
+	}
+	return float64(f.cnt) / float64(min)
+}

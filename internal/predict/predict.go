@@ -1,25 +1,85 @@
-// Package predict provides the lightweight request-rate predictors the
-// paper's Hardware Selection and predictive autoscaling modules rely on. The
-// paper uses EWMA (as in Atoll) as its "lightweight, pluggable" model; the
-// Oracle scheme replaces it with a clairvoyant predictor that reads the
-// future straight from the trace.
+// Package predict provides the request-rate forecasters the paper's
+// Hardware Selection and predictive autoscaling modules rely on. The paper
+// uses EWMA (as in Atoll) as its "lightweight, pluggable" model; this
+// package generalizes that seam into a Forecaster interface with three
+// production-style implementations — EWMA with Holt trend, a seasonal
+// (Holt-Winters/DSP-flavoured) model with autocorrelation period detection,
+// and a percentile provisioner — plus the clairvoyant predictor the Oracle
+// scheme uses, and a deterministic backtesting harness (backtest.go) that
+// scores any forecaster against any rate curve.
 package predict
 
 import (
+	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/trace"
 )
 
-// Predictor estimates the near-future request rate of one workload.
+// Forecaster estimates the near-future request rate of one workload.
 //
 // Observe is fed once per observation window with the number of requests
 // that arrived in the window ending at now. PredictRPS then estimates the
 // average arrival rate over [now, now+horizon].
-type Predictor interface {
+type Forecaster interface {
 	Observe(now time.Duration, count int)
 	PredictRPS(now, horizon time.Duration) float64
+}
+
+// Predictor is the historical name of the Forecaster seam; existing config
+// hooks (core.Config.NewPredictor) keep compiling against it.
+type Predictor = Forecaster
+
+// QuantileForecaster is the optional extension percentile-style models
+// implement: Quantile estimates the rate that the observed load stays below
+// with probability p over [now, now+horizon].
+type QuantileForecaster interface {
+	Forecaster
+	Quantile(p float64, horizon time.Duration) float64
+}
+
+// ConfidenceReporter is the optional extension models implement to disclose
+// how much the forecast in use can be trusted, in [0, 1]. The hardware
+// procurement path only trusts a long-lead forecast from a forecaster
+// reporting at least ConfidenceFloor; below that it falls back to the
+// observed (reactive) rate. Models without the method are treated as fully
+// confident, matching the paper's unconditional use of EWMA.
+type ConfidenceReporter interface {
+	Confidence() float64
+}
+
+// ConfidenceFloor is the confidence below which consumers should prefer the
+// observed rate over a long-lead forecast.
+const ConfidenceFloor = 0.5
+
+// Confidence reports f's confidence, treating models without the optional
+// ConfidenceReporter extension as fully confident.
+func Confidence(f Forecaster) float64 {
+	if c, ok := f.(ConfidenceReporter); ok {
+		return c.Confidence()
+	}
+	return 1
+}
+
+// Names lists the forecasters NewByName accepts, in documentation order.
+func Names() []string { return []string{"ewma", "seasonal", "percentile", "p99"} }
+
+// NewByName constructs a forecaster over the given observation window:
+// "ewma" (the paper's default), "seasonal" (period-detecting Holt-Winters),
+// "percentile" (p95 provisioner) or "p99". The empty name means "ewma".
+func NewByName(name string, window time.Duration) (Forecaster, error) {
+	switch name {
+	case "", "ewma":
+		return NewEWMA(window), nil
+	case "seasonal":
+		return NewSeasonal(window), nil
+	case "percentile", "p95":
+		return NewPercentile(window, 0.95), nil
+	case "p99":
+		return NewPercentile(window, 0.99), nil
+	}
+	return nil, fmt.Errorf("predict: unknown forecaster %q (have %v)", name, Names())
 }
 
 // EWMA smooths the observed per-window arrival rate exponentially and
@@ -99,6 +159,10 @@ func (e *EWMA) PredictRPS(_, horizon time.Duration) float64 {
 // Rate returns the current smoothed rate without trend extrapolation.
 func (e *EWMA) Rate() float64 { return e.value }
 
+// Confidence is always 1: EWMA is the trusted baseline the paper's
+// procurement path uses unconditionally.
+func (e *EWMA) Confidence() float64 { return 1 }
+
 // Clairvoyant knows the whole trace and predicts the exact mean rate over
 // the horizon — the predictor of the paper's Oracle scheme.
 type Clairvoyant struct {
@@ -130,11 +194,11 @@ func (s Static) Observe(time.Duration, int) {}
 // PredictRPS returns the fixed rate.
 func (s Static) PredictRPS(time.Duration, time.Duration) float64 { return s.RPS }
 
-// WindowObserver accumulates raw arrivals and feeds a Predictor one count
+// WindowObserver accumulates raw arrivals and feeds a Forecaster one count
 // per aligned observation window. It bridges the event-driven gateway (which
-// sees individual requests) and the windowed Predictor interface.
+// sees individual requests) and the windowed Forecaster interface.
 type WindowObserver struct {
-	p      Predictor
+	p      Forecaster
 	window time.Duration
 
 	windowStart time.Duration
@@ -142,7 +206,7 @@ type WindowObserver struct {
 }
 
 // NewWindowObserver wraps p, flushing counts every window.
-func NewWindowObserver(p Predictor, window time.Duration) *WindowObserver {
+func NewWindowObserver(p Forecaster, window time.Duration) *WindowObserver {
 	return &WindowObserver{p: p, window: window}
 }
 
@@ -162,8 +226,14 @@ func (w *WindowObserver) catchUp(now time.Duration) {
 	}
 }
 
-// PredictRPS flushes completed windows and delegates to the predictor.
+// PredictRPS flushes completed windows and delegates to the forecaster.
 func (w *WindowObserver) PredictRPS(now, horizon time.Duration) float64 {
 	w.catchUp(now)
 	return w.p.PredictRPS(now, horizon)
 }
+
+// Confidence reports the wrapped forecaster's confidence (1 for models
+// without the extension). It reflects the state as of the last flushed
+// window; callers that predicted first (flushing windows up to now) read a
+// confidence consistent with that prediction.
+func (w *WindowObserver) Confidence() float64 { return Confidence(w.p) }

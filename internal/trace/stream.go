@@ -118,6 +118,11 @@ func (c *Curve) scale() float64 {
 // rate is bucket i's effective arrival rate.
 func (c *Curve) rate(i int) float64 { return c.Rates[i] * c.scale() }
 
+// Rate is bucket i's effective arrival rate (the design curve with Scale
+// applied) — the deterministic ground truth consumers like the forecaster
+// backtesting harness score against.
+func (c *Curve) Rate(i int) float64 { return c.rate(i) }
+
 // Duration is the trace length the curve realizes to.
 func (c *Curve) Duration() time.Duration {
 	return time.Duration(len(c.Rates)) * c.Bucket
