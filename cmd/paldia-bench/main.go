@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hardware"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/perfmodel"
 	"repro/internal/predict"
@@ -271,6 +272,7 @@ func cases(includeE2E bool) []benchCase {
 	}
 	cs = append(cs, shardedGridCase(1), shardedGridCase(2), shardedGridCase(4))
 	cs = append(cs, streamWriterCase(), curveStreamCase())
+	cs = append(cs, cloneDispatchCase(), ageTrackerCase())
 	return cs
 }
 
@@ -371,6 +373,74 @@ func curveStreamCase() benchCase {
 				}
 			}
 			return map[string]float64{"requests_per_op": float64(n)}
+		},
+	}
+}
+
+// cloneDispatchCase measures one steady-state step of a clone-2 run: the
+// redundant dispatcher's set recycling, paired per-pool launches, device
+// racing and sibling cancellation, all through the public Running API. The
+// pooled lifecycles keep the step allocation-free, so the case is fully
+// gated; the simulation is re-wound off the timer when the trace runs out.
+func cloneDispatchCase() benchCase {
+	return benchCase{
+		name:  "core/CloneDispatch-steady-step",
+		gated: true,
+		fn: func(b *testing.B) map[string]float64 {
+			const (
+				step    = 250 * time.Millisecond
+				horizon = 600 * time.Second
+				rps     = 80
+			)
+			var ru *core.Running
+			var now time.Duration
+			fresh := func() {
+				ru = core.Start(core.Config{
+					Model:  model.MustByName("ResNet 50"),
+					Trace:  trace.Poisson(sim.NewRNG(7), rps, horizon),
+					Scheme: core.NewPaldiaCloneK(2, false),
+					Seed:   7,
+				})
+				ru.StepTo(30 * time.Second)
+				now = ru.Now()
+			}
+			fresh()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if now+step > horizon-30*time.Second {
+					b.StopTimer()
+					fresh()
+					b.StartTimer()
+				}
+				now += step
+				ru.StepTo(now)
+			}
+			return map[string]float64{"requests_per_op": rps * step.Seconds()}
+		},
+	}
+}
+
+// ageTrackerCase measures the hedge trigger's hot pair: recording one
+// completion latency into the online percentile sketch and reading the
+// current hedge threshold back. Both run per request on the hedged path, so
+// they are fully gated — zero allocations.
+func ageTrackerCase() benchCase {
+	return benchCase{
+		name:  "metrics/AgeTracker-add+threshold",
+		gated: true,
+		fn: func(b *testing.B) map[string]float64 {
+			tr := metrics.NewAgeTracker(95)
+			for i := 0; i < 256; i++ {
+				tr.Add(time.Duration(i%40+80) * time.Millisecond)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Add(time.Duration(i%40+80) * time.Millisecond)
+				_ = tr.Threshold()
+			}
+			return nil
 		},
 	}
 }

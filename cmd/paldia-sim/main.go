@@ -92,6 +92,14 @@ func main() {
 		failEvery = flag.Duration("fail-every", 0, "inject a node failure on this virtual-time period (0 = none)")
 		failFor   = flag.Duration("fail-for", 10*time.Second, "how long each injected node failure lasts")
 
+		cloneK       = flag.Int("clone-k", 0, "dispatch k racing copies of every batch on k distinct GPU pools, cancel-on-first-complete (0 = off; overrides -scheme)")
+		cloneSync    = flag.Bool("clone-sync", false, "with -clone-k: synchronized-service cloning — complete only when every copy finishes")
+		hedgePct     = flag.Float64("hedge-pct", 0, "launch a backup copy once a request's age crosses this online completion-latency percentile (0 = off; overrides -scheme)")
+		spotDiscount = flag.Float64("spot-discount", 0, "bill spot nodes at (1-discount) of the catalog rate (0 = all on-demand)")
+		spotFraction = flag.Float64("spot-fraction", 0, "fraction of capacity on revocable spot nodes (plain schemes: any positive value makes the serving node spot)")
+		revokeEvery  = flag.Duration("revoke-every", 0, "inject a spot revocation on this virtual-time period (0 = none; needs -spot-discount and -spot-fraction)")
+		revokeNotice = flag.Duration("revoke-notice", 2*time.Second, "drain notice between a revocation and its kill")
+
 		serveAddr  = flag.String("serve", "", "serve the live observability plane on this address (e.g. :8080) while replaying; implies -stream")
 		speedup    = flag.Float64("speedup", 0, "with -serve: virtual seconds replayed per wall second (0 = as fast as possible)")
 		objective  = flag.Float64("objective", 0.99, "with -serve/-progress: SLO-compliance objective whose complement is the burn-rate error budget")
@@ -121,6 +129,15 @@ func main() {
 		os.Exit(1)
 	}
 	if _, err := predict.NewByName(*forecast, time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	red := redFlags{
+		cloneK: *cloneK, cloneSync: *cloneSync, hedgePct: *hedgePct,
+		spotDiscount: *spotDiscount, spotFraction: *spotFraction,
+		revokeEvery: *revokeEvery, revokeNotice: *revokeNotice,
+	}
+	if err := red.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
@@ -156,7 +173,7 @@ func main() {
 			seriesOut: *seriesOut, svgOut: *timelineSVG, sample: *sampleEvery,
 			serve: *serveAddr, speedup: *speedup, linger: *linger,
 			progress: *progressIv, objective: *objective,
-			failEvery: *failEvery, failFor: *failFor,
+			failEvery: *failEvery, failFor: *failFor, red: red,
 			tenants: *tenants, shards: *shards, check: *check,
 		})
 		heap.report()
@@ -170,7 +187,7 @@ func main() {
 
 	telemetryOn := *traceOut != "" || *spansOut != "" || *eventsOut != "" ||
 		*seriesOut != "" || *timelineSVG != ""
-	schemes := pickSchemes(*schemeArg)
+	schemes := red.schemes(pickSchemes(*schemeArg))
 	if telemetryOn && len(schemes) > 1 {
 		fmt.Fprintln(os.Stderr, "telemetry flags (-trace-out, -spans-out, ...) require a single scheme, not -scheme all")
 		os.Exit(1)
@@ -197,6 +214,7 @@ func main() {
 			FailureEvery:    *failEvery,
 			FailureDuration: *failFor,
 		}
+		red.apply(&cfg)
 		if telemetryOn {
 			recs[i] = telemetry.NewRecorder()
 			cfg.Telemetry = recs[i]
@@ -256,9 +274,57 @@ type streamRun struct {
 	objective  float64
 	failEvery  time.Duration
 	failFor    time.Duration
+	red        redFlags
 	tenants    int
 	shards     int
 	check      bool
+}
+
+// redFlags carries the redundant-dispatch and spot-capacity flags.
+type redFlags struct {
+	cloneK       int
+	cloneSync    bool
+	hedgePct     float64
+	spotDiscount float64
+	spotFraction float64
+	revokeEvery  time.Duration
+	revokeNotice time.Duration
+}
+
+func (rf redFlags) validate() error {
+	if rf.cloneK != 0 && (rf.cloneK < 2 || rf.cloneK > 3) {
+		return fmt.Errorf("-clone-k must be 0, 2 or 3 (got %d)", rf.cloneK)
+	}
+	if rf.cloneK != 0 && rf.hedgePct != 0 {
+		return fmt.Errorf("-clone-k and -hedge-pct are mutually exclusive")
+	}
+	if rf.hedgePct != 0 && !(rf.hedgePct > 0 && rf.hedgePct <= 100) {
+		return fmt.Errorf("-hedge-pct must be in (0,100] (got %v)", rf.hedgePct)
+	}
+	if rf.revokeEvery > 0 && (rf.spotDiscount <= 0 || rf.spotFraction <= 0) {
+		return fmt.Errorf("-revoke-every needs spot nodes: set -spot-discount and -spot-fraction")
+	}
+	return nil
+}
+
+// schemes replaces the -scheme selection with the redundant variant when
+// -clone-k or -hedge-pct is set.
+func (rf redFlags) schemes(base []core.Scheme) []core.Scheme {
+	switch {
+	case rf.cloneK != 0:
+		return []core.Scheme{core.NewPaldiaCloneK(rf.cloneK, rf.cloneSync)}
+	case rf.hedgePct != 0:
+		return []core.Scheme{core.NewPaldiaHedged(rf.hedgePct)}
+	}
+	return base
+}
+
+// apply sets the spot-capacity knobs on one run config.
+func (rf redFlags) apply(cfg *core.Config) {
+	cfg.SpotDiscount = rf.spotDiscount
+	cfg.SpotFraction = rf.spotFraction
+	cfg.RevokeEvery = rf.revokeEvery
+	cfg.RevokeNotice = rf.revokeNotice
 }
 
 // runStream is the constant-memory serving path: arrivals come one at a time
@@ -276,7 +342,7 @@ func runStream(o streamRun) {
 	fmt.Printf("curve %s: ~%.0f requests expected, mean %.1f rps, peak %.0f rps, %v\n\n",
 		c.Name, c.ExpectedRequests(), c.MeanRPS(), c.PeakRPS(), c.Duration())
 
-	schemes := pickSchemes(o.schemeArg)
+	schemes := o.red.schemes(pickSchemes(o.schemeArg))
 	for _, s := range schemes {
 		if s.Clairvoyant {
 			fmt.Fprintf(os.Stderr, "scheme %s is clairvoyant and needs a materialized trace; drop -stream\n", s.Name())
@@ -370,6 +436,7 @@ func runStream(o streamRun) {
 			FailureEvery:    o.failEvery,
 			FailureDuration: o.failFor,
 		}
+		o.red.apply(&cfg)
 		if sw != nil {
 			cfg.Telemetry = sw
 			cfg.SampleEvery = o.sample
@@ -475,11 +542,12 @@ func runStreamGrid(o streamRun) {
 	fmt.Fprintf(os.Stderr, "executing %d lanes on %d workers, lookahead %v\n",
 		o.tenants, workers, shard.DefaultLookahead())
 
-	if len(pickSchemes(o.schemeArg)) > 1 {
+	gridSchemes := o.red.schemes(pickSchemes(o.schemeArg))
+	if len(gridSchemes) > 1 {
 		fmt.Fprintln(os.Stderr, "-tenants runs a single scheme per grid, not -scheme all")
 		os.Exit(1)
 	}
-	if pickSchemes(o.schemeArg)[0].Clairvoyant {
+	if gridSchemes[0].Clairvoyant {
 		fmt.Fprintf(os.Stderr, "clairvoyant schemes need a materialized trace; drop -stream/-tenants\n")
 		os.Exit(1)
 	}
@@ -546,7 +614,7 @@ func runStreamGrid(o streamRun) {
 		cfg := core.Config{
 			Model:           o.model,
 			Stream:          lane.Stream(rng),
-			Scheme:          pickSchemes(o.schemeArg)[0],
+			Scheme:          gridSchemes[0],
 			SLO:             o.slo,
 			Seed:            o.seed,
 			Forecaster:      o.forecaster,
@@ -554,6 +622,7 @@ func runStreamGrid(o streamRun) {
 			FailureEvery:    o.failEvery,
 			FailureDuration: o.failFor,
 		}
+		o.red.apply(&cfg)
 		if mw != nil {
 			cfg.Telemetry = mw.Lane(i)
 			cfg.SampleEvery = o.sample

@@ -28,6 +28,8 @@ type Node struct {
 	releasedAt time.Duration
 	released   bool
 	failUntil  time.Duration // end of the latest failure window
+	discount   float64       // spot price discount in [0,1); 0 = on-demand
+	revoked    bool          // revocation notice received
 }
 
 // HeldFor returns how long the node has been (or was) held.
@@ -41,6 +43,19 @@ func (n *Node) HeldFor(now time.Duration) time.Duration {
 
 // Released reports whether the node has been relinquished.
 func (n *Node) Released() bool { return n.released }
+
+// Rate returns the node's effective price per second: the catalog price
+// reduced by the spot discount.
+func (n *Node) Rate() float64 { return n.Spec.CostPerSecond() * (1 - n.discount) }
+
+// Spot reports whether the node is a discounted, revocable spot instance.
+func (n *Node) Spot() bool { return n.discount > 0 }
+
+// Revoked reports whether the node has received a revocation notice. A
+// revoked node keeps draining until the notice expires, then fails whatever
+// is left and releases itself; schedulers must stop routing work to it the
+// moment this turns true.
+func (n *Node) Revoked() bool { return n.revoked }
 
 // Cluster tracks every node ever acquired in one simulation run.
 type Cluster struct {
@@ -69,6 +84,14 @@ func (c *Cluster) emit(kind telemetry.Kind, n *Node) {
 	e := telemetry.Ev(c.eng.Now(), kind)
 	e.Node = n.ID
 	e.Spec = n.Spec.Name
+	if n.discount > 0 {
+		// Spot nodes bill below the catalog rate; carry the effective rate so
+		// the invariant checker reconciles the ledger without a catalog
+		// lookup. On-demand nodes leave Value/Detail zero, keeping their
+		// event bytes identical to pre-spot output.
+		e.Value = n.Rate()
+		e.Detail = "spot"
+	}
 	c.Sink.Event(e)
 }
 
@@ -83,11 +106,19 @@ func (c *Cluster) audit() {
 // from t=0 and for tests. maxResident caps spatial co-location on the
 // device (0 = unlimited).
 func (c *Cluster) Acquire(spec hardware.Spec, maxResident int) *Node {
+	return c.AcquireSpot(spec, maxResident, 0)
+}
+
+// AcquireSpot is Acquire at a spot price: the node bills at the catalog rate
+// reduced by discount (clamped to [0,1); 0 is plain on-demand). Spot nodes
+// are the ones Revoke targets.
+func (c *Cluster) AcquireSpot(spec hardware.Spec, maxResident int, discount float64) *Node {
 	n := &Node{
 		ID:         c.nextID,
 		Spec:       spec,
 		Device:     device.New(c.eng, spec, maxResident),
 		acquiredAt: c.eng.Now(),
+		discount:   clampDiscount(discount),
 	}
 	c.nextID++
 	c.nodes = append(c.nodes, n)
@@ -108,10 +139,18 @@ func (c *Cluster) Acquire(spec hardware.Spec, maxResident int) *Node {
 // background acquisition path of Algorithm 1: the caller keeps serving on
 // its current node until ready fires.
 func (c *Cluster) AcquireAsync(spec hardware.Spec, maxResident int, ready func(*Node)) {
+	c.AcquireAsyncSpot(spec, maxResident, 0, ready)
+}
+
+// AcquireAsyncSpot is AcquireAsync at a spot price (see AcquireSpot). A node
+// revoked or released while still launching never materializes a device and
+// never invokes ready; its billing stops at release as usual.
+func (c *Cluster) AcquireAsyncSpot(spec hardware.Spec, maxResident int, discount float64, ready func(*Node)) {
 	n := &Node{
 		ID:         c.nextID,
 		Spec:       spec,
 		acquiredAt: c.eng.Now(),
+		discount:   clampDiscount(discount),
 	}
 	c.nextID++
 	c.nodes = append(c.nodes, n)
@@ -122,6 +161,9 @@ func (c *Cluster) AcquireAsync(spec hardware.Spec, maxResident int, ready func(*
 		c.audit()
 	}
 	c.eng.Schedule(spec.ProcureDelay, func() {
+		if n.released {
+			return
+		}
 		n.Device = device.New(c.eng, spec, maxResident)
 		if c.Sink != nil {
 			n.Device.SetTelemetry(c.Sink, n.ID)
@@ -157,7 +199,11 @@ func (c *Cluster) Release(n *Node) {
 // time without emitting a duplicate NodeFailed event: the node recovers
 // exactly once, when the latest failure window ends.
 func (c *Cluster) Fail(n *Node, dur time.Duration) {
-	if n.Device == nil {
+	// A node mid-cold-start has no device to fail; a released node is out of
+	// the fleet; a revoked node is already on its way out and must not pick
+	// up a recovery timer that would resurrect it after its release (the
+	// revocation deadline, not the failure window, decides its end).
+	if n.Device == nil || n.released || n.revoked {
 		return
 	}
 	wasFailed := n.Device.Failed()
@@ -175,8 +221,12 @@ func (c *Cluster) Fail(n *Node, dur time.Duration) {
 	}
 	c.eng.Schedule(dur, func() {
 		// A later overlapping Fail moved the recovery time; let its own
-		// timer do the recovering.
-		if c.eng.Now() < n.failUntil || !n.Device.Failed() {
+		// timer do the recovering. A node revoked during the outage stays
+		// down: its revocation deadline already released it (or is about
+		// to), and recovering would resurrect a node the fleet let go.
+		// (Released-but-unrevoked nodes keep the historical recovery event;
+		// release froze their billing, so nothing re-bills.)
+		if n.revoked || c.eng.Now() < n.failUntil || !n.Device.Failed() {
 			return
 		}
 		n.Device.Recover()
@@ -186,6 +236,50 @@ func (c *Cluster) Fail(n *Node, dur time.Duration) {
 		if c.Check != nil {
 			c.audit()
 		}
+	})
+}
+
+// clampDiscount bounds a spot discount to [0, 1): a full (or larger)
+// discount would make nodes free and break billing reconciliation.
+func clampDiscount(d float64) float64 {
+	if d < 0 || d != d {
+		return 0
+	}
+	if d >= 1 {
+		return 0.99
+	}
+	return d
+}
+
+// Revoke delivers a spot-revocation notice: the node is marked revoked
+// immediately (schedulers observe Node.Revoked and stop routing work to it,
+// so in-flight jobs drain), and when the notice expires whatever is still
+// running fails and the node is released. Unlike Fail, revocation is
+// permanent — the node never recovers, and a failure window overlapping the
+// notice cannot resurrect it. Revoking a released or already-revoked node is
+// a no-op.
+func (c *Cluster) Revoke(n *Node, notice time.Duration) {
+	if n.released || n.revoked {
+		return
+	}
+	n.revoked = true
+	if c.Sink != nil {
+		c.emit(telemetry.NodeRevoked, n)
+	}
+	if c.Check != nil {
+		c.audit()
+	}
+	c.eng.Schedule(notice, func() {
+		if n.released {
+			return
+		}
+		if n.Device != nil && !n.Device.Failed() {
+			// Kill the stragglers that did not drain in time. This is the
+			// revocation itself, not a node failure: no NodeFailed event, so
+			// failure accounting stays reconciled against injected failures.
+			n.Device.Fail()
+		}
+		c.Release(n)
 	})
 }
 
@@ -210,7 +304,7 @@ func (c *Cluster) TotalCost() float64 {
 	now := c.eng.Now()
 	total := 0.0
 	for _, n := range c.nodes {
-		total += n.Spec.CostPerSecond() * n.HeldFor(now).Seconds()
+		total += n.Rate() * n.HeldFor(now).Seconds()
 	}
 	return total
 }
@@ -219,7 +313,7 @@ func (c *Cluster) TotalCost() float64 {
 func (c *Cluster) CostByKind() (cpu, gpu float64) {
 	now := c.eng.Now()
 	for _, n := range c.nodes {
-		cost := n.Spec.CostPerSecond() * n.HeldFor(now).Seconds()
+		cost := n.Rate() * n.HeldFor(now).Seconds()
 		if n.Spec.IsGPU() {
 			gpu += cost
 		} else {

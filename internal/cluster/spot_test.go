@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/invariant"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// checked returns a cluster wired to a fresh recorder and invariant checker.
+func checked(eng *sim.Engine) (*Cluster, *telemetry.Recorder, *invariant.Checker) {
+	c := New(eng)
+	rec := telemetry.NewRecorder()
+	chk := invariant.New()
+	c.Sink, c.Check = telemetry.Combine(rec, chk.AsSink()), chk
+	eng.SetOnFire(chk.Tick)
+	return c, rec, chk
+}
+
+func countKind(rec *telemetry.Recorder, k telemetry.Kind) int {
+	n := 0
+	for _, e := range rec.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// A spot node bills at the discounted rate, and the books reconcile against
+// the rate the lifecycle events carry.
+func TestSpotNodeBillsDiscountedRate(t *testing.T) {
+	eng := sim.NewEngine()
+	c, rec, chk := checked(eng)
+	v100 := specOf(t, "V100") // $3.06/h on demand
+	n := c.AcquireSpot(v100, 0, 0.65)
+	if !n.Spot() {
+		t.Fatal("node not marked spot")
+	}
+	eng.Schedule(time.Hour, func() { c.Release(n) })
+	eng.Run(2 * time.Hour)
+	want := 3.06 * 0.35
+	if got := c.TotalCost(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("spot cost = $%.4f, want $%.4f (65%% off $3.06 for 1h)", got, want)
+	}
+	_, gpu := c.CostByKind()
+	if math.Abs(gpu-want) > 1e-6 {
+		t.Fatalf("CostByKind gpu = $%.4f, want $%.4f", gpu, want)
+	}
+	// The acquisition event carries the effective rate and the spot marker.
+	var acq telemetry.Event
+	for _, e := range rec.Events() {
+		if e.Kind == telemetry.NodeAcquired {
+			acq = e
+		}
+	}
+	if acq.Detail != "spot" || math.Abs(acq.Value-v100.CostPerSecond()*0.35) > 1e-12 {
+		t.Fatalf("NodeAcquired detail=%q value=%g, want spot marker with discounted rate", acq.Detail, acq.Value)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("books not invariant-clean:\n%v", err)
+	}
+}
+
+// Revocation drains: a job short enough to finish inside the notice window
+// completes normally; a straggler is killed at the deadline; the node is
+// released and its billing frozen — all invariant-clean.
+func TestRevokeDrainsThenKills(t *testing.T) {
+	eng := sim.NewEngine()
+	c, rec, chk := checked(eng)
+	n := c.AcquireSpot(specOf(t, "M60"), 0, 0.5)
+
+	var drained, killed *device.Job
+	short := &device.Job{ID: 1, Batch: 1, Solo: 500 * time.Millisecond, FBR: 0.3, Mode: device.Spatial,
+		Done: func(j *device.Job) { drained = j }}
+	long := &device.Job{ID: 2, Batch: 1, Solo: time.Hour, FBR: 0.3, Mode: device.Spatial,
+		Done: func(j *device.Job) { killed = j }}
+	n.Device.Submit(short)
+	n.Device.Submit(long)
+
+	eng.Schedule(time.Second, func() { c.Revoke(n, 2*time.Second) })
+	eng.Run(10 * time.Second)
+
+	if !n.Revoked() || !n.Released() {
+		t.Fatalf("revoked=%v released=%v, want true/true", n.Revoked(), n.Released())
+	}
+	if drained == nil || drained.Failed {
+		t.Fatal("job finishing inside the notice window must drain successfully")
+	}
+	if killed == nil || !killed.Failed {
+		t.Fatal("straggler must be killed (Failed) at the revocation deadline")
+	}
+	// Billing froze at the deadline: 3s held at half the M60 rate.
+	m60 := specOf(t, "M60")
+	want := m60.CostPerSecond() * 0.5 * 3
+	if got := c.TotalCost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cost = $%.9f, want $%.9f (3s at half rate)", got, want)
+	}
+	if countKind(rec, telemetry.NodeRevoked) != 1 {
+		t.Fatal("want exactly one NodeRevoked event")
+	}
+	// The revocation kill is not a node failure.
+	if countKind(rec, telemetry.NodeFailed) != 0 {
+		t.Fatal("revocation kill must not emit NodeFailed")
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("books not invariant-clean:\n%v", err)
+	}
+}
+
+// The satellite-audit scenario: a node fails, is revoked mid-outage, and the
+// failure's recovery timer fires after the revocation released it. The node
+// must stay dead — no NodeRecovered, no cost accrued past the release, books
+// reconciled throughout.
+func TestRevokedNodeNeverRecoversOrDoubleBills(t *testing.T) {
+	eng := sim.NewEngine()
+	c, rec, chk := checked(eng)
+	n := c.AcquireSpot(specOf(t, "M60"), 0, 0.5)
+
+	eng.Schedule(0, func() { c.Fail(n, 10*time.Second) })
+	eng.Schedule(time.Second, func() { c.Revoke(n, 2*time.Second) })
+	// Probe after the recovery timer (t=10s) would have fired.
+	eng.Schedule(12*time.Second, func() {
+		if !n.Device.Failed() {
+			t.Error("revoked node recovered at its old failure deadline")
+		}
+		if !n.Released() {
+			t.Error("revoked node not released at the notice deadline")
+		}
+	})
+	eng.Run(20 * time.Second)
+
+	if countKind(rec, telemetry.NodeRecovered) != 0 {
+		t.Fatal("revoked node must never emit NodeRecovered")
+	}
+	// Billing stopped at release (t=3s) and never resumed.
+	m60 := specOf(t, "M60")
+	want := m60.CostPerSecond() * 0.5 * 3
+	if got := c.TotalCost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cost = $%.9f, want $%.9f — revoked-then-recovered double-billing?", got, want)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("books not invariant-clean:\n%v", err)
+	}
+}
+
+// Fail on an already-revoked node is a no-op: no NodeFailed event, no
+// recovery timer that could outlive the release.
+func TestFailAfterRevokeIsNoOp(t *testing.T) {
+	eng := sim.NewEngine()
+	c, rec, chk := checked(eng)
+	n := c.AcquireSpot(specOf(t, "M60"), 0, 0.5)
+	eng.Schedule(0, func() {
+		c.Revoke(n, 5*time.Second)
+		c.Fail(n, time.Second)
+	})
+	eng.Run(10 * time.Second)
+	if countKind(rec, telemetry.NodeFailed) != 0 || countKind(rec, telemetry.NodeRecovered) != 0 {
+		t.Fatal("Fail on a revoked node must be a no-op")
+	}
+	if !n.Released() {
+		t.Fatal("revoked node not released")
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("books not invariant-clean:\n%v", err)
+	}
+}
+
+// Revoking twice, or revoking a released node, is a no-op.
+func TestRevokeIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	c, rec, chk := checked(eng)
+	n := c.AcquireSpot(specOf(t, "M60"), 0, 0.5)
+	eng.Schedule(0, func() {
+		c.Revoke(n, time.Second)
+		c.Revoke(n, 30*time.Second) // second notice must not extend the first
+	})
+	eng.Run(10 * time.Second)
+	if countKind(rec, telemetry.NodeRevoked) != 1 {
+		t.Fatal("want exactly one NodeRevoked event")
+	}
+	if !n.Released() {
+		t.Fatal("node not released at the first notice deadline")
+	}
+	c.Revoke(n, time.Second) // after release: no-op
+	if countKind(rec, telemetry.NodeRevoked) != 1 {
+		t.Fatal("revoking a released node emitted an event")
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("books not invariant-clean:\n%v", err)
+	}
+}
+
+// Revoking a node that is still mid-VM-launch releases it at the deadline
+// without ever materializing a device; the pending procure callback must not
+// resurrect it (no NodeAcquired, ready never invoked).
+func TestRevokeMidColdStart(t *testing.T) {
+	eng := sim.NewEngine()
+	c, rec, chk := checked(eng)
+	ready := false
+	c.AcquireAsyncSpot(specOf(t, "M60"), 0, 0.5, func(*Node) { ready = true })
+	n := c.Nodes()[0]
+	eng.Schedule(0, func() { c.Revoke(n, time.Second) })
+	eng.Run(5 * time.Minute)
+	if ready {
+		t.Fatal("ready fired for a node revoked during VM launch")
+	}
+	if n.Device != nil {
+		t.Fatal("revoked launching node materialized a device")
+	}
+	if countKind(rec, telemetry.NodeAcquired) != 0 {
+		t.Fatal("NodeAcquired emitted for a node revoked during launch")
+	}
+	if !n.Released() {
+		t.Fatal("node not released at the notice deadline")
+	}
+	// Billed only for the 1s between request and revocation deadline.
+	m60 := specOf(t, "M60")
+	want := m60.CostPerSecond() * 0.5 * 1
+	if got := c.TotalCost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cost = $%.9f, want $%.9f", got, want)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("books not invariant-clean:\n%v", err)
+	}
+}
+
+// Discounts outside [0,1) are clamped so billing reconciliation never sees a
+// free or negatively-priced node.
+func TestSpotDiscountClamped(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	if n := c.AcquireSpot(specOf(t, "M60"), 0, -0.5); n.Spot() {
+		t.Fatal("negative discount produced a spot node")
+	}
+	if n := c.AcquireSpot(specOf(t, "M60"), 0, 1.5); n.Rate() <= 0 {
+		t.Fatal("over-unity discount produced a non-positive rate")
+	}
+}

@@ -60,6 +60,10 @@ func (r *runner) dispatchTick() {
 	if now < r.end || r.bat.Pending() > 0 {
 		r.eng.Schedule(r.cfg.DispatchWindow, r.dispatchTickFn)
 	}
+	if r.red != nil {
+		r.red.dispatch()
+		return
+	}
 	r.dispatch()
 }
 
@@ -67,9 +71,11 @@ func (r *runner) dispatch() {
 	if r.bat.Pending() == 0 {
 		return
 	}
-	if r.cur == nil || r.cur.node.Device == nil || r.cur.node.Device.Failed() {
-		// No healthy node: requests wait in the batcher; make sure a
-		// replacement is on the way.
+	if r.cur == nil || r.cur.node.Device == nil || r.cur.node.Device.Failed() ||
+		r.cur.node.Revoked() {
+		// No healthy node (a revoked one is draining out and takes no new
+		// work): requests wait in the batcher; make sure a replacement is
+		// on the way.
 		r.ensureFailover()
 		return
 	}

@@ -297,7 +297,34 @@ type Scheme struct {
 	// from hardware switches — the Oracle "knows the ideal hardware
 	// beforehand" and has it ready.
 	InstantProcure bool
+	// Redundancy, when active, replaces Eq. (1) splitting with redundant
+	// dispatch across distinct hardware pools (see redundancy.go).
+	Redundancy Redundancy
 }
+
+// Redundancy configures redundant dispatch: instead of splitting a window's
+// requests between MPS and the time-share lane on one node, copies of each
+// batch race on k distinct hardware pools (the processor-sharing cloning
+// model of arXiv 2002.04416), or a backup copy launches once a request's
+// age crosses an online latency percentile (hedging). At most one of CloneK
+// and HedgePct may be set.
+type Redundancy struct {
+	// CloneK >= 2 dispatches every batch as CloneK copies on distinct GPU
+	// pools with cancel-on-first-complete.
+	CloneK int
+	// Synchronized selects the PS cloning model's synchronized-service
+	// variant: the request completes when every non-failed copy finishes
+	// (no cancellation), trading latency for the model's analytical form.
+	Synchronized bool
+	// HedgePct > 0 launches one backup copy for a batch whose oldest
+	// request's age crosses the tracked p(HedgePct) completion latency
+	// (from metrics.AgeTracker; a fraction of the SLO before the tracker
+	// has enough samples).
+	HedgePct float64
+}
+
+// Active reports whether any redundant-dispatch mode is configured.
+func (rd Redundancy) Active() bool { return rd.CloneK >= 2 || rd.HedgePct > 0 }
 
 // Name returns the policy name.
 func (s Scheme) Name() string { return s.Policy.Name() }
@@ -441,6 +468,52 @@ func NewMPSOnly(spec hardware.Spec, label string) Scheme {
 		split:     spatialAll,
 		waitLimit: 1,
 	}}
+}
+
+// NewPaldiaCloneK returns the clone-to-k scheme: Paldia's policy stack with
+// every batch dispatched as k racing copies on distinct GPU pools,
+// first-complete-wins with sibling cancellation (synchronized false) or
+// all-copies-complete (synchronized true, the PS cloning model's
+// synchronized-service variant). k is clamped to [2, 3] — the catalog has
+// three distinct GPU types.
+func NewPaldiaCloneK(k int, synchronized bool) Scheme {
+	if k < 2 {
+		k = 2
+	}
+	if k > 3 {
+		k = 3
+	}
+	name := fmt.Sprintf("Paldia Clone-%d", k)
+	if synchronized {
+		name += " (sync)"
+	}
+	return Scheme{
+		Policy: &composite{
+			name:      name,
+			hw:        paldiaHardware,
+			split:     spatialAll, // copies follow the pure-PS cloning model
+			waitLimit: 3,
+		},
+		Redundancy: Redundancy{CloneK: k, Synchronized: synchronized},
+	}
+}
+
+// NewPaldiaHedged returns the hedged-dispatch scheme: Paldia's policy stack
+// with a backup copy launched on a second GPU pool once a batch's oldest
+// request is older than the online p(pct) completion latency.
+func NewPaldiaHedged(pct float64) Scheme {
+	if !(pct > 0 && pct <= 100) {
+		pct = 95
+	}
+	return Scheme{
+		Policy: &composite{
+			name:      fmt.Sprintf("Paldia Hedge-p%g", pct),
+			hw:        paldiaHardware,
+			split:     spatialAll,
+			waitLimit: 3,
+		},
+		Redundancy: Redundancy{HedgePct: pct},
+	}
 }
 
 // StandardSchemes returns the five schemes of the paper's primary

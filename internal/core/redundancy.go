@@ -1,0 +1,685 @@
+// Redundant dispatch: clone-to-k and hedged request copies racing on
+// distinct hardware pools (the processor-sharing cloning model of
+// arXiv 2002.04416), with cancel-on-first-complete or the synchronized-
+// service variant, layered on the same device/cluster/container runtime the
+// split-dispatch schemes use. A redundancy-bearing Scheme swaps the
+// dispatcher and hardware-selection halves of the runner for this file's
+// manager; every other scheme keeps the exact event sequence it had.
+
+package core
+
+import (
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/hardware"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// maxCopies bounds the copies of one request set: the primary plus up to two
+// clones (the catalog has three distinct GPU types), or a primary plus one
+// hedged backup.
+const maxCopies = 3
+
+// redundancy manages the static hardware pools and in-flight clone sets of a
+// redundant-dispatch run. Unlike the adaptive path there is no hardware
+// switching: the pools are chosen once (cost-ascending from the capable
+// pool) and only replaced when a node dies or is revoked.
+type redundancy struct {
+	r     *runner
+	k     int  // copies per set (clone mode)
+	sync  bool // synchronized-service variant
+	hedge bool
+	age   *metrics.AgeTracker // hedge mode: online completion-latency percentile
+
+	pools []*redPool
+
+	free         []*cloneSet // recycled sets
+	sizesScratch []int
+	poolScratch  []*redPool
+
+	revokeCursor int
+	failCursor   int
+}
+
+// redPool is one hardware pool: a fixed spec whose serving node is replaced
+// (as spot, when so marked) whenever it fails or is revoked.
+type redPool struct {
+	spec      hardware.Spec
+	spot      bool
+	sn        *servingNode // nil while a replacement is procuring
+	acquiring bool
+	resCap    int          // memoized residentCap for capSN
+	capSN     *servingNode // node resCap was computed for
+}
+
+func newRedundancy(r *runner) *redundancy {
+	rd := r.cfg.Scheme.Redundancy
+	d := &redundancy{r: r, k: rd.CloneK, sync: rd.Synchronized, hedge: rd.HedgePct > 0}
+	if d.hedge {
+		d.age = metrics.NewAgeTracker(rd.HedgePct)
+	}
+	return d
+}
+
+// redundantSpecs picks the distinct GPU types the pools run on: the capable
+// pool for the warm-start rate first (cost-ascending, like Algorithm 1's
+// candidate order), topped up from the rest of the catalog so k pools exist
+// even when fewer types are individually capable.
+func redundantSpecs(m model.Spec, rate float64, slo time.Duration, need int) []hardware.Spec {
+	var specs []hardware.Spec
+	add := func(hw hardware.Spec) {
+		if !hw.IsGPU() {
+			return
+		}
+		for _, s := range specs {
+			if s.Name == hw.Name {
+				return
+			}
+		}
+		specs = append(specs, hw)
+	}
+	for _, hw := range profile.AppendCapablePool(nil, m, rate, slo) {
+		add(hw)
+	}
+	for _, hw := range hardware.CostSorted() {
+		add(hw)
+	}
+	if len(specs) > need {
+		specs = specs[:need]
+	}
+	return specs
+}
+
+// warmStart brings up every pool with warm containers. SpotFraction of the
+// pools — the costliest ones, where the discount buys the most — run on
+// spot capacity.
+func (d *redundancy) warmStart() {
+	r := d.r
+	need := d.k
+	if d.hedge {
+		need = 2
+	}
+	rate := r.arr.InitRPS(2 * time.Second)
+	specs := redundantSpecs(r.cfg.Model, rate, r.cfg.SLO, need)
+	spotCount := 0
+	if r.cfg.SpotDiscount > 0 {
+		spotCount = int(r.cfg.SpotFraction*float64(len(specs)) + 0.5)
+	}
+	for i, spec := range specs {
+		p := &redPool{spec: spec, spot: i >= len(specs)-spotCount}
+		disc := 0.0
+		if p.spot {
+			disc = r.cfg.SpotDiscount
+		}
+		node := r.clu.AcquireSpot(spec, profile.MaxResidentJobs(r.cfg.Model, spec), disc)
+		p.sn = r.wireNode(node)
+		p.sn.pool.AddWarm(2)
+		p.sn.ctl.Start()
+		d.pools = append(d.pools, p)
+	}
+	r.history = append(r.history, SwitchEvent{At: 0, Spec: specs[0].Name})
+}
+
+// healthy returns the pools able to take new work, in pool (cost) order.
+// The returned slice is manager-owned scratch, valid until the next call.
+func (d *redundancy) healthy() []*redPool {
+	pools := d.poolScratch[:0]
+	for _, p := range d.pools {
+		if p.sn == nil {
+			continue
+		}
+		n := p.sn.node
+		if n.Device == nil || n.Device.Failed() || n.Revoked() {
+			continue
+		}
+		pools = append(pools, p)
+	}
+	d.poolScratch = pools
+	return pools
+}
+
+// dispatch serves this window's pending requests: each batch becomes one
+// clone set with k racing copies (clone mode) or a primary plus an armed
+// hedge timer. With zero healthy pools requests wait in the batcher —
+// maintain() is already procuring replacements — and are re-dispatched once
+// a pool returns.
+func (d *redundancy) dispatch() {
+	r := d.r
+	n := r.bat.Pending()
+	if n == 0 {
+		return
+	}
+	healthy := d.healthy()
+	if len(healthy) == 0 {
+		return
+	}
+	primary := healthy[0].sn
+	bs := primary.entry.PreferredBatch
+	used := healthy[:1]
+	if !d.hedge {
+		if k := d.k; k < len(healthy) {
+			used = healthy[:k]
+		} else {
+			used = healthy
+		}
+	}
+	// Interference-aware admission, the Eq. (1) spirit on the cloning path:
+	// every used pool must have a free resident slot per batch (Busy+Waiting
+	// containers each carry one in-flight copy), and the slots themselves
+	// are capped so PS sharing still meets the SLO. Work beyond that waits
+	// in the batcher — reroutable, and out of the blast radius of a
+	// mid-queue revocation kill.
+	for _, p := range used {
+		if p.capSN != p.sn {
+			p.resCap = residentCap(r.cfg.Model, p.sn, r.cfg.SLO)
+			p.capSN = p.sn
+		}
+		free := p.resCap - p.sn.pool.Busy() - p.sn.pool.Waiting()
+		if free < 0 {
+			free = 0
+		}
+		if max := free * bs; n > max {
+			n = max
+		}
+	}
+	if n <= 0 {
+		return
+	}
+	d.sizesScratch = batch.SplitSizes(d.sizesScratch, n, bs)
+	for _, size := range d.sizesScratch {
+		s := d.newSet()
+		s.dispatched = r.eng.Now()
+		s.reqs = r.bat.TakeInto(s.reqs[:0], size)
+		if d.hedge {
+			s.launch(0, primary, "")
+			// The backup launches when the batch's oldest request is older
+			// than the tracked completion-latency percentile.
+			fireAt := s.reqs[0].Arrival + d.hedgeThreshold()
+			delay := fireAt - r.eng.Now()
+			if delay < 0 {
+				delay = 0
+			}
+			s.hedgeTimer = r.eng.Schedule(delay, s.hedgeFn)
+			continue
+		}
+		k := d.k
+		if k > len(healthy) {
+			k = len(healthy)
+		}
+		for i := 0; i < k; i++ {
+			kind := "clone"
+			if i == 0 {
+				kind = ""
+			}
+			s.launch(i, healthy[i].sn, kind)
+		}
+	}
+}
+
+// residentCap bounds co-resident copies on a pool: the largest count (up to
+// the node's memory slots) whose processor-sharing interference — bandwidth
+// slowdown, compute occupancy, MPS client overhead — still finishes a
+// preferred batch inside the SLO. Without it a drained backlog piles onto
+// the device all at once and every job slows every other past the deadline.
+func residentCap(m model.Spec, sn *servingNode, slo time.Duration) int {
+	bs := sn.entry.PreferredBatch
+	solo := profile.Solo(m, sn.node.Spec, bs)
+	fbr := sn.entry.FBR
+	comp := profile.ComputeFraction(m, sn.node.Spec, bs)
+	best := 1
+	for c := 2; c <= sn.entry.MaxResidentJobs; c++ {
+		slow := profile.Slowdown(float64(c)*fbr, fbr)
+		if agg := float64(c) * comp; agg > 1 && agg > slow {
+			slow = agg
+		}
+		est := time.Duration(float64(solo) * slow * profile.ClientOverhead(c))
+		if est > slo {
+			break
+		}
+		best = c
+	}
+	return best
+}
+
+// hedgeThreshold is the request age at which a backup launches: the online
+// p(HedgePct) completion latency once the tracker has enough samples, half
+// the SLO before that.
+func (d *redundancy) hedgeThreshold() time.Duration {
+	if d.age.Ready() {
+		return d.age.Threshold()
+	}
+	return d.r.cfg.SLO / 2
+}
+
+// maintain is the redundancy path's monitor tick: dead or revoked pool
+// nodes are retired (draining what the revocation notice allows) and
+// replaced with a fresh node of the same spec — spot again, for spot pools.
+// Pools also escalate: each copy carries the whole request stream, so when
+// the observed rate outgrows a pool's hardware the pool upgrades to the
+// cheapest GPU that sustains it. Upgrades are one-way (no downgrade
+// oscillation on erratic traces) and staggered — at most one pool swaps per
+// tick, and only while every other pool is healthy, so the remaining copies
+// keep serving through the gap.
+func (d *redundancy) maintain() {
+	r := d.r
+	obs := r.observedRPS(r.eng.Now())
+	upgraded := false
+	for _, p := range d.pools {
+		if p.sn != nil {
+			n := p.sn.node
+			if n.Device != nil && !n.Device.Failed() && !n.Revoked() {
+				if !upgraded && obs > profile.Headroom*profile.ThroughputRPS(r.cfg.Model, p.spec) &&
+					d.othersHealthy(p) {
+					if up, ok := upgradeSpec(r.cfg.Model, obs, p.spec); ok {
+						upgraded = true
+						p.spec = up
+						old := p.sn
+						p.sn = nil
+						r.retire(old)
+					}
+				}
+				if p.sn != nil {
+					continue
+				}
+			} else {
+				old := p.sn
+				p.sn = nil
+				r.retire(old)
+			}
+		}
+		if p.acquiring {
+			continue
+		}
+		p.acquiring = true
+		disc := 0.0
+		if p.spot {
+			disc = r.cfg.SpotDiscount
+		}
+		pp := p
+		spec := p.spec
+		r.clu.AcquireAsyncSpot(spec, profile.MaxResidentJobs(r.cfg.Model, spec), disc,
+			func(node *cluster.Node) {
+				sn := r.wireNode(node)
+				sn.pool.EnsureWithin(r.containerTarget(sn), swapTail)
+				r.eng.Schedule(swapTail, func() {
+					pp.sn = sn
+					pp.acquiring = false
+					sn.ctl.Start()
+					r.switches++
+					r.emit(telemetry.HWSwitch, node.ID, node.Spec.Name, "respawn")
+				})
+			})
+	}
+}
+
+// othersHealthy reports whether every pool except p has a live, unfailed,
+// unrevoked node — the precondition for taking p down for an upgrade.
+func (d *redundancy) othersHealthy(p *redPool) bool {
+	for _, o := range d.pools {
+		if o == p {
+			continue
+		}
+		if o.sn == nil || o.acquiring {
+			return false
+		}
+		n := o.sn.node
+		if n.Device == nil || n.Device.Failed() || n.Revoked() {
+			return false
+		}
+	}
+	return true
+}
+
+// upgradeSpec picks the pool's next hardware: the cheapest GPU that
+// sustains rate with headroom, or — when nothing does — the highest-
+// throughput GPU. Reports false when the current spec is already the
+// right choice (never proposes a slower spec).
+func upgradeSpec(m model.Spec, rate float64, cur hardware.Spec) (hardware.Spec, bool) {
+	curTP := profile.ThroughputRPS(m, cur)
+	for _, hw := range hardware.CostSorted() {
+		if !hw.IsGPU() {
+			continue
+		}
+		if profile.Headroom*profile.ThroughputRPS(m, hw) >= rate {
+			if hw.Name != cur.Name && profile.ThroughputRPS(m, hw) > curTP {
+				return hw, true
+			}
+			return hardware.Spec{}, false
+		}
+	}
+	best, ok := hardware.Spec{}, false
+	for _, hw := range hardware.CostSorted() {
+		if hw.IsGPU() && profile.ThroughputRPS(m, hw) > curTP {
+			if !ok || profile.ThroughputRPS(m, hw) > profile.ThroughputRPS(m, best) {
+				best, ok = hw, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// revokeNext delivers a revocation notice to the next spot pool in
+// round-robin order.
+func (d *redundancy) revokeNext() {
+	for range d.pools {
+		p := d.pools[d.revokeCursor%len(d.pools)]
+		d.revokeCursor++
+		if !p.spot || p.sn == nil || p.sn.node.Revoked() {
+			continue
+		}
+		d.r.clu.Revoke(p.sn.node, d.r.cfg.RevokeNotice)
+		return
+	}
+}
+
+// failNext injects a node failure on the next pool in round-robin order,
+// reporting whether one was actually injected.
+func (d *redundancy) failNext() bool {
+	for range d.pools {
+		p := d.pools[d.failCursor%len(d.pools)]
+		d.failCursor++
+		if p.sn == nil || p.sn.node.Device == nil || p.sn.node.Revoked() {
+			continue
+		}
+		d.r.clu.Fail(p.sn.node, d.r.cfg.FailureDuration)
+		return true
+	}
+	return false
+}
+
+// --- clone sets ----------------------------------------------------------------
+
+// cloneSet is one batch of requests and its redundant copies. Sets are
+// recycled through the manager's free list; the per-copy Done/submit
+// closures are bound once per set lifetime, so steady-state clone dispatch
+// allocates nothing.
+type cloneSet struct {
+	red        *redundancy
+	reqs       []batch.Request // owned copy; reused across lifetimes
+	dispatched time.Duration
+	copies     [maxCopies]cloneCopy
+	launched   int
+	done       int // copies whose Done fired
+	failedC    int
+	live       int // copies with a closure still able to run
+	resolved   bool
+	lastOK     *cloneCopy // sync mode: last successfully finished copy
+	hedged     bool
+	hedgeTimer sim.Timer
+	hedgeFn    func()
+}
+
+// cloneCopy is one redundant copy: a device job on one pool's node plus the
+// container claim that carries it.
+type cloneCopy struct {
+	set       *cloneSet
+	node      *servingNode
+	job       device.Job
+	cold      time.Duration
+	submitted bool
+	cancelled bool
+	finished  bool
+	doneFn    func(*device.Job)
+	submitFn  func()
+}
+
+func (d *redundancy) newSet() *cloneSet {
+	if n := len(d.free); n > 0 {
+		s := d.free[n-1]
+		d.free = d.free[:n-1]
+		s.reset()
+		return s
+	}
+	s := &cloneSet{red: d}
+	for i := range s.copies {
+		c := &s.copies[i]
+		c.set = s
+		c.doneFn = func(j *device.Job) { c.complete(j) }
+		c.submitFn = func() { c.submit() }
+	}
+	s.hedgeFn = func() { s.hedgeFire() }
+	return s
+}
+
+func (s *cloneSet) reset() {
+	s.dispatched = 0
+	s.launched, s.done, s.failedC, s.live = 0, 0, 0, 0
+	s.resolved, s.hedged = false, false
+	s.lastOK = nil
+	s.hedgeTimer = sim.Timer{}
+	for i := range s.copies {
+		c := &s.copies[i]
+		c.node = nil
+		c.cold = 0
+		c.submitted, c.cancelled, c.finished = false, false, false
+	}
+}
+
+// launch dispatches copy idx on the given pool node. Copy 0 is the primary
+// (a normal Dispatched); later copies emit Cloned with kind "clone" or
+// "hedge". Each copy claims its own container on its own pool.
+func (s *cloneSet) launch(idx int, sn *servingNode, kind string) {
+	r := s.red.r
+	now := r.eng.Now()
+	c := &s.copies[idx]
+	c.node = sn
+	c.cold = 0
+	c.submitted, c.cancelled, c.finished = false, false, false
+
+	job := &c.job
+	job.Reset()
+	job.Batch = len(s.reqs)
+	job.Solo = profile.Solo(r.cfg.Model, sn.node.Spec, len(s.reqs))
+	job.FBR = sn.entry.FBR
+	job.Compute = profile.ComputeFraction(r.cfg.Model, sn.node.Spec, len(s.reqs))
+	job.Mode = device.Spatial // copies follow the pure-PS cloning model
+	job.Done = c.doneFn
+	if r.tel != nil {
+		r.jobSeq++
+		job.ID = r.jobSeq
+		evKind := telemetry.Dispatched
+		detail := device.Spatial.String()
+		if idx > 0 {
+			evKind = telemetry.Cloned
+			detail = kind
+		}
+		for _, q := range s.reqs {
+			e := telemetry.Ev(now, evKind)
+			e.Req = int64(q.ID)
+			e.Job = job.ID
+			e.Node = sn.node.ID
+			e.Spec = sn.node.Spec.Name
+			e.N = len(s.reqs)
+			e.Detail = detail
+			r.tel.Event(e)
+		}
+	}
+	s.launched++
+	s.live++
+	// Reactive scale-up, one container per copy: Busy covers in-flight
+	// batches, Waiting the claims earlier sets filed this window (Ensure
+	// compares against Total, which already counts their boots).
+	sn.pool.Ensure(sn.pool.Busy() + sn.pool.Waiting() + 1)
+	sn.pool.AcquireOrWait(c.submitFn)
+}
+
+// submit runs when the copy's container claim lands. A copy cancelled while
+// still waiting gives the container straight back.
+func (c *cloneCopy) submit() {
+	if c.cancelled {
+		c.node.pool.Release()
+		c.set.live--
+		c.set.maybeRecycle()
+		return
+	}
+	c.cold = c.set.red.r.eng.Now() - c.set.dispatched
+	c.submitted = true
+	c.node.node.Device.Submit(&c.job)
+}
+
+// complete is the copy's device Done: first success wins the race (clone
+// mode), the last finisher closes a synchronized set, and a set whose every
+// copy failed fails its requests.
+func (c *cloneCopy) complete(j *device.Job) {
+	s := c.set
+	c.finished = true
+	s.done++
+	s.live--
+	c.node.pool.Release()
+	if j.Failed {
+		s.failedC++
+		if !s.resolved && s.done == s.launched {
+			if s.failedC == s.launched {
+				s.resolveFailed(c)
+			} else if s.red.sync {
+				// The barrier's last copy failed; the set completes now on
+				// the last successful copy (positive synchronization slack).
+				s.resolveWin(s.lastOK)
+			}
+		}
+		s.maybeRecycle()
+		return
+	}
+	if s.red.sync {
+		s.lastOK = c
+		if !s.resolved && s.done == s.launched {
+			s.resolveWin(c)
+		}
+		s.maybeRecycle()
+		return
+	}
+	if !s.resolved {
+		s.resolveWin(c)
+	}
+	s.maybeRecycle()
+}
+
+// hedgeFire launches the backup copy when the hedge timer expires. A no-op
+// once the set resolved (the primary finished first) or if no second pool
+// is healthy.
+func (s *cloneSet) hedgeFire() {
+	if s.resolved || s.hedged {
+		return
+	}
+	primary := s.copies[0].node
+	var backup *servingNode
+	for _, p := range s.red.healthy() {
+		if p.sn != primary {
+			backup = p.sn
+			break
+		}
+	}
+	if backup == nil {
+		return
+	}
+	s.hedged = true
+	s.launch(1, backup, "hedge")
+}
+
+// resolveWin completes the set on the scoring copy: every unfinished
+// sibling is cancelled (its device capacity released, CloneCancelled
+// emitted before the Completed events), outcomes are recorded from the
+// winner's stamps, and in hedge mode the latencies feed the age tracker.
+func (s *cloneSet) resolveWin(c *cloneCopy) {
+	d := s.red
+	r := d.r
+	s.resolved = true
+	s.hedgeTimer.Cancel()
+	now := r.eng.Now()
+	for i := 0; i < s.launched; i++ {
+		o := &s.copies[i]
+		if o == c || o.finished || o.cancelled {
+			continue
+		}
+		o.cancelled = true
+		if o.submitted {
+			o.node.node.Device.Cancel(&o.job)
+			o.node.pool.Release()
+			s.live--
+		}
+		s.emitCancelled(o)
+	}
+	if r.tel != nil {
+		for _, q := range s.reqs {
+			e := telemetry.Ev(now, telemetry.Completed)
+			e.Req = int64(q.ID)
+			e.Job = c.job.ID
+			e.Node = c.node.node.ID
+			r.tel.Event(e)
+		}
+	}
+	for _, q := range s.reqs {
+		lat := now - q.Arrival
+		r.col.Add(metrics.Record{
+			Arrival:      q.Arrival,
+			Latency:      lat,
+			BatchWait:    s.dispatched - q.Arrival,
+			ColdStart:    c.cold,
+			QueueDelay:   c.job.QueueDelay(),
+			Interference: c.job.Interference(),
+			MinExec:      c.job.Solo,
+		})
+		if d.hedge {
+			d.age.Add(lat)
+		}
+	}
+}
+
+// resolveFailed fails the whole set: every copy died (node failures or
+// revocation kills on all pools at once).
+func (s *cloneSet) resolveFailed(c *cloneCopy) {
+	r := s.red.r
+	s.resolved = true
+	s.hedgeTimer.Cancel()
+	now := r.eng.Now()
+	if r.tel != nil {
+		for _, q := range s.reqs {
+			e := telemetry.Ev(now, telemetry.Failed)
+			e.Req = int64(q.ID)
+			e.Job = c.job.ID
+			e.Node = c.node.node.ID
+			r.tel.Event(e)
+		}
+	}
+	for _, q := range s.reqs {
+		r.failedRq++
+		r.col.Add(metrics.Record{
+			Arrival:   q.Arrival,
+			Latency:   now - q.Arrival,
+			BatchWait: s.dispatched - q.Arrival,
+			ColdStart: c.cold,
+			MinExec:   c.job.Solo,
+			Failed:    true,
+		})
+	}
+}
+
+func (s *cloneSet) emitCancelled(o *cloneCopy) {
+	r := s.red.r
+	if r.tel == nil {
+		return
+	}
+	now := r.eng.Now()
+	for _, q := range s.reqs {
+		e := telemetry.Ev(now, telemetry.CloneCancelled)
+		e.Req = int64(q.ID)
+		e.Job = o.job.ID
+		r.tel.Event(e)
+	}
+}
+
+// maybeRecycle returns the set to the free list once it has resolved and no
+// copy closure can run again.
+func (s *cloneSet) maybeRecycle() {
+	if !s.resolved || s.live != 0 {
+		return
+	}
+	s.red.free = append(s.red.free, s)
+}

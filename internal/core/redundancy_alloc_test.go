@@ -1,0 +1,40 @@
+package core
+
+// Allocation gate for the redundant-dispatch hot path: in steady state the
+// clone machinery — set recycling, per-copy launches, sibling cancellation
+// on first completion — reuses pooled sets, jobs, containers and events, so
+// driving the simulation forward allocates nothing at all. The same bound
+// gates CI via the allocation-gates step and cmd/paldia-bench -gate.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestCloneDispatchCancelAllocFree(t *testing.T) {
+	skipIfRace(t)
+	rng := sim.NewRNG(7)
+	tr := trace.Poisson(rng, 80, 120*time.Second)
+	cfg := Config{
+		Model:  model.MustByName("ResNet 50"),
+		Trace:  tr,
+		Scheme: NewPaldiaCloneK(2, false),
+		Seed:   7,
+	}
+	ru := Start(cfg)
+	// Warm the free lists: sets, jobs, containers, engine arena.
+	ru.StepTo(30 * time.Second)
+	now := ru.Now()
+	step := 250 * time.Millisecond
+	allocs := testing.AllocsPerRun(100, func() {
+		now += step
+		ru.StepTo(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state clone dispatch allocates %.1f objects per %v step, want 0", allocs, step)
+	}
+}

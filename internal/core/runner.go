@@ -131,6 +131,21 @@ type Config struct {
 	FailureEvery    time.Duration
 	FailureDuration time.Duration
 
+	// SpotDiscount and SpotFraction turn serving nodes into spot
+	// (preemptible) capacity: spot nodes bill at (1-SpotDiscount) of the
+	// catalog rate and are the targets of revocation. With a redundancy
+	// scheme, SpotFraction of the hardware pools (rounded, the costlier
+	// ones first) run on spot; without one, any positive fraction makes
+	// every serving node spot. Zero for either disables spot entirely.
+	SpotDiscount float64
+	SpotFraction float64
+
+	// RevokeEvery injects a spot revocation on this cadence: the targeted
+	// node gets RevokeNotice of drain time, then whatever is still running
+	// is killed and the node is released (never to recover). Zero disables.
+	RevokeEvery  time.Duration
+	RevokeNotice time.Duration
+
 	// Forecaster selects the rate-forecasting model by name ("ewma",
 	// "seasonal", "percentile", "p99" — see predict.Names). Empty means
 	// "ewma", the paper's model. Ignored for clairvoyant schemes and when
@@ -286,6 +301,12 @@ type runner struct {
 	cur      *servingNode
 	procured bool // a primary procurement is in flight
 
+	// red, when set, replaces the split-dispatch and hardware-selection
+	// paths with redundant dispatch over static hardware pools (clone-to-k
+	// or hedging; see redundancy.go). Nil for every non-redundant scheme,
+	// leaving their event sequences untouched.
+	red *redundancy
+
 	// scale-out state (MaxNodes > 1)
 	replicas       []*servingNode
 	replicaPending int
@@ -331,6 +352,7 @@ type runner struct {
 	dispatchTickFn func()
 	monitorTickFn  func()
 	failureTickFn  func()
+	revokeTickFn   func()
 
 	boots, syncColds uint64 // accumulated from retired pools
 }
@@ -387,6 +409,9 @@ func Start(cfg Config) *Running {
 		r.clu.Check = cfg.Invariants
 	}
 	r.setupPredictor()
+	if cfg.Scheme.Redundancy.Active() {
+		r.red = newRedundancy(r)
+	}
 	r.warmStart()
 	if r.tel != nil && cfg.SampleEvery > 0 {
 		telemetry.NewSampler(r.eng, r.tel, cfg.SampleEvery, r.gauges()).Start()
@@ -399,6 +424,10 @@ func Start(cfg Config) *Running {
 	r.eng.Schedule(cfg.MonitorInterval, r.monitorTickFn)
 	if cfg.FailureEvery > 0 {
 		r.eng.Schedule(cfg.FailureEvery, r.failureTickFn)
+	}
+	if cfg.RevokeEvery > 0 {
+		r.revokeTickFn = r.revokeTick
+		r.eng.Schedule(cfg.RevokeEvery, r.revokeTickFn)
 	}
 	return &Running{r: r}
 }
@@ -526,6 +555,10 @@ func newForecaster(cfg Config) predict.Forecaster {
 // warmStart brings up the initial node with warm containers, as a system
 // already in service would have.
 func (r *runner) warmStart() {
+	if r.red != nil {
+		r.red.warmStart()
+		return
+	}
 	var spec hardware.Spec
 	if r.cfg.InitialHardware != nil {
 		spec = *r.cfg.InitialHardware
@@ -541,9 +574,19 @@ func (r *runner) warmStart() {
 	r.history = append(r.history, SwitchEvent{At: 0, Spec: spec.Name})
 }
 
+// spotDiscount is the discount plain-path acquisitions run at: the
+// configured one when spot serving is enabled, else zero (plain on-demand —
+// AcquireSpot at discount 0 is exactly Acquire).
+func (r *runner) spotDiscount() float64 {
+	if r.cfg.SpotDiscount > 0 && r.cfg.SpotFraction > 0 {
+		return r.cfg.SpotDiscount
+	}
+	return 0
+}
+
 // acquire procures a node immediately and wires its pool and autoscaler.
 func (r *runner) acquire(spec hardware.Spec) *servingNode {
-	node := r.clu.Acquire(spec, profile.MaxResidentJobs(r.cfg.Model, spec))
+	node := r.clu.AcquireSpot(spec, profile.MaxResidentJobs(r.cfg.Model, spec), r.spotDiscount())
 	return r.wireNode(node)
 }
 
@@ -800,6 +843,13 @@ func (r *runner) results() Result {
 		r.accumulatePool(r.cur.pool)
 		for _, rep := range r.replicas {
 			r.accumulatePool(rep.pool)
+		}
+	}
+	if r.red != nil {
+		for _, p := range r.red.pools {
+			if p.sn != nil {
+				r.accumulatePool(p.sn.pool)
+			}
 		}
 	}
 	cpuCost, gpuCost := r.clu.CostByKind()

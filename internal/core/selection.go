@@ -27,7 +27,12 @@ func (r *runner) monitorTick() {
 	if now < r.end || r.bat.Pending() > 0 {
 		r.eng.Schedule(r.cfg.MonitorInterval, r.monitorTickFn)
 	}
-	if r.cur != nil && r.cur.node.Device != nil && r.cur.node.Device.Failed() {
+	if r.red != nil {
+		r.red.maintain()
+		return
+	}
+	if r.cur != nil && r.cur.node.Device != nil &&
+		(r.cur.node.Device.Failed() || r.cur.node.Revoked()) {
 		r.ensureFailover()
 		return
 	}
@@ -72,14 +77,14 @@ func (r *runner) reconfigure(desired hardware.Spec) {
 	r.waitCtr = 0
 	maxRes := profile.MaxResidentJobs(r.cfg.Model, desired)
 	if r.cfg.Scheme.InstantProcure {
-		node := r.clu.Acquire(desired, maxRes)
+		node := r.clu.AcquireSpot(desired, maxRes, r.spotDiscount())
 		sn := r.wireNode(node)
 		sn.pool.AddWarm(1)
 		r.swapTo(sn)
 		r.procured = false
 		return
 	}
-	r.clu.AcquireAsync(desired, maxRes, func(node *cluster.Node) {
+	r.clu.AcquireAsyncSpot(desired, maxRes, r.spotDiscount(), func(node *cluster.Node) {
 		sn := r.wireNode(node)
 		// Container spawning overlaps the VM launch (Algorithm 1 does both
 		// in the background before rerouting); only a short boot tail is
@@ -122,7 +127,7 @@ func (r *runner) manageScaleOut(rate float64) {
 	for ; have < want; have++ {
 		r.replicaPending++
 		spec := r.cur.node.Spec
-		r.clu.AcquireAsync(spec, profile.MaxResidentJobs(r.cfg.Model, spec), func(node *cluster.Node) {
+		r.clu.AcquireAsyncSpot(spec, profile.MaxResidentJobs(r.cfg.Model, spec), r.spotDiscount(), func(node *cluster.Node) {
 			sn := r.wireNode(node)
 			sn.pool.EnsureWithin(r.containerTarget(sn), swapTail)
 			r.eng.Schedule(swapTail, func() {
@@ -196,11 +201,37 @@ func (r *runner) failureTick() {
 	if now < r.end {
 		r.eng.Schedule(r.cfg.FailureEvery, r.failureTickFn)
 	}
-	if r.cur == nil || r.cur.node.Device == nil {
+	if r.red != nil {
+		if r.red.failNext() {
+			r.failures++
+		}
+		return
+	}
+	if r.cur == nil || r.cur.node.Device == nil || r.cur.node.Revoked() {
 		return
 	}
 	r.failures++
 	r.clu.Fail(r.cur.node, r.cfg.FailureDuration)
+	r.ensureFailover()
+}
+
+// revokeTick injects one spot revocation: in redundancy mode the next spot
+// pool in round-robin order gets its notice; in the plain path the serving
+// node does (if it is spot), and a failover replacement is procured while it
+// drains.
+func (r *runner) revokeTick() {
+	now := r.eng.Now()
+	if now < r.end {
+		r.eng.Schedule(r.cfg.RevokeEvery, r.revokeTickFn)
+	}
+	if r.red != nil {
+		r.red.revokeNext()
+		return
+	}
+	if r.cur == nil || !r.cur.node.Spot() || r.cur.node.Revoked() {
+		return
+	}
+	r.clu.Revoke(r.cur.node, r.cfg.RevokeNotice)
 	r.ensureFailover()
 }
 

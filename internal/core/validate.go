@@ -48,6 +48,8 @@ func (c Config) Validate() error {
 		{"FailureEvery", c.FailureEvery},
 		{"FailureDuration", c.FailureDuration},
 		{"SampleEvery", c.SampleEvery},
+		{"RevokeEvery", c.RevokeEvery},
+		{"RevokeNotice", c.RevokeNotice},
 	} {
 		if d.v < 0 {
 			errs = append(errs, fmt.Errorf("core: %s is negative (%v)", d.name, d.v))
@@ -74,6 +76,33 @@ func (c Config) Validate() error {
 	}
 	if c.FailureEvery > 0 && c.FailureDuration <= 0 {
 		errs = append(errs, errors.New("core: FailureEvery without a positive FailureDuration"))
+	}
+	if math.IsNaN(c.SpotDiscount) || c.SpotDiscount < 0 || c.SpotDiscount >= 1 {
+		errs = append(errs, fmt.Errorf("core: SpotDiscount must be in [0,1) (%v)", c.SpotDiscount))
+	}
+	if math.IsNaN(c.SpotFraction) || c.SpotFraction < 0 || c.SpotFraction > 1 {
+		errs = append(errs, fmt.Errorf("core: SpotFraction must be in [0,1] (%v)", c.SpotFraction))
+	}
+	if c.RevokeEvery > 0 {
+		if c.RevokeNotice <= 0 {
+			errs = append(errs, errors.New("core: RevokeEvery without a positive RevokeNotice"))
+		}
+		if c.SpotDiscount <= 0 || c.SpotFraction <= 0 {
+			errs = append(errs, errors.New("core: RevokeEvery without spot nodes (set SpotDiscount and SpotFraction)"))
+		}
+	}
+	rd := c.Scheme.Redundancy
+	if rd.CloneK != 0 && (rd.CloneK < 2 || rd.CloneK > 3) {
+		errs = append(errs, fmt.Errorf("core: Redundancy.CloneK must be 0 or in [2,3] (%d)", rd.CloneK))
+	}
+	if rd.HedgePct != 0 && !(rd.HedgePct > 0 && rd.HedgePct <= 100) {
+		errs = append(errs, fmt.Errorf("core: Redundancy.HedgePct must be in (0,100] (%v)", rd.HedgePct))
+	}
+	if rd.CloneK >= 2 && rd.HedgePct > 0 {
+		errs = append(errs, errors.New("core: Redundancy.CloneK and HedgePct are mutually exclusive"))
+	}
+	if rd.Active() && c.MaxNodes > 1 {
+		errs = append(errs, errors.New("core: redundancy schemes do not compose with MaxNodes scale-out"))
 	}
 	return errors.Join(errs...)
 }

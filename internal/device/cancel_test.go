@@ -1,0 +1,189 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Cancelling an executing spatial job must release its capacity: the
+// surviving co-located job speeds back up to its solo rate.
+func TestCancelActiveSpatialReleasesCapacity(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var done *Job
+	keep := &Job{Batch: 8, Solo: 200 * time.Millisecond, FBR: 0.9, Mode: Spatial,
+		Done: func(j *Job) { done = j }}
+	clone := &Job{Batch: 8, Solo: 200 * time.Millisecond, FBR: 0.9, Mode: Spatial,
+		Done: func(j *Job) { t.Fatal("cancelled job must not fire Done") }}
+	d.Submit(keep)
+	d.Submit(clone)
+	// Cancel the clone immediately: the survivor should finish in ~solo time
+	// (the instantaneous co-location interval has zero measure).
+	if !d.Cancel(clone) {
+		t.Fatal("Cancel returned false for an active job")
+	}
+	if d.ActiveCount() != 1 {
+		t.Fatalf("active = %d after cancel, want 1", d.ActiveCount())
+	}
+	eng.RunAll()
+	if done == nil {
+		t.Fatal("surviving job never completed")
+	}
+	approxDur(t, done.Finished, 200*time.Millisecond, time.Microsecond, "survivor finish")
+}
+
+// A cancelled job mid-flight leaves the survivor with exactly the slowdown
+// accrued so far: progress before the cancel is at the contended rate,
+// progress after at the solo rate.
+func TestCancelMidFlightSpeedsUpSurvivor(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	var done *Job
+	keep := &Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0.9, Mode: Spatial,
+		Done: func(j *Job) { done = j }}
+	clone := &Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0.9, Mode: Spatial, Done: func(j *Job) {}}
+	d.Submit(keep)
+	d.Submit(clone)
+	eng.Schedule(50*time.Millisecond, func() { d.Cancel(clone) })
+	eng.RunAll()
+	if done == nil {
+		t.Fatal("survivor never completed")
+	}
+	// Contended for 50ms then solo: finish must land strictly between the
+	// all-solo and all-contended projections.
+	if done.Finished <= 100*time.Millisecond {
+		t.Fatalf("survivor finished at %v, too fast for 50ms of contention", done.Finished)
+	}
+	solo := &Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0.9, Mode: Spatial, Done: func(j *Job) {}}
+	eng2 := sim.NewEngine()
+	d2 := New(eng2, gpuSpec(), 0)
+	c2 := &Job{Batch: 8, Solo: 100 * time.Millisecond, FBR: 0.9, Mode: Spatial, Done: func(j *Job) {}}
+	d2.Submit(solo)
+	d2.Submit(c2)
+	eng2.RunAll()
+	if done.Finished >= solo.Finished {
+		t.Fatalf("survivor %v not faster than fully-contended %v", done.Finished, solo.Finished)
+	}
+}
+
+// Cancelling the running lane job must admit the next lane job.
+func TestCancelLaneRunningAdmitsNext(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, cpuSpec(), 0)
+	var order []int
+	mk := func(id int) *Job {
+		return &Job{ID: int64(id), Batch: 1, Solo: 100 * time.Millisecond, Mode: Queued,
+			Done: func(j *Job) { order = append(order, int(j.ID)) }}
+	}
+	j1, j2 := mk(1), mk(2)
+	d.Submit(j1)
+	d.Submit(j2)
+	if !d.Cancel(j1) {
+		t.Fatal("Cancel lane-running returned false")
+	}
+	eng.RunAll()
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("completions = %v, want [2]", order)
+	}
+	approxDur(t, j2.Finished, 100*time.Millisecond, time.Microsecond, "successor finish")
+}
+
+// Cancelling a job still waiting in the lane removes it without perturbing
+// the running job.
+func TestCancelLaneWaiting(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, cpuSpec(), 0)
+	var order []int
+	mk := func(id int) *Job {
+		return &Job{ID: int64(id), Batch: 1, Solo: 100 * time.Millisecond, Mode: Queued,
+			Done: func(j *Job) { order = append(order, int(j.ID)) }}
+	}
+	j1, j2, j3 := mk(1), mk(2), mk(3)
+	d.Submit(j1)
+	d.Submit(j2)
+	d.Submit(j3)
+	if !d.Cancel(j2) {
+		t.Fatal("Cancel lane-waiting returned false")
+	}
+	if d.LaneLength() != 1 {
+		t.Fatalf("lane length = %d, want 1", d.LaneLength())
+	}
+	eng.RunAll()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("completions = %v, want [1 3]", order)
+	}
+}
+
+// Cancelling a spatial job waiting for a memory slot removes it; the slot
+// freed by the running job then admits the job behind it.
+func TestCancelPendingSpatial(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 1) // one resident job max
+	var order []int
+	mk := func(id int) *Job {
+		return &Job{ID: int64(id), Batch: 1, Solo: 100 * time.Millisecond, FBR: 0.5, Mode: Spatial,
+			Done: func(j *Job) { order = append(order, int(j.ID)) }}
+	}
+	j1, j2, j3 := mk(1), mk(2), mk(3)
+	d.Submit(j1)
+	d.Submit(j2)
+	d.Submit(j3)
+	if !d.Cancel(j2) {
+		t.Fatal("Cancel pending-spatial returned false")
+	}
+	eng.RunAll()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("completions = %v, want [1 3]", order)
+	}
+}
+
+// Cancel of a job the device no longer holds (already finished) is a no-op
+// returning false — the clone dispatcher relies on this to detect races with
+// same-tick completions.
+func TestCancelAbsentJob(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	j := &Job{Batch: 1, Solo: 10 * time.Millisecond, FBR: 0.5, Mode: Spatial, Done: func(j *Job) {}}
+	d.Submit(j)
+	eng.RunAll()
+	if d.Cancel(j) {
+		t.Fatal("Cancel of a finished job returned true")
+	}
+	if d.Cancel(&Job{}) {
+		t.Fatal("Cancel of a never-submitted job returned true")
+	}
+}
+
+// The steady-state submit/cancel cycle of a pooled job must not allocate:
+// the clone dispatcher leans on this for 0-alloc redundant dispatch.
+func TestCancelAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, gpuSpec(), 0)
+	j := &Job{}
+	reset := func() {
+		j.Reset()
+		j.Batch = 4
+		j.Solo = 50 * time.Millisecond
+		j.FBR = 0.6
+		j.Mode = Spatial
+	}
+	// Warm up: bind the finish closure, grow the active slice and the
+	// engine's timer arena.
+	for i := 0; i < 64; i++ {
+		reset()
+		d.Submit(j)
+		d.Cancel(j)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		reset()
+		d.Submit(j)
+		if !d.Cancel(j) {
+			t.Fatal("cancel failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("submit+cancel allocates %.1f allocs/op, want 0", allocs)
+	}
+}

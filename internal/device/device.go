@@ -344,6 +344,54 @@ func (d *Device) Fail() {
 	}
 }
 
+// Cancel withdraws a job from the device without invoking Done. The clone
+// dispatcher calls it when a sibling copy of the same request set finished
+// first: the job disappears from wherever it sits — executing in the spatial
+// pool, running or waiting in the time-share lane, or waiting for a memory
+// slot — its capacity is released, and successors are admitted exactly as if
+// it had finished. Returns false when the job is not on this device (it
+// already finished, failed, or was never submitted here).
+func (d *Device) Cancel(j *Job) bool {
+	d.advance()
+	if j.running {
+		for _, a := range d.active {
+			if a != j {
+				continue
+			}
+			j.finishEv.Cancel()
+			j.finishEv = sim.Timer{}
+			j.running = false
+			d.removeActive(j)
+			if d.laneRunning == j {
+				d.laneRunning = nil
+			}
+			for len(d.pendingSpat) > 0 && d.hasRoom() {
+				next := d.pendingSpat[0]
+				copy(d.pendingSpat, d.pendingSpat[1:])
+				d.pendingSpat = d.pendingSpat[:len(d.pendingSpat)-1]
+				d.start(next)
+			}
+			d.admitLane()
+			d.reschedule()
+			return true
+		}
+		return false
+	}
+	for i, w := range d.lane {
+		if w == j {
+			d.lane = append(d.lane[:i], d.lane[i+1:]...)
+			return true
+		}
+	}
+	for i, w := range d.pendingSpat {
+		if w == j {
+			d.pendingSpat = append(d.pendingSpat[:i], d.pendingSpat[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Recover clears the failure state.
 func (d *Device) Recover() {
 	d.advance()

@@ -38,6 +38,7 @@ func Registry() map[string]Runner {
 		"ablation-batching":   AblationBatching,
 		"ablation-slo":        AblationSLO,
 		"forecast-frontier":   ForecastFrontier,
+		"cloning-frontier":    CloningFrontier,
 	}
 }
 
@@ -51,6 +52,7 @@ func Order() []string {
 		"ablation-prediction", "ablation-hybrid",
 		"ablation-waitlimit", "ablation-keepalive", "ablation-window",
 		"ablation-batching", "ablation-slo", "forecast-frontier",
+		"cloning-frontier",
 	}
 }
 

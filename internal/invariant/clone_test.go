@@ -1,0 +1,286 @@
+package invariant
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/telemetry"
+)
+
+// Mutation tests for the clone/hedge conservation laws, the winner-telescope
+// variant, and the spot-revocation node-lifecycle laws — same discipline as
+// invariant_test.go: every law gets a clean run and a broken run.
+
+// cev builds a clone-family event carrying both a request and a copy job ID.
+func cev(at time.Duration, kind telemetry.Kind, req, job int64) telemetry.Event {
+	e := telemetry.Ev(at, kind)
+	e.Req, e.Job = req, job
+	return e
+}
+
+// playClonedRequest walks one request through a legal clone-to-2 race:
+// primary job 1 is dispatched, copy job 2 is cloned alongside, the copy wins
+// at 40ms, the primary is cancelled, and the completion names job 2.
+func playClonedRequest(c *Checker) {
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	c.Event(cev(ms(10), telemetry.Cloned, 1, 2))
+	c.Event(jev(ms(12), telemetry.Queued, 1))
+	c.Event(jev(ms(12), telemetry.Queued, 2))
+	c.Event(jev(ms(14), telemetry.ExecStart, 2))
+	c.Event(jev(ms(15), telemetry.ExecStart, 1))
+	c.Event(jev(ms(40), telemetry.ExecEnd, 2))
+	c.Event(cev(ms(40), telemetry.CloneCancelled, 1, 1))
+	c.Event(cev(ms(40), telemetry.Completed, 1, 2))
+}
+
+func TestCloneCleanLifecycle(t *testing.T) {
+	c := New()
+	playClonedRequest(c)
+	c.CheckResult(ms(50), 1, 0, 0)
+	assertClean(t, c)
+}
+
+func TestCloneBatchSiblingsShareCopies(t *testing.T) {
+	// Two requests of one batch share both copies; each sibling emits its
+	// own Cloned and CloneCancelled for the same jobs at the same instants.
+	c := New()
+	for _, req := range []int64{1, 2} {
+		c.Event(ev(ms(0), telemetry.Arrived, req))
+		c.Event(ev(ms(0), telemetry.Batched, req))
+	}
+	for _, req := range []int64{1, 2} {
+		c.Event(cev(ms(10), telemetry.Dispatched, req, 1))
+	}
+	for _, req := range []int64{1, 2} {
+		c.Event(cev(ms(10), telemetry.Cloned, req, 2))
+	}
+	c.Event(jev(ms(12), telemetry.Queued, 1))
+	c.Event(jev(ms(12), telemetry.Queued, 2))
+	c.Event(jev(ms(14), telemetry.ExecStart, 2))
+	c.Event(jev(ms(15), telemetry.ExecStart, 1))
+	c.Event(jev(ms(40), telemetry.ExecEnd, 2))
+	for _, req := range []int64{1, 2} {
+		c.Event(cev(ms(40), telemetry.CloneCancelled, req, 1))
+	}
+	for _, req := range []int64{1, 2} {
+		c.Event(cev(ms(40), telemetry.Completed, req, 2))
+	}
+	c.CheckResult(ms(50), 2, 0, 0)
+	assertClean(t, c)
+}
+
+func TestCloneDetectsCloneBeforeArrival(t *testing.T) {
+	c := New()
+	c.Event(cev(ms(5), telemetry.Cloned, 9, 2))
+	assertLaw(t, c, LawConservation)
+}
+
+func TestCloneDetectsCloneBeforeDispatch(t *testing.T) {
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	// The copy is launched before any primary exists to race against.
+	c.Event(cev(ms(5), telemetry.Cloned, 1, 2))
+	assertLaw(t, c, LawConservation)
+}
+
+func TestCloneDetectsCloneWithoutJobID(t *testing.T) {
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	c.Event(cev(ms(10), telemetry.Cloned, 1, 0))
+	assertLaw(t, c, LawConservation)
+}
+
+func TestCloneDetectsCancelOfUnknownCopy(t *testing.T) {
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	// Job 7 was never dispatched for this request.
+	c.Event(cev(ms(20), telemetry.CloneCancelled, 1, 7))
+	assertLaw(t, c, LawConservation)
+}
+
+func TestCloneDetectsDoubleCancel(t *testing.T) {
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	c.Event(cev(ms(10), telemetry.Cloned, 1, 2))
+	c.Event(cev(ms(20), telemetry.CloneCancelled, 1, 2))
+	c.Event(cev(ms(21), telemetry.CloneCancelled, 1, 2))
+	assertLaw(t, c, LawConservation)
+}
+
+func TestCloneDetectsUnresolvedCopyAtTerminal(t *testing.T) {
+	// The copy is neither cancelled nor finished when the request terminates:
+	// cancel-on-first-complete leaked device capacity.
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	c.Event(cev(ms(10), telemetry.Cloned, 1, 2))
+	c.Event(jev(ms(12), telemetry.Queued, 1))
+	c.Event(jev(ms(15), telemetry.ExecStart, 1))
+	c.Event(jev(ms(40), telemetry.ExecEnd, 1))
+	c.Event(cev(ms(40), telemetry.Completed, 1, 1))
+	assertLaw(t, c, LawConservation)
+}
+
+// --- winner telescoping ---------------------------------------------------------
+
+func TestCloneSyncSlackAccepted(t *testing.T) {
+	// Synchronized variant: the scoring copy finished at 40ms but the request
+	// completed at 45ms (the barrier waited on a sibling that then failed).
+	// Positive slack is legal; the checker must not demand exact equality.
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	c.Event(cev(ms(10), telemetry.Cloned, 1, 2))
+	c.Event(jev(ms(12), telemetry.Queued, 1))
+	c.Event(jev(ms(15), telemetry.ExecStart, 1))
+	c.Event(jev(ms(40), telemetry.ExecEnd, 1))
+	c.Event(cev(ms(45), telemetry.CloneCancelled, 1, 2))
+	c.Event(cev(ms(45), telemetry.Completed, 1, 1))
+	c.CheckResult(ms(50), 1, 0, 0)
+	assertClean(t, c)
+}
+
+func TestCloneDetectsCompletionBeforeCopyEnd(t *testing.T) {
+	// A completion stamped before the scoring copy's exec end makes the
+	// component sum exceed the latency — negative slack is never legal.
+	// (Reaching it requires a non-monotone stamp, which the time law also
+	// flags; either way the checker must not pass the stream clean.)
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	c.Event(cev(ms(10), telemetry.Cloned, 1, 2))
+	c.Event(jev(ms(12), telemetry.Queued, 2))
+	c.Event(jev(ms(14), telemetry.ExecStart, 2))
+	c.Event(jev(ms(45), telemetry.ExecEnd, 2))
+	c.Event(cev(ms(45), telemetry.CloneCancelled, 1, 1))
+	c.Event(cev(ms(44), telemetry.Completed, 1, 2))
+	if c.Total() == 0 {
+		t.Fatal("completion before the scoring copy's end passed clean")
+	}
+}
+
+func TestCloneDetectsCompletionOnUnexecutedCopy(t *testing.T) {
+	// The completion names a copy that was cancelled while still queued — it
+	// never executed, so it cannot be the scoring copy.
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	c.Event(cev(ms(10), telemetry.Cloned, 1, 2))
+	c.Event(jev(ms(12), telemetry.Queued, 1))
+	c.Event(jev(ms(12), telemetry.Queued, 2))
+	c.Event(jev(ms(15), telemetry.ExecStart, 1))
+	c.Event(jev(ms(40), telemetry.ExecEnd, 1))
+	c.Event(cev(ms(40), telemetry.CloneCancelled, 1, 2))
+	c.Event(cev(ms(40), telemetry.Completed, 1, 2))
+	assertLaw(t, c, LawTelescope)
+}
+
+func TestCloneDetectsCompletionOnUnknownCopy(t *testing.T) {
+	c := New()
+	c.Event(ev(ms(0), telemetry.Arrived, 1))
+	c.Event(ev(ms(0), telemetry.Batched, 1))
+	c.Event(cev(ms(10), telemetry.Dispatched, 1, 1))
+	c.Event(cev(ms(10), telemetry.Cloned, 1, 2))
+	c.Event(cev(ms(40), telemetry.CloneCancelled, 1, 1))
+	c.Event(cev(ms(40), telemetry.CloneCancelled, 1, 2))
+	// Completion names job 9, which was never a copy of this request.
+	c.Event(cev(ms(40), telemetry.Completed, 1, 9))
+	assertLaw(t, c, LawTelescope)
+}
+
+// --- spot revocation node laws --------------------------------------------------
+
+func TestNodeCleanRevocationLifecycle(t *testing.T) {
+	spec := hardware.MostPerformant(hardware.GPU).Name
+	c := New()
+	c.Event(nev(ms(0), telemetry.NodeAcquired, 0, spec))
+	c.Event(nev(ms(100), telemetry.NodeRevoked, 0, spec))
+	c.Event(nev(ms(200), telemetry.NodeReleased, 0, spec))
+	assertClean(t, c)
+}
+
+func TestNodeDetectsRevokeWithoutAcquire(t *testing.T) {
+	c := New()
+	c.Event(nev(ms(1), telemetry.NodeRevoked, 0, "whatever"))
+	assertLaw(t, c, LawNode)
+}
+
+func TestNodeDetectsDoubleRevoke(t *testing.T) {
+	spec := hardware.MostPerformant(hardware.GPU).Name
+	c := New()
+	c.Event(nev(ms(0), telemetry.NodeAcquired, 0, spec))
+	c.Event(nev(ms(1), telemetry.NodeRevoked, 0, spec))
+	c.Event(nev(ms(2), telemetry.NodeRevoked, 0, spec))
+	assertLaw(t, c, LawNode)
+}
+
+func TestNodeDetectsRevokeAfterRelease(t *testing.T) {
+	spec := hardware.MostPerformant(hardware.GPU).Name
+	c := New()
+	c.Event(nev(ms(0), telemetry.NodeAcquired, 0, spec))
+	c.Event(nev(ms(1), telemetry.NodeReleased, 0, spec))
+	c.Event(nev(ms(2), telemetry.NodeRevoked, 0, spec))
+	assertLaw(t, c, LawNode)
+}
+
+func TestNodeDetectsFailureAfterRevocation(t *testing.T) {
+	spec := hardware.MostPerformant(hardware.GPU).Name
+	c := New()
+	c.Event(nev(ms(0), telemetry.NodeAcquired, 0, spec))
+	c.Event(nev(ms(1), telemetry.NodeRevoked, 0, spec))
+	c.Event(nev(ms(2), telemetry.NodeFailed, 0, spec))
+	assertLaw(t, c, LawNode)
+}
+
+func TestNodeDetectsRecoveryAfterRevocation(t *testing.T) {
+	spec := hardware.MostPerformant(hardware.GPU).Name
+	c := New()
+	c.Event(nev(ms(0), telemetry.NodeAcquired, 0, spec))
+	c.Event(nev(ms(1), telemetry.NodeFailed, 0, spec))
+	c.Event(nev(ms(2), telemetry.NodeRevoked, 0, spec))
+	c.Event(nev(ms(3), telemetry.NodeRecovered, 0, spec))
+	assertLaw(t, c, LawNode)
+}
+
+// --- spot billing ---------------------------------------------------------------
+
+func TestBillingSpotRateFromEvent(t *testing.T) {
+	// A spot acquisition carries its discounted effective rate in Value; the
+	// ledger must reconcile against that rate, not the catalog price.
+	spec := hardware.MostPerformant(hardware.GPU)
+	rate := spec.CostPerSecond() * 0.35
+	c := New()
+	acq := nev(0, telemetry.NodeAcquired, 0, spec.Name)
+	acq.Value, acq.Detail = rate, "spot"
+	c.Event(acq)
+	hold := 10 * time.Second
+	c.Billing(hold, rate*hold.Seconds())
+	assertClean(t, c)
+}
+
+func TestBillingDetectsSpotOverbilling(t *testing.T) {
+	// The books charge the on-demand catalog rate for a node whose lifecycle
+	// events promise a discount.
+	spec := hardware.MostPerformant(hardware.GPU)
+	c := New()
+	acq := nev(0, telemetry.NodeAcquired, 0, spec.Name)
+	acq.Value, acq.Detail = spec.CostPerSecond()*0.35, "spot"
+	c.Event(acq)
+	hold := 10 * time.Second
+	c.Billing(hold, spec.CostPerSecond()*hold.Seconds())
+	assertLaw(t, c, LawBilling)
+}

@@ -11,7 +11,11 @@
 //     (arrived → batched → dispatched → completed|failed, with failure legal
 //     from any stage), no request terminates twice or out of thin air, and
 //     at the end of a run arrived == completed + failed == Result.Requests
-//     with Result.FailedRequests equal to the failed-event count.
+//     with Result.FailedRequests equal to the failed-event count. Redundant
+//     copies (clone-to-k, hedged backups) extend the law: a copy is only
+//     cloned after the primary dispatch, each copy ends exactly once
+//     (cancellation counts as its end), and a terminating request leaves no
+//     copy unresolved — exactly one copy scores the completion.
 //   - device-capacity: resident jobs never exceed the device-memory pool
 //     bound (maxResident), jobs never start, progress or finish on a
 //     Failed() device, per-job FBRs are positive and finite, and a finishing
@@ -23,14 +27,21 @@
 //     claims never exceed the containers that could absorb them.
 //   - node-lifecycle: nodes walk requested → acquired → (failed ↔
 //     recovered)* → released; no duplicate failure, no recovery without a
-//     failure, no release without an acquisition.
+//     failure, no release without an acquisition. Spot revocation is
+//     terminal: a node is revoked at most once, never while released, and
+//     never fails or recovers afterwards.
 //   - billing: total cost is monotone in virtual time and always equals the
 //     sum over nodes of cost-rate × held-time re-derived from the node
 //     lifecycle events (double-billing and under-billing both trip it).
+//     Spot nodes carry their discounted rate on the lifecycle events, so
+//     the reconciliation stays exact below the catalog price.
 //   - time-monotonic: the engine's virtual clock and every event timestamp
 //     are non-decreasing.
 //   - span-telescope: at every Completed event, batch_wait + cold_start +
-//     queue_delay + exec == latency, re-derived from the raw event stamps.
+//     queue_delay + exec == latency, re-derived from the raw event stamps
+//     of the scoring copy (the Completed event's job for cloned requests);
+//     synchronized clone sets may complete with non-negative slack after
+//     their scoring copy's exec end.
 //
 // A Checker implements telemetry.Sink for the event-derived laws and
 // exposes direct hook methods (DeviceStart, Pool, Billing, Tick, ...) for
@@ -99,6 +110,16 @@ type reqState struct {
 	job          int64
 	batched      bool
 	dispatched   bool
+	// cloneJobs are the job IDs of redundant copies (clone-to-k or hedged
+	// backups) dispatched for this request beyond the primary. Every copy
+	// must be resolved — cancelled or ended — by the time the request
+	// terminates, and exactly one copy scores the completion.
+	cloneJobs []int64
+	// cancelledJobs are the copies this request has already cancelled: a
+	// copy is shared by every request of its batch, so each sibling emits
+	// its own CloneCancelled for the same job, but one request cancelling
+	// the same copy twice is a conjured double-release.
+	cancelledJobs []int64
 }
 
 type jobState struct {
@@ -120,6 +141,7 @@ type nodeState struct {
 	acquired   bool
 	released   bool
 	failed     bool
+	revoked    bool
 	everBilled bool
 }
 
@@ -249,7 +271,8 @@ func (c *Checker) Event(e telemetry.Event) {
 
 	switch e.Kind {
 	case telemetry.Arrived, telemetry.Batched, telemetry.Dispatched,
-		telemetry.Completed, telemetry.Failed:
+		telemetry.Completed, telemetry.Failed,
+		telemetry.Cloned, telemetry.CloneCancelled:
 		c.requestEvent(e)
 	case telemetry.Queued, telemetry.ExecStart, telemetry.ExecEnd:
 		c.jobEvent(e)
@@ -259,7 +282,7 @@ func (c *Checker) Event(e telemetry.Event) {
 			c.violate(e.At, LawLifecycle, "%s event with count %d", e.Kind, e.N)
 		}
 	case telemetry.NodeRequested, telemetry.NodeAcquired, telemetry.NodeReleased,
-		telemetry.NodeFailed, telemetry.NodeRecovered:
+		telemetry.NodeFailed, telemetry.NodeRecovered, telemetry.NodeRevoked:
 		c.nodeEvent(e)
 	}
 }
@@ -316,6 +339,71 @@ func (c *Checker) requestEvent(e telemetry.Event) {
 			j.members++
 		}
 
+	case telemetry.Cloned:
+		if st == nil {
+			c.violate(e.At, LawConservation, "request %d cloned before arriving", e.Req)
+			return
+		}
+		if !st.dispatched {
+			c.violate(e.At, LawConservation, "request %d cloned before its primary dispatch", e.Req)
+		}
+		if e.Job <= 0 {
+			c.violate(e.At, LawConservation, "request %d cloned without a copy job ID", e.Req)
+			return
+		}
+		st.cloneJobs = append(st.cloneJobs, e.Job)
+		j := c.jobs[e.Job]
+		if j == nil {
+			j = &jobState{}
+			c.jobs[e.Job] = j
+		}
+		// The copy's job entry lives until the request terminates, like the
+		// primary's, so terminal() can verify every copy was resolved.
+		j.members++
+
+	case telemetry.CloneCancelled:
+		if st == nil {
+			c.violate(e.At, LawConservation, "request %d cancelled a copy without an open request", e.Req)
+			return
+		}
+		if e.Job <= 0 {
+			c.violate(e.At, LawConservation, "request %d cancelled a copy without a job ID", e.Req)
+			return
+		}
+		if !c.isCopyJob(st, e.Job) {
+			c.violate(e.At, LawConservation,
+				"request %d cancelled copy job %d it never dispatched", e.Req, e.Job)
+			return
+		}
+		for _, id := range st.cancelledJobs {
+			if id == e.Job {
+				c.violate(e.At, LawConservation,
+					"request %d cancelled copy job %d twice", e.Req, e.Job)
+				return
+			}
+		}
+		st.cancelledJobs = append(st.cancelledJobs, e.Job)
+		j := c.jobs[e.Job]
+		if j == nil {
+			j = &jobState{}
+			c.jobs[e.Job] = j
+		}
+		// A copy is shared across its batch: each sibling request cancels it
+		// at the same instant, and only the first marks the end. A cancel at
+		// a *later* instant than the copy's recorded end is a real breach —
+		// the copy's capacity was released twice.
+		if j.ended {
+			if j.endAt != e.At {
+				c.violate(e.At, LawConservation,
+					"request %d cancelled copy job %d after it already ended", e.Req, e.Job)
+			}
+			return
+		}
+		// The cancel is the copy's end: its capacity is released and no
+		// device ExecEnd will follow.
+		j.ended = true
+		j.endAt = e.At
+
 	case telemetry.Completed:
 		if st == nil {
 			c.violate(e.At, LawConservation, "request %d completed without arriving (or completed twice)", e.Req)
@@ -342,6 +430,20 @@ func (c *Checker) requestEvent(e telemetry.Event) {
 	}
 }
 
+// isCopyJob reports whether jid is one of the request's dispatched copies:
+// the primary's job or any clone job.
+func (c *Checker) isCopyJob(st *reqState, jid int64) bool {
+	if jid == st.job && jid > 0 {
+		return true
+	}
+	for _, id := range st.cloneJobs {
+		if id == jid {
+			return true
+		}
+	}
+	return false
+}
+
 // terminal retires a request's tracking state; the counters keep the totals.
 func (c *Checker) terminal(k reqKey, st *reqState) {
 	c.open--
@@ -354,15 +456,47 @@ func (c *Checker) terminal(k reqKey, st *reqState) {
 			}
 		}
 	}
+	// Clone-aware conservation: a terminating request must leave no copy in
+	// flight — every redundant copy either ended on its device (sync variant,
+	// failed copies) or was cancelled (which marks it ended). An unresolved
+	// copy means cancel-on-first-complete leaked capacity.
+	for _, id := range st.cloneJobs {
+		j := c.jobs[id]
+		if j == nil || !j.ended {
+			c.violate(c.lastEventAt, LawConservation,
+				"request %d terminated with clone copy job %d unresolved", k.req, id)
+		}
+		if j != nil {
+			j.members--
+			if j.members <= 0 && j.ended {
+				delete(c.jobs, id)
+			}
+		}
+	}
 }
 
 // telescope asserts batch_wait + cold_start + queue_delay + exec == latency
-// for a completing request, from the raw event stamps.
+// for a completing request, from the raw event stamps. For cloned requests
+// the Completed event names the scoring copy's job; the law telescopes
+// against that copy, exactly when the completion coincides with the copy's
+// exec end and with non-negative slack otherwise (a synchronized set whose
+// last copy failed completes after its last successful copy finished — the
+// gap is the synchronization stall, never negative).
 func (c *Checker) telescope(e telemetry.Event, st *reqState) {
-	j := c.jobs[st.job]
+	jid := st.job
+	cloned := len(st.cloneJobs) > 0
+	if cloned && e.Job > 0 {
+		jid = e.Job
+		if !c.isCopyJob(st, jid) {
+			c.violate(e.At, LawTelescope,
+				"request %d completed on copy job %d it never dispatched", e.Req, jid)
+			return
+		}
+	}
+	j := c.jobs[jid]
 	if j == nil || !j.queued || !j.started || !j.ended {
 		c.violate(e.At, LawTelescope,
-			"request %d completed but job %d has no full queued/exec record", e.Req, st.job)
+			"request %d completed but job %d has no full queued/exec record", e.Req, jid)
 		return
 	}
 	batchWait := st.dispatchedAt - st.arrivedAt
@@ -376,7 +510,16 @@ func (c *Checker) telescope(e telemetry.Event, st *reqState) {
 			e.Req, batchWait, cold, queue, exec)
 		return
 	}
-	if sum := batchWait + cold + queue + exec; sum != latency {
+	sum := batchWait + cold + queue + exec
+	if cloned {
+		if sum > latency || (j.endAt == e.At && sum != latency) {
+			c.violate(e.At, LawTelescope,
+				"request %d clone spans do not telescope: %v+%v+%v+%v = %v, latency %v (copy job %d)",
+				e.Req, batchWait, cold, queue, exec, sum, latency, jid)
+		}
+		return
+	}
+	if sum != latency {
 		c.violate(e.At, LawTelescope,
 			"request %d spans do not telescope: %v+%v+%v+%v = %v, latency %v",
 			e.Req, batchWait, cold, queue, exec, sum, latency)
@@ -484,6 +627,9 @@ func (c *Checker) nodeEvent(e telemetry.Event) {
 		if n.released {
 			c.violate(e.At, LawNode, "node %d failed after release", e.Node)
 		}
+		if n.revoked {
+			c.violate(e.At, LawNode, "node %d failed after revocation", e.Node)
+		}
 		if n.failed {
 			c.violate(e.At, LawNode, "node %d failed while already failed", e.Node)
 		}
@@ -496,7 +642,28 @@ func (c *Checker) nodeEvent(e telemetry.Event) {
 			c.violate(e.At, LawNode, "node %d recovered without a failure", e.Node)
 			return
 		}
+		if n.revoked {
+			// A revocation is permanent: recovering a revoked node would
+			// resurrect (and, while held, re-bill) a node the fleet let go.
+			c.violate(e.At, LawNode, "node %d recovered after revocation", e.Node)
+		}
 		n.failed = false
+
+	case telemetry.NodeRevoked:
+		n := c.node(e.Node)
+		if n == nil || !n.everBilled {
+			c.violate(e.At, LawNode, "node %d revoked without being acquired", e.Node)
+			return
+		}
+		if n.released {
+			c.violate(e.At, LawNode, "node %d revoked after release", e.Node)
+			return
+		}
+		if n.revoked {
+			c.violate(e.At, LawNode, "node %d revoked twice", e.Node)
+			return
+		}
+		n.revoked = true
 
 	case telemetry.NodeReleased:
 		n := c.node(e.Node)
@@ -521,7 +688,11 @@ func (c *Checker) startBilling(n *nodeState, e telemetry.Event) {
 	n.everBilled = true
 	n.billStart = e.At
 	n.spec = e.Spec
-	if spec, ok := hardware.ByName(e.Spec); ok {
+	if e.Value > 0 {
+		// Spot nodes bill below the catalog rate; the lifecycle event carries
+		// the effective rate so the ledger still reconciles exactly.
+		n.rate = e.Value
+	} else if spec, ok := hardware.ByName(e.Spec); ok {
 		n.rate = spec.CostPerSecond()
 	} else {
 		c.billUnknown = true

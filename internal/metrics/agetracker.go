@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// ageMinSamples is how many completed-request latencies the tracker wants
+// before its percentile estimate is trustworthy; below it Ready() is false
+// and callers fall back to a static threshold (the hedge policy uses a
+// fraction of the SLO).
+const ageMinSamples = 32
+
+// ageRecomputeEvery bounds the staleness of the cached threshold: the
+// percentile is re-derived from the buckets at most once per this many
+// observations, keeping Add amortized O(1) and Threshold exactly O(1).
+const ageRecomputeEvery = 64
+
+// ageBuckets sizes the fixed bucket array: ceil(ln(1000s in ns)/ln γ) at
+// α = SketchAlpha is ~1382, so 1536 covers 1 ns through beyond 1000 s with
+// headroom; indices are clamped, so out-of-range latencies saturate into
+// the edge buckets instead of growing memory.
+const ageBuckets = 1536
+
+// AgeTracker is the hedge policy's online latency-percentile estimator: it
+// ingests every completed request's latency and answers "how old must a
+// request be before it is slower than p% of its peers?" — the age at which
+// a backup copy is launched. Same log-bucketed DDSketch math as
+// latencySketch (γ = (1+α)/(1-α), value v in bucket ceil(log_γ v), bucket
+// midpoint within α of every member) but on a fixed array with a cached
+// answer, so both Add and Threshold are allocation-free on the dispatch
+// hot path. Deterministic: same observations, same thresholds.
+type AgeTracker struct {
+	pct     float64 // target percentile, in (0, 100]
+	lnGamma float64
+	gamma   float64
+	counts  [ageBuckets]uint32
+	n       uint64
+	zeros   uint64 // non-positive observations
+	pending int    // adds since the cached threshold was derived
+	cached  time.Duration
+}
+
+// NewAgeTracker returns a tracker for the given percentile (e.g. 95 hedges
+// requests older than the p95 latency). Percentiles outside (0,100] are
+// clamped to 100.
+func NewAgeTracker(pct float64) *AgeTracker {
+	if !(pct > 0 && pct <= 100) {
+		pct = 100
+	}
+	gamma := (1 + SketchAlpha) / (1 - SketchAlpha)
+	return &AgeTracker{pct: pct, gamma: gamma, lnGamma: math.Log(gamma)}
+}
+
+// Add records one completed request's latency. Allocation-free; amortized
+// O(1) (a bucket walk every ageRecomputeEvery observations).
+func (t *AgeTracker) Add(v time.Duration) {
+	t.n++
+	if v <= 0 {
+		t.zeros++
+	} else {
+		k := int(math.Ceil(math.Log(float64(v)) / t.lnGamma))
+		if k < 0 {
+			k = 0
+		} else if k >= ageBuckets {
+			k = ageBuckets - 1
+		}
+		t.counts[k]++
+	}
+	t.pending++
+	if t.pending >= ageRecomputeEvery || t.n == ageMinSamples {
+		t.recompute()
+	}
+}
+
+// Ready reports whether enough observations have accumulated for Threshold
+// to be meaningful; before that callers should hedge on a static fallback.
+func (t *AgeTracker) Ready() bool { return t.n >= ageMinSamples }
+
+// N returns the number of observations ingested.
+func (t *AgeTracker) N() uint64 { return t.n }
+
+// Threshold returns the tracked percentile of all observed latencies, from
+// the cache (at most ageRecomputeEvery observations stale). Zero until
+// Ready.
+func (t *AgeTracker) Threshold() time.Duration {
+	if !t.Ready() {
+		return 0
+	}
+	return t.cached
+}
+
+// recompute re-derives the cached percentile by a nearest-rank walk over
+// the occupied buckets, answering with the bucket midpoint (within α of
+// the true value, like latencySketch above the exact prefix).
+func (t *AgeTracker) recompute() {
+	t.pending = 0
+	if t.n == 0 {
+		t.cached = 0
+		return
+	}
+	rank := uint64(math.Ceil(t.pct / 100 * float64(t.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > t.n {
+		rank = t.n
+	}
+	if rank <= t.zeros {
+		t.cached = 0
+		return
+	}
+	rank -= t.zeros
+	var cum uint64
+	for k := 0; k < ageBuckets; k++ {
+		cum += uint64(t.counts[k])
+		if cum >= rank {
+			t.cached = time.Duration(2 * math.Pow(t.gamma, float64(k)) / (t.gamma + 1))
+			return
+		}
+	}
+	t.cached = 0
+}

@@ -121,6 +121,17 @@ func appendSpanLine(buf []byte, s *Span) []byte {
 	buf = strconv.AppendInt(buf, int64(s.Exec()), 10)
 	buf = append(buf, `,"latency_ns":`...)
 	buf = strconv.AppendInt(buf, int64(s.Latency()), 10)
+	if s.Clones != 0 {
+		buf = append(buf, `,"clones":`...)
+		buf = strconv.AppendInt(buf, int64(s.Clones), 10)
+	}
+	if s.Hedged {
+		buf = append(buf, `,"hedged":true`...)
+	}
+	if s.Cancelled != 0 {
+		buf = append(buf, `,"cancelled":`...)
+		buf = strconv.AppendInt(buf, int64(s.Cancelled), 10)
+	}
 	return append(buf, '}', '\n')
 }
 

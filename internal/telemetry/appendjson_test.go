@@ -64,7 +64,7 @@ func TestAppendEncodersMatchEncodingJSON(t *testing.T) {
 		}
 	}
 
-	kinds := []Kind{Arrived, Dispatched, Sample, NodeFailed, HWSwitch}
+	kinds := []Kind{Arrived, Dispatched, Sample, NodeFailed, HWSwitch, Cloned, CloneCancelled, NodeRevoked}
 	for i, detail := range nastyStrings {
 		for j, v := range floats {
 			e := Event{
@@ -87,6 +87,10 @@ func TestAppendEncodersMatchEncodingJSON(t *testing.T) {
 		s.Job = int64(i)
 		s.BatchSize = i * 7
 		s.Failed = i%2 == 0
+		// Exercise every combination of the omitempty redundancy counters.
+		s.Clones = i % 3
+		s.Hedged = i%4 == 1
+		s.Cancelled = (i + 1) % 2
 		if i%3 != 0 {
 			s.Arrived = time.Duration(i) * time.Second
 			s.Dispatched = s.Arrived + time.Millisecond

@@ -25,6 +25,11 @@ type spanJSON struct {
 	QueueNs     int64  `json:"queue_ns"`
 	ExecNs      int64  `json:"exec_ns"`
 	LatencyNs   int64  `json:"latency_ns"`
+	// Redundancy counters are omitted when zero so non-cloning schemes'
+	// span files are byte-identical to pre-cloning output.
+	Clones    int  `json:"clones,omitempty"`
+	Hedged    bool `json:"hedged,omitempty"`
+	Cancelled int  `json:"cancelled,omitempty"`
 }
 
 func toJSON(s *Span) spanJSON {
@@ -37,6 +42,9 @@ func toJSON(s *Span) spanJSON {
 		QueueNs:     int64(s.QueueDelay()),
 		ExecNs:      int64(s.Exec()),
 		LatencyNs:   int64(s.Latency()),
+		Clones:      s.Clones,
+		Hedged:      s.Hedged,
+		Cancelled:   s.Cancelled,
 	}
 }
 
@@ -91,6 +99,7 @@ func ReadSpansJSONL(rd io.Reader) ([]*Span, error) {
 			t += time.Duration(sj.ExecNs)
 			s.ExecEnd = t
 		}
+		s.Clones, s.Hedged, s.Cancelled = sj.Clones, sj.Hedged, sj.Cancelled
 		out = append(out, s)
 	}
 }

@@ -35,6 +35,15 @@ type Span struct {
 
 	// Failed marks requests lost to node failures or the final flush.
 	Failed bool
+
+	// Clones counts redundant copies dispatched beyond the primary (clone-to-k
+	// or hedged backups); Hedged marks the copy as age-triggered; Cancelled
+	// counts copies withdrawn after a sibling finished first. All zero for
+	// non-redundant schemes, and omitted from JSON exports when zero so those
+	// schemes' span files are byte-identical to pre-cloning output.
+	Clones    int
+	Hedged    bool
+	Cancelled int
 }
 
 func newSpan(req int64, tenant int) *Span {

@@ -63,18 +63,24 @@ func (a *assembler) observe(e Event) {
 			s.ExecStart = e.At
 		}
 	case ExecEnd:
-		for _, s := range a.jobs[e.Job] {
-			s.ExecEnd = e.At
+		a.resolveJob(e)
+	case Cloned:
+		s := a.span(e)
+		s.Clones++
+		if e.Detail == "hedge" {
+			s.Hedged = true
 		}
-		delete(a.jobs, e.Job)
-		if ws := a.waiting[e.Job]; ws != nil {
-			delete(a.waiting, e.Job)
-			if a.onDone != nil {
-				for _, s := range ws {
-					a.onDone(s)
-				}
-			}
+	case CloneCancelled:
+		// A copy was withdrawn because a sibling finished first. Count it on
+		// the still-open span (cancellation always precedes the request's
+		// terminal event), and resolve the copy's job like an ExecEnd: when
+		// the primary copy loses the race its members' exec stamps end at the
+		// cancel instant, so their spans flush promptly instead of waiting for
+		// an ExecEnd that will never come.
+		if s, ok := a.open[spanKey{e.Tenant, e.Req}]; ok {
+			s.Cancelled++
 		}
+		a.resolveJob(e)
 	case Completed, Failed:
 		s := a.span(e)
 		s.Completed = e.At
@@ -90,6 +96,23 @@ func (a *assembler) observe(e Event) {
 		}
 		if a.onDone != nil {
 			a.onDone(s)
+		}
+	}
+}
+
+// resolveJob stamps ExecEnd on the job's member spans and releases any
+// terminal spans that were waiting on the job.
+func (a *assembler) resolveJob(e Event) {
+	for _, s := range a.jobs[e.Job] {
+		s.ExecEnd = e.At
+	}
+	delete(a.jobs, e.Job)
+	if ws := a.waiting[e.Job]; ws != nil {
+		delete(a.waiting, e.Job)
+		if a.onDone != nil {
+			for _, s := range ws {
+				a.onDone(s)
+			}
 		}
 	}
 }

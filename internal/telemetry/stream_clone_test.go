@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The assembler must count clone/hedge copies on the span, treat a copy's
+// cancellation as its job's ExecEnd (so spans whose primary copy lost the
+// race flush promptly), and leave non-redundant spans untouched.
+func TestAssemblerCloneCounters(t *testing.T) {
+	var done []*Span
+	sa := NewSpanAssembler(func(s *Span) { done = append(done, s) })
+
+	ev := func(k Kind, at time.Duration, req, job int64, detail string) {
+		e := Ev(at, k)
+		e.Req, e.Job, e.Detail = req, job, detail
+		sa.Observe(e)
+	}
+
+	// Request 1: primary job 10 dispatched, clone job 11, hedge backup job 12.
+	ev(Arrived, 0, 1, 0, "")
+	ev(Batched, 1*time.Millisecond, 1, 0, "")
+	ev(Dispatched, 2*time.Millisecond, 1, 10, "spatial")
+	ev(Cloned, 2*time.Millisecond, 1, 11, "clone")
+	ev(Queued, 2*time.Millisecond, 0, 10, "spatial")
+	ev(ExecStart, 2*time.Millisecond, 0, 10, "")
+	ev(Cloned, 30*time.Millisecond, 1, 12, "hedge")
+	// The clone (job 11) wins: primary and hedge are cancelled, then the
+	// request completes.
+	ev(CloneCancelled, 50*time.Millisecond, 1, 10, "")
+	ev(CloneCancelled, 50*time.Millisecond, 1, 12, "")
+	e := Ev(50*time.Millisecond, Completed)
+	e.Req, e.Job = 1, 11
+	sa.Observe(e)
+
+	if len(done) != 1 {
+		t.Fatalf("flushed %d spans, want 1 (cancel must resolve the primary job)", len(done))
+	}
+	s := done[0]
+	if s.Clones != 2 || !s.Hedged || s.Cancelled != 2 {
+		t.Fatalf("clones=%d hedged=%v cancelled=%d, want 2/true/2", s.Clones, s.Hedged, s.Cancelled)
+	}
+	if s.ExecEnd != 50*time.Millisecond {
+		t.Fatalf("primary ExecEnd = %v, want the cancel instant 50ms", s.ExecEnd)
+	}
+	if s.Latency() != 50*time.Millisecond {
+		t.Fatalf("latency = %v, want 50ms", s.Latency())
+	}
+}

@@ -75,6 +75,18 @@ const (
 	// Sample: one time-series observation (Detail is the series name,
 	// Value the observation).
 	Sample
+
+	// Cloned: a redundant copy of the request was dispatched (Req, Job,
+	// Node, Spec set; N batch size; Detail "clone" or "hedge"). The copy's
+	// job carries its own Job ID distinct from the primary's.
+	Cloned
+	// CloneCancelled: a redundant copy was withdrawn because a sibling
+	// finished first (Req, Job set; Node when the copy had reached a
+	// device). The cancel instant is the copy's execution end.
+	CloneCancelled
+	// NodeRevoked: a spot node received its revocation notice (Node, Spec
+	// set). The node drains and is released when the notice expires.
+	NodeRevoked
 )
 
 var kindNames = [...]string{
@@ -100,6 +112,9 @@ var kindNames = [...]string{
 	ScaleIn:          "scale-in",
 	AutoscalePrewarm: "autoscale-prewarm",
 	Sample:           "sample",
+	Cloned:           "cloned",
+	CloneCancelled:   "clone-cancelled",
+	NodeRevoked:      "node-revoked",
 }
 
 func (k Kind) String() string {
